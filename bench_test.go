@@ -1,0 +1,131 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each benchmark
+// regenerates its report end-to-end; campaign-based benchmarks share one
+// generated world, built outside the timed region.
+//
+// Run with: go test -bench=. -benchmem
+package wormhole
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wormhole/internal/experiments"
+	"wormhole/internal/gen"
+	"wormhole/internal/lab"
+	"wormhole/internal/reveal"
+)
+
+var (
+	worldOnce sync.Once
+	world     *experiments.World
+	worldErr  error
+)
+
+func benchWorld(b *testing.B) *experiments.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		world, worldErr = experiments.NewWorld(2024, experiments.Small)
+	})
+	if worldErr != nil {
+		b.Fatal(worldErr)
+	}
+	return world
+}
+
+// runExperiment drives one runner b.N times, failing the benchmark if the
+// report's shape check regresses.
+func runExperiment(b *testing.B, id string) {
+	var runner experiments.Runner
+	for _, r := range experiments.All() {
+		if r.ID == id {
+			runner = r
+		}
+	}
+	if runner.ID == "" {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var w *experiments.World
+	if runner.NeedsWorld {
+		w = benchWorld(b)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if strings.HasPrefix(rep.Check, "FAILED") {
+			b.Fatalf("%s: %s", id, rep.Check)
+		}
+	}
+}
+
+func BenchmarkFig1DegreeDistribution(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFig4Emulation(b *testing.B)          { runExperiment(b, "fig4") }
+func BenchmarkTable1Fingerprint(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkTable2Visibility(b *testing.B)       { runExperiment(b, "table2") }
+func BenchmarkTable3CrossValidation(b *testing.B)  { runExperiment(b, "table3") }
+func BenchmarkTable4PerAS(b *testing.B)            { runExperiment(b, "table4") }
+func BenchmarkFig5TunnelLength(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig6RTTCorrection(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7RFA(b *testing.B)                { runExperiment(b, "fig7") }
+func BenchmarkFig8RFAByType(b *testing.B)          { runExperiment(b, "fig8") }
+func BenchmarkFig9RTLA(b *testing.B)               { runExperiment(b, "fig9") }
+func BenchmarkTable5Deployment(b *testing.B)       { runExperiment(b, "table5") }
+func BenchmarkFig10DegreeCorrection(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11PathLength(b *testing.B)        { runExperiment(b, "fig11") }
+func BenchmarkTable6Applicability(b *testing.B)    { runExperiment(b, "table6") }
+
+// Infrastructure benchmarks: the primitives the experiments are built on.
+
+// BenchmarkTraceroute measures one full traceroute across the testbed's
+// invisible tunnel (7 virtual hops, replies included).
+func BenchmarkTraceroute(b *testing.B) {
+	l, err := lab.Build(lab.Options{Scenario: lab.BackwardRecursive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr := l.Prober.Traceroute(l.CE2Left); !tr.Reached {
+			b.Fatal("trace failed")
+		}
+	}
+}
+
+// BenchmarkReveal measures the full BRPR recursion on the testbed tunnel.
+func BenchmarkReveal(b *testing.B) {
+	l, err := lab.Build(lab.Options{Scenario: lab.BackwardRecursive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := reveal.Reveal(l.Prober, l.PE1Left, l.PE2Left)
+		if len(rev.Hops) != 3 {
+			b.Fatalf("revealed %d hops", len(rev.Hops))
+		}
+	}
+}
+
+// BenchmarkGenerateInternet measures synthetic-Internet construction
+// (topology, addressing, IGP, LDP, BGP).
+func BenchmarkGenerateInternet(b *testing.B) {
+	p := experiments.Small.Params(77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurveyCalibration(b *testing.B) { runExperiment(b, "survey") }
+
+func BenchmarkAliasQuality(b *testing.B) { runExperiment(b, "aliases") }

@@ -1,0 +1,24 @@
+// Command wormhole drives the MPLS invisible-tunnel measurement toolkit:
+// the emulation testbed, synthetic-Internet campaigns, and the experiment
+// runners that regenerate every table and figure of the paper.
+//
+// Usage:
+//
+//	wormhole emulate  [-scenario default|backward-recursive|explicit-route|totally-invisible] [-target addr] [-pcap file]
+//	wormhole campaign [-seed N] [-scale small|medium|large] [-out dataset.jsonl] [-seeds N]
+//	wormhole experiments [-seed N] [-scale small|medium|large] [ids...]
+//	wormhole fingerprint [-scenario S]
+//	wormhole analyze <dataset.jsonl>
+//	wormhole tnt [-scenario S] [-target addr]
+//	wormhole graph [-seed N] [-scale S] [-before b.dot] [-after a.dot]
+package main
+
+import (
+	"os"
+
+	"wormhole/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

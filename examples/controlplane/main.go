@@ -1,0 +1,90 @@
+// controlplane demonstrates the fully in-band control plane: an MPLS
+// domain converges via real message exchange on the simulated fabric —
+// OSPF LSAs flood to build routing, then LDP label mappings cascade from
+// the egresses — and afterwards a traceroute crosses the resulting
+// invisible tunnel, which BRPR reveals. No centralized computation
+// touches the routers' tables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wormhole/internal/ldp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/ospf"
+	"wormhole/internal/packet"
+	"wormhole/internal/probe"
+	"wormhole/internal/reveal"
+	"wormhole/internal/router"
+)
+
+func main() {
+	net := netsim.New(99)
+	cfg := router.Config{MPLSEnabled: true, LDP: router.LDPAllPrefixes} // invisible LDP
+	var rs []*router.Router
+	for i := 0; i < 5; i++ {
+		r := router.New(fmt.Sprintf("r%d", i), router.Cisco, cfg)
+		r.SetLoopback(netaddr.AddrFrom4(192, 168, 90, byte(i+1)))
+		net.AddNode(r)
+		must(net.RegisterIface(r.Loopback()))
+		rs = append(rs, r)
+	}
+	wire := func(ai, bi *netsim.Iface) {
+		net.Connect(ai, bi, time.Millisecond)
+		must(net.RegisterIface(ai))
+		must(net.RegisterIface(bi))
+	}
+	for i := 0; i+1 < len(rs); i++ {
+		p := netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, 90, byte(i), 0), 30)
+		wire(rs[i].AddIface("right", p.Nth(1), p), rs[i+1].AddIface("left", p.Nth(2), p))
+	}
+	vpP := netaddr.MustParsePrefix("10.90.100.0/30")
+	vp := netsim.NewHost("vp", vpP.Nth(2), vpP)
+	net.AddNode(vp)
+	wire(rs[0].AddIface("to-vp", vpP.Nth(1), vpP), vp.If)
+	hP := netaddr.MustParsePrefix("10.90.101.0/30")
+	h := netsim.NewHost("h", hP.Nth(2), hP)
+	net.AddNode(h)
+	wire(rs[len(rs)-1].AddIface("to-h", hP.Nth(1), hP), h.If)
+
+	// Count control traffic while the domain converges in-band.
+	control := map[packet.Protocol]int{}
+	net.Trace = func(_ time.Duration, _ *netsim.Iface, pkt *packet.Packet) {
+		if pkt.IP.Protocol == packet.ProtoOSPF || pkt.IP.Protocol == packet.ProtoTCP {
+			control[pkt.IP.Protocol]++
+		}
+	}
+	area := ospf.Enable(net, rs)
+	must(area.Converge())
+	ldpProto := ldp.EnableInBand(net, rs)
+	ldpProto.Converge()
+	net.Trace = nil
+	fmt.Printf("converged in-band: %d OSPF LSA deliveries, %d LDP mapping deliveries\n",
+		control[packet.ProtoOSPF], control[packet.ProtoTCP])
+
+	prober := probe.New(net, vp)
+	fmt.Println("\ntraceroute across the in-band-built invisible tunnel:")
+	tr := prober.Traceroute(h.Addr())
+	for _, hop := range tr.Hops {
+		fmt.Printf("  %2d  %-14s [%d]\n", hop.ProbeTTL, hop.Addr, hop.ReplyTTL)
+	}
+
+	cand, ok := reveal.CandidateFromTrace(tr)
+	if !ok {
+		log.Fatal("no candidate")
+	}
+	rev := reveal.Reveal(prober, cand.Ingress.Addr, cand.Egress.Addr)
+	fmt.Printf("\nrevealed %d hidden LSRs via %s:\n", len(rev.Hops), rev.Technique)
+	for _, hidden := range rev.Hops {
+		fmt.Printf("  + %s\n", hidden)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

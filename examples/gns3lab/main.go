@@ -1,0 +1,70 @@
+// gns3lab walks the paper's Fig. 2 emulation testbed through all four
+// MPLS configuration scenarios and prints the Fig. 4 traces, bracketed
+// return TTLs and RFC 4950 label quotes included.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/probe"
+)
+
+func main() {
+	scenarios := []struct {
+		s       lab.Scenario
+		caption string
+	}{
+		{lab.Default, "(a) Default configuration: explicit tunnel"},
+		{lab.BackwardRecursive, "(b) no-ttl-propagate: invisible tunnel, BRPR applies"},
+		{lab.ExplicitRoute, "(c) LDP host-routes only: DPR applies"},
+		{lab.TotallyInvisible, "(d) UHP: totally invisible"},
+	}
+	for _, sc := range scenarios {
+		l, err := lab.Build(lab.Options{Scenario: sc.s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", sc.caption)
+		targets := []netaddr.Addr{l.CE2Left}
+		switch sc.s {
+		case lab.BackwardRecursive:
+			// The recursion targets of Fig. 4b.
+			targets = append(targets, l.PE2Left, l.P3Left, l.P2Left, l.P1Left)
+		case lab.ExplicitRoute, lab.TotallyInvisible:
+			targets = append(targets, l.PE2Left)
+		}
+		for _, dst := range targets {
+			fmt.Printf("$ pt %s\n", name(l, dst))
+			printTrace(l, l.Prober.Traceroute(dst))
+		}
+		fmt.Println()
+	}
+}
+
+func name(l *lab.Lab, a netaddr.Addr) string {
+	names := map[netaddr.Addr]string{
+		l.CE1Left: "CE1.left", l.PE1Left: "PE1.left", l.P1Left: "P1.left",
+		l.P2Left: "P2.left", l.P3Left: "P3.left", l.PE2Left: "PE2.left",
+		l.CE2Left: "CE2.left",
+	}
+	if n, ok := names[a]; ok {
+		return n
+	}
+	return a.String()
+}
+
+func printTrace(l *lab.Lab, tr *probe.Trace) {
+	for _, h := range tr.Hops {
+		if h.Anonymous() {
+			fmt.Printf("  %2d  *\n", h.ProbeTTL)
+			continue
+		}
+		fmt.Printf("  %2d  %-10s [%d]\n", h.ProbeTTL, name(l, h.Addr), h.ReplyTTL)
+		for _, lse := range h.MPLS {
+			fmt.Printf("        MPLS Label %d TTL=%d\n", lse.Label, lse.TTL)
+		}
+	}
+}

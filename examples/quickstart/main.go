@@ -1,0 +1,51 @@
+// Quickstart: build the paper's testbed with an invisible MPLS tunnel,
+// watch traceroute miss it, then reveal the hidden LSRs with the
+// backward-recursive path revelation (BRPR).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/reveal"
+)
+
+func main() {
+	// AS2 hides its LDP tunnel: no ttl-propagate, PHP, labels for all
+	// IGP prefixes (the Cisco default with propagation turned off).
+	l, err := lab.Build(lab.Options{Scenario: lab.BackwardRecursive})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A plain traceroute crosses the tunnel without seeing P1, P2, P3:
+	// the egress PE2 appears directly connected to the ingress PE1.
+	fmt.Println("traceroute to CE2 (tunnel invisible):")
+	tr := l.Prober.Traceroute(l.CE2Left)
+	for _, h := range tr.Hops {
+		fmt.Printf("  %2d  %-14s [%d]\n", h.ProbeTTL, h.Addr, h.ReplyTTL)
+	}
+
+	// The last three responding hops X, Y, D flag a candidate pair.
+	cand, ok := reveal.CandidateFromTrace(tr)
+	if !ok {
+		log.Fatal("no candidate pair found")
+	}
+	fmt.Printf("\ncandidate invisible tunnel: %s -> %s\n",
+		cand.Ingress.Addr, cand.Egress.Addr)
+
+	// FRPLA already hints at hidden hops: the reply's return path is
+	// longer than the forward hop count.
+	if s, ok := reveal.FRPLA(cand.Egress, 255); ok {
+		fmt.Printf("FRPLA: forward %d hops, return %d hops, asymmetry +%d\n",
+			s.Forward, s.Return, s.RFA())
+	}
+
+	// Reveal the content hop by hop.
+	rev := reveal.Reveal(l.Prober, cand.Ingress.Addr, cand.Egress.Addr)
+	fmt.Printf("\nrevealed via %s in %d extra traces:\n", rev.Technique, rev.Probes)
+	for i, hop := range rev.Hops {
+		fmt.Printf("  hidden LSR %d: %s\n", i+1, hop)
+	}
+}

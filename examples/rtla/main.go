@@ -1,0 +1,60 @@
+// rtla demonstrates the two length-analysis techniques on a testbed with
+// a Juniper egress LER: FRPLA estimates the hidden tunnel length from
+// forward/return asymmetry, RTLA pins it down exactly from the gap
+// between time-exceeded (initial TTL 255) and echo-reply (initial TTL 64)
+// return paths — and both are checked against the revealed ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/lab"
+	"wormhole/internal/reveal"
+	"wormhole/internal/router"
+)
+
+func main() {
+	l, err := lab.Build(lab.Options{
+		Scenario:       lab.BackwardRecursive,
+		PE2Personality: router.Juniper,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := l.Prober.Traceroute(l.CE2Left)
+	cand, ok := reveal.CandidateFromTrace(tr)
+	if !ok {
+		log.Fatal("no candidate")
+	}
+	egress := cand.Egress
+
+	// Fingerprint the egress: <255,64> marks a Juniper box, which is what
+	// makes RTLA applicable.
+	fp := fingerprint.New(l.Prober)
+	r, ok := fp.FromHop(egress)
+	if !ok {
+		log.Fatal("fingerprinting failed")
+	}
+	fmt.Printf("egress %s: signature %s (%s)\n", r.Addr, r.Signature, r.Class)
+
+	// FRPLA: statistical estimate, sensitive to routing asymmetry.
+	if s, ok := reveal.FRPLA(egress, r.Signature.TimeExceeded); ok {
+		fmt.Printf("FRPLA: forward=%d return=%d -> estimated hidden hops ~%d\n",
+			s.Forward, s.Return, s.RFA())
+	}
+
+	// RTLA: exact return tunnel length from the TTL gap.
+	rtl := reveal.RTLA(egress.ReplyTTL, r.EchoReplyTTL)
+	fmt.Printf("RTLA:  time-exceeded path %d, echo path %d -> return tunnel = %d LSRs\n",
+		255-int(egress.ReplyTTL), 64-int(r.EchoReplyTTL), rtl)
+
+	// Ground truth via revelation.
+	rev := reveal.Reveal(l.Prober, cand.Ingress.Addr, egress.Addr)
+	fmt.Printf("truth: %d hidden LSRs (%s)\n", len(rev.Hops), rev.Technique)
+	if rtl == len(rev.Hops) {
+		fmt.Println("RTLA matched the revealed tunnel length exactly")
+	}
+}

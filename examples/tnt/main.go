@@ -1,0 +1,58 @@
+// tnt demonstrates the trace tool the paper's conclusion envisions (and
+// that the authors later shipped as TNT): a traceroute that uses FRPLA
+// and RTLA as triggers for invisible MPLS tunnels and runs DPR/BRPR
+// inline to splice the hidden LSRs into the output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/reveal"
+	"wormhole/internal/router"
+)
+
+func main() {
+	scenarios := []struct {
+		name string
+		opts lab.Options
+	}{
+		{"invisible Cisco tunnel (BRPR expected)",
+			lab.Options{Scenario: lab.BackwardRecursive}},
+		{"invisible Juniper-edge tunnel (RTLA trigger, DPR/BRPR)",
+			lab.Options{Scenario: lab.BackwardRecursive, PE2Personality: router.Juniper}},
+		{"host-routes LDP (DPR expected)",
+			lab.Options{Scenario: lab.ExplicitRoute}},
+		{"visible tunnel (no trigger must fire)",
+			lab.Options{Scenario: lab.Default}},
+		{"UHP (stays dark, as the paper concedes)",
+			lab.Options{Scenario: lab.TotallyInvisible}},
+	}
+	for _, sc := range scenarios {
+		l, err := lab.Build(sc.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", sc.name)
+		at := reveal.AugmentedTraceroute(l.Prober, l.CE2Left)
+		for _, h := range at.Hops {
+			if h.Anonymous() {
+				fmt.Printf("  %2d  *\n", h.ProbeTTL)
+				continue
+			}
+			fmt.Printf("  %2d  %-14s [%d]", h.ProbeTTL, h.Addr, h.ReplyTTL)
+			if h.Trigger != reveal.TriggerNone {
+				fmt.Printf("  <- trigger:%s", h.Trigger)
+				if h.RTLAEstimate > 0 {
+					fmt.Printf(" (return tunnel ~%d LSRs)", h.RTLAEstimate)
+				}
+			}
+			fmt.Println()
+			for _, hidden := range h.Hidden {
+				fmt.Printf("        + %-14s revealed (%s)\n", hidden, h.Technique)
+			}
+		}
+		fmt.Printf("  path length %d (extra probes: %d)\n\n", at.PathLength(), at.ExtraProbes)
+	}
+}

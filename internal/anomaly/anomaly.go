@@ -1,0 +1,82 @@
+// Package anomaly attributes per-hop delay jumps in traceroute output.
+// The paper's introduction motivates tunnel revelation with exactly this
+// problem: across an invisible MPLS tunnel "the delay between the entry
+// and exit point of the tunnel might appear as being artificially high,
+// possibly leading to wrong conclusions when tracking connectivity
+// issues". Given a destination, the detector finds RTT jumps, runs the
+// augmented traceroute, and classifies each jump as an invisible tunnel
+// (the delay decomposes across revealed hops) or a genuinely long link.
+package anomaly
+
+import (
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/probe"
+	"wormhole/internal/reveal"
+)
+
+// Attribution classifies a delay jump.
+type Attribution string
+
+const (
+	// InvisibleTunnel: hidden hops were revealed at the jump; the delay
+	// is the sum of their links, not one slow link.
+	InvisibleTunnel Attribution = "invisible-tunnel"
+	// LongLink: no hidden hops; the link (or queueing on it) really is
+	// that slow.
+	LongLink Attribution = "long-link"
+)
+
+// Finding is one attributed delay jump.
+type Finding struct {
+	// After is the hop whose successor showed the jump.
+	After netaddr.Addr
+	// Jump is the RTT increase across the pair.
+	Jump time.Duration
+	// HiddenHops counts LSRs revealed between the pair.
+	HiddenHops int
+	// PerHop is the delay attributed to each constituent link once the
+	// hidden hops are accounted for (Jump divided by segment count).
+	PerHop time.Duration
+	// Attribution classifies the jump.
+	Attribution Attribution
+}
+
+// Detect traces dst, finds RTT jumps of at least threshold between
+// consecutive responding hops, and attributes them.
+func Detect(p *probe.Prober, dst netaddr.Addr, threshold time.Duration) ([]Finding, *reveal.AugmentedTrace) {
+	at := reveal.AugmentedTraceroute(p, dst)
+	var out []Finding
+
+	prev := -1
+	for i := range at.Hops {
+		if at.Hops[i].Anonymous() {
+			continue
+		}
+		if prev < 0 {
+			prev = i
+			continue
+		}
+		x, y := &at.Hops[prev], &at.Hops[i]
+		prev = i
+		jump := y.RTT - x.RTT
+		if jump < threshold {
+			continue
+		}
+		f := Finding{
+			After:      x.Addr,
+			Jump:       jump,
+			HiddenHops: len(x.Hidden),
+		}
+		segments := len(x.Hidden) + 1
+		f.PerHop = jump / time.Duration(segments)
+		if f.HiddenHops > 0 {
+			f.Attribution = InvisibleTunnel
+		} else {
+			f.Attribution = LongLink
+		}
+		out = append(out, f)
+	}
+	return out, at
+}

@@ -1,0 +1,67 @@
+package anomaly
+
+import (
+	"testing"
+	"time"
+
+	"wormhole/internal/lab"
+)
+
+func TestAttributesTunnelJump(t *testing.T) {
+	// Invisible tunnel over fat links: the PE1->PE2 jump must be
+	// attributed to the hidden LSRs.
+	l := lab.MustBuild(lab.Options{
+		Scenario:    lab.BackwardRecursive,
+		TunnelDelay: 20 * time.Millisecond,
+	})
+	findings, at := Detect(l.Prober, l.CE2Left, 30*time.Millisecond)
+	if !at.Reached {
+		t.Fatal("trace failed")
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want one", findings)
+	}
+	f := findings[0]
+	if f.Attribution != InvisibleTunnel {
+		t.Errorf("attribution = %s", f.Attribution)
+	}
+	if f.After != l.PE1Left {
+		t.Errorf("jump after %s, want PE1", f.After)
+	}
+	if f.HiddenHops != 3 {
+		t.Errorf("hidden hops = %d, want 3", f.HiddenHops)
+	}
+	// The jump spans 4 links (PE1-P1 fast + three fat ones, doubled for
+	// the round trip): per-hop attribution must sit well below the jump.
+	if f.PerHop >= f.Jump {
+		t.Error("per-hop delay not decomposed")
+	}
+}
+
+func TestAttributesLongLink(t *testing.T) {
+	// Same fat links but a *visible* network (UHP scenario keeps the
+	// tunnel dark and unrevealable, so the jump stays a "long link" from
+	// the measurement's point of view — the honest answer when revelation
+	// fails).
+	l := lab.MustBuild(lab.Options{
+		Scenario:    lab.TotallyInvisible,
+		TunnelDelay: 20 * time.Millisecond,
+	})
+	findings, _ := Detect(l.Prober, l.CE2Left, 30*time.Millisecond)
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	for _, f := range findings {
+		if f.Attribution != LongLink {
+			t.Errorf("UHP jump attributed to %s", f.Attribution)
+		}
+	}
+}
+
+func TestNoFindingsOnFlatPath(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	findings, _ := Detect(l.Prober, l.CE2Left, 30*time.Millisecond)
+	if len(findings) != 0 {
+		t.Errorf("flat path produced findings: %+v", findings)
+	}
+}

@@ -1,0 +1,520 @@
+package bgp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+	"wormhole/internal/router"
+)
+
+// In-band BGP: UPDATE messages travel the fabric instead of a centralized
+// computation. eBGP runs over the cross-AS links; iBGP is a full mesh of
+// multi-hop sessions between loopbacks (the updates literally route
+// through the network, so the IGP must have converged first). Export
+// follows Gao-Rexford: everything to customers, own-plus-customer routes
+// to peers and providers; loop prevention rejects paths containing the
+// local ASN. Best-path selection is local preference by relationship
+// class, then AS-path length, then hot potato (IGP distance to the BGP
+// next hop), then lowest next hop — the same order the centralized
+// Compute applies, which tests exploit to require identical forwarding.
+
+// update is one BGP UPDATE message.
+type update struct {
+	Prefix  netaddr.Prefix
+	ASPath  []uint32
+	NextHop netaddr.Addr // advertising border's loopback (iBGP) or session addr (eBGP)
+	// Class carries the receiver-side relationship on iBGP re-advertisement
+	// (how the border learned it).
+	Class uint8
+	// NoExport keeps the route inside the AS (redistributed cross-link
+	// subnets, mirroring the centralized redistribution semantics).
+	NoExport bool
+	// Withdraw removes the sender's previously advertised route instead
+	// of installing one.
+	Withdraw bool
+}
+
+// msgTag discriminates BGP payloads from LDP's on the shared fabric.
+const msgTag = 'B'
+
+const (
+	classOwn uint8 = iota
+	classFromCustomer
+	classFromPeer
+	classFromProvider
+)
+
+// ribEntry is one candidate route in a speaker's Adj-RIB-In.
+type ribEntry struct {
+	path     []uint32
+	class    uint8
+	nextHop  netaddr.Addr // BGP next hop (loopback for iBGP, peer addr for eBGP)
+	ebgp     bool
+	out      *netsim.Iface // eBGP: session interface
+	gw       netaddr.Addr  // eBGP: peer address
+	fromKey  string        // dedup key of the sender
+	noExport bool
+}
+
+// Speaker is the BGP process on one router.
+type Speaker struct {
+	mesh *Mesh
+	r    *router.Router
+	as   *AS
+	// sessions this router terminates.
+	ebgp []*Session
+	// rib[prefix][fromKey] = candidate.
+	rib map[netaddr.Prefix]map[string]ribEntry
+	// best tracks the currently installed choice per prefix.
+	best map[netaddr.Prefix]ribEntry
+	prev func(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet)
+}
+
+// Mesh is the in-band BGP instance over a whole topology.
+type Mesh struct {
+	net      *netsim.Network
+	topo     *Topology
+	speakers map[*router.Router]*Speaker
+	asOf     map[*router.Router]*AS
+}
+
+// EnableInBand attaches speakers to every router of every AS. The IGPs
+// must already be converged (iBGP updates route through them).
+func EnableInBand(net *netsim.Network, topo *Topology) *Mesh {
+	m := &Mesh{
+		net:      net,
+		topo:     topo,
+		speakers: make(map[*router.Router]*Speaker),
+		asOf:     make(map[*router.Router]*AS),
+	}
+	for _, as := range topo.ASes {
+		for _, r := range as.Routers {
+			sp := &Speaker{
+				mesh: m,
+				r:    r,
+				as:   as,
+				rib:  make(map[netaddr.Prefix]map[string]ribEntry),
+				best: make(map[netaddr.Prefix]ribEntry),
+				prev: r.ControlHandler,
+			}
+			m.speakers[r] = sp
+			m.asOf[r] = as
+			r.ControlHandler = sp.receive
+		}
+	}
+	for _, s := range topo.Sessions {
+		m.speakers[s.A].ebgp = append(m.speakers[s.A].ebgp, s)
+		m.speakers[s.B].ebgp = append(m.speakers[s.B].ebgp, s)
+	}
+	return m
+}
+
+// Converge originates every AS's prefixes from its border routers,
+// re-advertises each speaker's current best routes (so freshly restored
+// sessions receive the full table, as real session establishment does),
+// and drains the cascade.
+func (m *Mesh) Converge() {
+	for _, as := range m.topo.ASes {
+		for _, r := range as.Routers {
+			sp := m.speakers[r]
+			if len(sp.ebgp) == 0 {
+				continue
+			}
+			for _, p := range as.Prefixes {
+				sp.exportEBGP(update{Prefix: p, ASPath: []uint32{as.Num}, Class: classOwn}, classOwn)
+			}
+			for p, best := range sp.best {
+				if best.noExport {
+					continue
+				}
+				sp.exportEBGP(update{
+					Prefix:  p,
+					ASPath:  append([]uint32{as.Num}, best.path...),
+					NextHop: sp.loopback(),
+					Class:   best.class,
+				}, best.class)
+			}
+		}
+	}
+	m.net.Run()
+}
+
+// receive dispatches a control packet: BGP updates are consumed, the rest
+// chains onward (LDP, OSPF).
+func (sp *Speaker) receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	var u update
+	if pkt.IP.Protocol != packet.ProtoTCP || len(pkt.Raw) == 0 || pkt.Raw[0] != msgTag ||
+		gob.NewDecoder(bytes.NewReader(pkt.Raw[1:])).Decode(&u) != nil {
+		if sp.prev != nil {
+			sp.prev(net, in, pkt)
+		}
+		return
+	}
+	sp.onUpdate(in, pkt.IP.Src, u)
+}
+
+// onUpdate stores the candidate and re-evaluates the prefix.
+func (sp *Speaker) onUpdate(in *netsim.Iface, from netaddr.Addr, u update) {
+	// Loop prevention.
+	for _, asn := range u.ASPath {
+		if asn == sp.as.Num {
+			return
+		}
+	}
+	entry := ribEntry{path: u.ASPath, nextHop: u.NextHop, fromKey: from.String(), noExport: u.NoExport}
+	if peerAS, sess := sp.sessionFor(from); sess != nil {
+		// eBGP: classify by our side of the relationship.
+		entry.ebgp = true
+		entry.class = sp.classOf(sess, peerAS)
+		entry.out, entry.gw = sp.sessionIfaces(sess)
+		entry.nextHop = 0 // external next hop: direct via the session
+	} else {
+		// iBGP: the border encoded how it learned the route.
+		entry.class = u.Class
+	}
+	byFrom, ok := sp.rib[u.Prefix]
+	if !ok {
+		byFrom = make(map[string]ribEntry)
+		sp.rib[u.Prefix] = byFrom
+	}
+	if u.Withdraw {
+		delete(byFrom, entry.fromKey)
+	} else {
+		byFrom[entry.fromKey] = entry
+	}
+	sp.evaluate(u.Prefix)
+}
+
+// evaluate picks the best candidate, installs it, and re-advertises on
+// change.
+func (sp *Speaker) evaluate(p netaddr.Prefix) {
+	// Own prefixes are never overridden.
+	for _, own := range sp.as.Prefixes {
+		if own == p {
+			return
+		}
+	}
+	var best ribEntry
+	have := false
+	for _, e := range sp.rib[p] {
+		if !have || sp.better(e, best) {
+			best, have = e, true
+		}
+	}
+	cur, had := sp.best[p]
+	if !have {
+		// Every candidate withdrawn: drop the route and propagate the
+		// withdrawal ourselves.
+		if had {
+			delete(sp.best, p)
+			sp.r.DeleteRoute(p)
+			w := update{Prefix: p, NextHop: sp.loopback(), Withdraw: true}
+			sp.exportIBGP(w)
+			sp.exportEBGP(w, classOwn)
+		}
+		return
+	}
+	if had && cur.fromKey == best.fromKey && len(cur.path) == len(best.path) && cur.class == best.class {
+		return // stable
+	}
+	sp.best[p] = best
+	sp.install(p, best)
+
+	// Re-advertise: eBGP-learned best goes to iBGP and to eBGP peers per
+	// policy; iBGP-learned routes are not reflected (full mesh).
+	out := update{
+		Prefix:  p,
+		ASPath:  append([]uint32{sp.as.Num}, best.path...),
+		NextHop: sp.loopback(),
+		Class:   best.class,
+	}
+	if best.ebgp {
+		sp.exportIBGP(update{Prefix: p, ASPath: best.path, NextHop: sp.loopback(), Class: best.class})
+	}
+	if !best.noExport {
+		sp.exportEBGP(out, best.class)
+	}
+}
+
+// better orders candidates: class, then AS-path length, then eBGP over
+// iBGP (hot potato at the border), then IGP distance to the next hop,
+// then lowest next hop.
+func (sp *Speaker) better(a, b ribEntry) bool {
+	ca, cb := classRank(a.class), classRank(b.class)
+	if ca != cb {
+		return ca > cb
+	}
+	if len(a.path) != len(b.path) {
+		return len(a.path) < len(b.path)
+	}
+	if a.ebgp != b.ebgp {
+		return a.ebgp
+	}
+	da, db := sp.igpDist(a.nextHop), sp.igpDist(b.nextHop)
+	if da != db {
+		return da < db
+	}
+	if a.nextHop != b.nextHop {
+		return a.nextHop < b.nextHop
+	}
+	// Total order: without this, equally-good candidates (e.g. two eBGP
+	// sessions with identical class/path/distance) would be chosen by map
+	// iteration order, making convergence nondeterministic. The numeric
+	// gateway comparison matches the centralized computation's sort.
+	if a.gw != b.gw {
+		return a.gw < b.gw
+	}
+	return a.fromKey < b.fromKey
+}
+
+func classRank(c uint8) int {
+	switch c {
+	case classOwn:
+		return 4
+	case classFromCustomer:
+		return 3
+	case classFromPeer:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// igpDist returns the IGP distance to a next-hop loopback.
+func (sp *Speaker) igpDist(lo netaddr.Addr) int {
+	if lo.IsUnspecified() {
+		return 0
+	}
+	spf := sp.as.SPF
+	if spf == nil {
+		return math.MaxInt32
+	}
+	for other, d := range spf.Dist[sp.r] {
+		if l := other.Loopback(); l != nil && l.Addr == lo {
+			return d
+		}
+	}
+	if l := sp.r.Loopback(); l != nil && l.Addr == lo {
+		return 0
+	}
+	return math.MaxInt32
+}
+
+// install writes the FIB route for the chosen candidate.
+func (sp *Speaker) install(p netaddr.Prefix, e ribEntry) {
+	if rt, ok := sp.r.GetRoute(p); ok && rt.Origin == router.OriginConnected {
+		return
+	}
+	if e.ebgp {
+		sp.r.InstallRoute(p, &router.Route{
+			Origin:   router.OriginBGP,
+			NextHops: []router.NextHop{{Out: e.out, Gateway: e.gw}},
+		})
+		return
+	}
+	hops := sp.hopsToward(e.nextHop)
+	if len(hops) == 0 {
+		return
+	}
+	sp.r.InstallRoute(p, &router.Route{
+		Origin:     router.OriginBGP,
+		NextHops:   hops,
+		BGPNextHop: e.nextHop,
+	})
+}
+
+func (sp *Speaker) hopsToward(lo netaddr.Addr) []router.NextHop {
+	spf := sp.as.SPF
+	if spf == nil {
+		return nil
+	}
+	hops := spf.NextHops[sp.r][netaddr.HostPrefix(lo)]
+	out := make([]router.NextHop, 0, len(hops))
+	for _, h := range hops {
+		out = append(out, router.NextHop{Out: h.Out, Gateway: h.Gateway})
+	}
+	return out
+}
+
+// exportEBGP sends an update to each eBGP peer the policy allows.
+func (sp *Speaker) exportEBGP(u update, class uint8) {
+	for _, s := range sp.ebgp {
+		peerAS, peerIface, ownIface := sp.peerOf(s)
+		rel := sp.relTo(s, peerAS)
+		// Valley-free: own and customer routes go everywhere; peer and
+		// provider routes go to customers only.
+		if class == classFromPeer || class == classFromProvider {
+			if rel != AProviderOfB { // peer is not our customer
+				continue
+			}
+		}
+		sp.send(ownIface, peerIface.Addr, u)
+	}
+}
+
+// exportIBGP sends an update to every other router of the AS, addressed
+// to its loopback (multi-hop).
+func (sp *Speaker) exportIBGP(u update) {
+	lo := sp.r.Loopback()
+	if lo == nil {
+		return
+	}
+	for _, other := range sp.as.Routers {
+		if other == sp.r {
+			continue
+		}
+		olo := other.Loopback()
+		if olo == nil {
+			continue
+		}
+		// Multi-hop: route via the FIB like any locally originated packet.
+		var buf bytes.Buffer
+		buf.WriteByte(msgTag)
+		if gob.NewEncoder(&buf).Encode(u) != nil {
+			return
+		}
+		sp.r.Originate(sp.mesh.net, &packet.Packet{
+			IP: packet.IPv4{
+				TTL:      64,
+				Protocol: packet.ProtoTCP,
+				Src:      lo.Addr,
+				Dst:      olo.Addr,
+			},
+			Raw: buf.Bytes(),
+		})
+	}
+}
+
+func (sp *Speaker) send(out *netsim.Iface, dst netaddr.Addr, u update) {
+	var buf bytes.Buffer
+	buf.WriteByte(msgTag)
+	if gob.NewEncoder(&buf).Encode(u) != nil {
+		return
+	}
+	sp.mesh.net.Transmit(out, &packet.Packet{
+		IP: packet.IPv4{
+			TTL:      1,
+			Protocol: packet.ProtoTCP,
+			Src:      out.Addr,
+			Dst:      dst,
+		},
+		Raw: buf.Bytes(),
+	})
+}
+
+// --- session bookkeeping helpers ---
+
+// sessionFor finds the eBGP session whose far side bears addr.
+func (sp *Speaker) sessionFor(addr netaddr.Addr) (*AS, *Session) {
+	for _, s := range sp.ebgp {
+		if s.A == sp.r && s.BIf.Addr == addr {
+			return sp.mesh.asOf[s.B], s
+		}
+		if s.B == sp.r && s.AIf.Addr == addr {
+			return sp.mesh.asOf[s.A], s
+		}
+	}
+	return nil, nil
+}
+
+// peerOf returns the far AS and both interfaces of a session this router
+// terminates.
+func (sp *Speaker) peerOf(s *Session) (*AS, *netsim.Iface, *netsim.Iface) {
+	if s.A == sp.r {
+		return sp.mesh.asOf[s.B], s.BIf, s.AIf
+	}
+	return sp.mesh.asOf[s.A], s.AIf, s.BIf
+}
+
+// relTo returns the relationship from this router's side.
+func (sp *Speaker) relTo(s *Session, peer *AS) Relationship {
+	if s.A == sp.r {
+		return s.Rel
+	}
+	switch s.Rel {
+	case ACustomerOfB:
+		return AProviderOfB
+	case AProviderOfB:
+		return ACustomerOfB
+	default:
+		return APeerOfB
+	}
+}
+
+// classOf classifies a route learned over a session.
+func (sp *Speaker) classOf(s *Session, peer *AS) uint8 {
+	switch sp.relTo(s, peer) {
+	case AProviderOfB: // peer is our customer
+		return classFromCustomer
+	case APeerOfB:
+		return classFromPeer
+	default:
+		return classFromProvider
+	}
+}
+
+func (sp *Speaker) loopback() netaddr.Addr {
+	if lo := sp.r.Loopback(); lo != nil {
+		return lo.Addr
+	}
+	return 0
+}
+
+// sessionIfaces returns (own iface, far addr) for eBGP installs.
+func (sp *Speaker) sessionIfaces(s *Session) (*netsim.Iface, netaddr.Addr) {
+	if s.A == sp.r {
+		return s.AIf, s.BIf.Addr
+	}
+	return s.BIf, s.AIf.Addr
+}
+
+// redistributeConnectedInBand mirrors the centralized cross-link
+// redistribution: each border advertises its cross-AS subnets into iBGP.
+func (m *Mesh) redistributeConnectedInBand() {
+	for _, s := range m.topo.Sessions {
+		for _, side := range []struct {
+			r   *router.Router
+			ifc *netsim.Iface
+		}{{s.A, s.AIf}, {s.B, s.BIf}} {
+			sp := m.speakers[side.r]
+			sp.exportIBGP(update{
+				Prefix:   side.ifc.Prefix,
+				ASPath:   nil,
+				NextHop:  sp.loopback(),
+				Class:    classOwn,
+				NoExport: true,
+			})
+		}
+	}
+	m.net.Run()
+}
+
+// ConvergeAll runs origination plus the cross-link redistribution.
+func (m *Mesh) ConvergeAll() {
+	m.Converge()
+	m.redistributeConnectedInBand()
+}
+
+// WithdrawSession retracts everything learned over one eBGP session on
+// both ends (the operational reaction to a failed peering link) and lets
+// the withdrawal cascade re-converge the mesh.
+func (m *Mesh) WithdrawSession(s *Session) {
+	for _, end := range []struct {
+		r    *router.Router
+		peer netaddr.Addr
+	}{{s.A, s.BIf.Addr}, {s.B, s.AIf.Addr}} {
+		sp := m.speakers[end.r]
+		key := end.peer.String()
+		for p, byFrom := range sp.rib {
+			if _, ok := byFrom[key]; ok {
+				delete(byFrom, key)
+				sp.evaluate(p)
+			}
+		}
+	}
+	m.net.Run()
+}

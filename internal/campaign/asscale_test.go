@@ -1,0 +1,57 @@
+package campaign
+
+import (
+	"testing"
+
+	"wormhole/internal/gen"
+	"wormhole/internal/reveal"
+)
+
+// TestASAggregatorOnCampaign runs the Sec. 3.4 AS-scale FRPLA aggregation
+// over a real campaign: invisible-tunnel ASes must be flagged, visible
+// ones not.
+func TestASAggregatorOnCampaign(t *testing.T) {
+	p := gen.DefaultParams(555)
+	p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 2, 6, 12, 6
+	p.MPLSFrac, p.UHPFrac, p.TEFrac = 1.0, 0, 0
+	p.NoPropagateFrac = 0.5
+	in, err := gen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Run(in, DefaultConfig())
+
+	agg := reveal.NewASAggregator()
+	for _, rec := range c.Records {
+		if rec.Candidate == nil {
+			continue
+		}
+		eg := rec.Candidate.Egress
+		fp, ok := c.Fingerprints[eg.Addr]
+		if !ok {
+			continue
+		}
+		if s, ok := reveal.FRPLA(eg, fp.Signature.TimeExceeded); ok {
+			agg.Add(rec.CandidateAS, s)
+		}
+	}
+
+	right, wrong := 0, 0
+	for _, v := range agg.Verdicts() {
+		as := in.ASByNum(v.ASN)
+		if as == nil || v.Samples < agg.MinSamples {
+			continue
+		}
+		if as.Profile.Invisible() == v.Suspected {
+			right++
+		} else {
+			wrong++
+		}
+	}
+	if right == 0 {
+		t.Skip("no AS accumulated enough samples at this seed")
+	}
+	if wrong > right {
+		t.Errorf("aggregator mostly wrong: %d right vs %d wrong", right, wrong)
+	}
+}

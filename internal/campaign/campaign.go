@@ -1,0 +1,374 @@
+// Package campaign orchestrates the paper's Sec. 4 measurement campaign
+// over a generated Internet:
+//
+//  1. a bootstrap traceroute sweep builds the observed router-level graph
+//     (the ITDK stand-in),
+//  2. High Degree Nodes seed the target selection: set A (HDN neighbors)
+//     union set B (neighbors of neighbors), split across vantage-point
+//     teams,
+//  3. every target is traced (first TTL 2) with per-hop fingerprinting,
+//  4. traces ending I, E, D with I and E candidate LERs of the same AS
+//     trigger the recursive revelation process (DPR/BRPR),
+//  5. the records feed the paper's analyses: FRPLA/RTLA distributions,
+//     tunnel length distributions, per-AS deployment tables and graph
+//     corrections.
+package campaign
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"wormhole/internal/alias"
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/gen"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/probe"
+	"wormhole/internal/reveal"
+	"wormhole/internal/topo"
+)
+
+// Config tunes a campaign.
+type Config struct {
+	// HDNThreshold is the degree above which a node is "suspicious". The
+	// paper uses 128 against the full ITDK; synthetic topologies are
+	// smaller, so the default scales down. Zero selects the threshold
+	// adaptively (the 90th percentile of the observed degree
+	// distribution, floored at 4).
+	HDNThreshold int
+	// Teams is the number of vantage-point teams (5 in the paper).
+	Teams int
+	// FirstTTL is the initial probe TTL (2 in the paper).
+	FirstTTL uint8
+	// BootstrapSpread is how many VPs trace each bootstrap target.
+	BootstrapSpread int
+	// ASMapNoise misattributes this fraction of addresses to a wrong AS,
+	// modeling the imperfect IP-to-AS mapping (Team Cymru / ITDK) the
+	// paper relies on. Deterministic per address.
+	ASMapNoise float64
+	// MeasuredAliases replaces the generator's ground-truth alias sets
+	// with Mercator-style alias resolution run from the first vantage
+	// point — the realistic ITDK construction, where routers that source
+	// replies from the probed address stay split across per-interface
+	// nodes. AS numbers still come from the (possibly noisy) IP-to-AS
+	// mapping, as in the paper.
+	MeasuredAliases bool
+}
+
+// DefaultConfig mirrors the paper at synthetic scale, with an adaptive
+// HDN threshold.
+func DefaultConfig() Config {
+	return Config{Teams: 5, FirstTTL: 2, BootstrapSpread: 2}
+}
+
+// Record is one campaign trace with its analysis context.
+type Record struct {
+	VP    *gen.VP
+	Trace *probe.Trace
+	// Candidate is set when the trace ended I, E, D with I and E in the
+	// same AS (the revelation trigger).
+	Candidate *reveal.Candidate
+	// CandidateAS is that AS number.
+	CandidateAS uint32
+	// Revelation is the outcome of the recursive revelation, when run.
+	Revelation *reveal.Revelation
+	// EgressEchoTTL is the reply TTL of an echo-request sent to the
+	// candidate egress from this record's own vantage point (so that RTLA
+	// compares two replies that crossed the same return path). Zero when
+	// the ping went unanswered or there is no candidate.
+	EgressEchoTTL uint8
+}
+
+// Campaign holds all collected state.
+type Campaign struct {
+	In  *gen.Internet
+	Cfg Config
+
+	// ITDK is the bootstrap observed graph (invisible tunnels included).
+	ITDK *topo.Graph
+	// HDNs are the suspicious nodes.
+	HDNs []*topo.Node
+	// Targets is the destination set (A union B).
+	Targets []netaddr.Addr
+	// Records are the campaign traces.
+	Records []*Record
+	// Fingerprints indexes every fingerprinted hop address.
+	Fingerprints map[netaddr.Addr]fingerprint.Result
+	// FingerprintVP records which vantage point collected each
+	// fingerprint; TTL-delta analyses must pair replies observed from the
+	// same VP.
+	FingerprintVP map[netaddr.Addr]*gen.VP
+	// Probes counts every probe packet sent (campaign accounting).
+	Probes uint64
+
+	aliasSets *alias.Sets
+	// teamOf assigns each target to a vantage-point team with the
+	// paper's neighborhood-consistency rule.
+	teamOf map[netaddr.Addr]int
+}
+
+// Run executes the full campaign.
+func Run(in *gen.Internet, cfg Config) *Campaign {
+	c := &Campaign{
+		In:            in,
+		Cfg:           cfg,
+		Fingerprints:  make(map[netaddr.Addr]fingerprint.Result),
+		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
+	}
+	c.bootstrap()
+	c.selectTargets()
+	c.probeTargets()
+	c.revealCandidates()
+	for _, vp := range in.VPs {
+		c.Probes += vp.Prober.Sent
+	}
+	return c
+}
+
+// resolver returns the campaign's IP-to-router/AS mapping: the ground
+// truth, optionally corrupted by ASMapNoise the way real IP-to-AS data
+// is, or — with MeasuredAliases — replaced by Mercator-resolved sets.
+func (c *Campaign) resolver() topo.Resolver {
+	base := c.In.Resolve
+	if c.Cfg.MeasuredAliases && len(c.In.VPs) > 0 {
+		if c.aliasSets == nil {
+			c.aliasSets = alias.Resolve(c.In.VPs[0].Prober, c.In.RouterAddrs())
+		}
+		truth := base // AS numbers still come from the IP-to-AS mapping
+		base = c.aliasSets.Resolver(func(a netaddr.Addr) uint32 {
+			_, asn, _ := truth(a)
+			return asn
+		})
+	}
+	if c.Cfg.ASMapNoise <= 0 {
+		return base
+	}
+	var nums []uint32
+	for _, as := range c.In.ASes {
+		nums = append(nums, as.Num)
+	}
+	noise := c.Cfg.ASMapNoise
+	return func(a netaddr.Addr) (string, uint32, bool) {
+		name, asn, ok := base(a)
+		if !ok {
+			return name, asn, ok
+		}
+		h := fnv.New32a()
+		u := uint32(a)
+		h.Write([]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)})
+		v := h.Sum32()
+		if float64(v%10000)/10000 < noise && len(nums) > 1 {
+			// Deterministically misattribute to another AS.
+			asn = nums[int(v)%len(nums)]
+		}
+		return name, asn, true
+	}
+}
+
+// bootstrap sweeps all router addresses from a few VPs each and builds
+// the observed graph.
+func (c *Campaign) bootstrap() {
+	c.ITDK = topo.New(c.resolver())
+	addrs := c.In.RouterAddrs()
+	vps := c.In.VPs
+	spread := c.Cfg.BootstrapSpread
+	if spread < 1 {
+		spread = 1
+	}
+	for i, dst := range addrs {
+		for k := 0; k < spread && k < len(vps); k++ {
+			vp := vps[(i+k)%len(vps)]
+			tr := vp.Prober.Traceroute(dst)
+			c.ITDK.AddTrace(tr)
+		}
+	}
+	if c.Cfg.HDNThreshold == 0 {
+		c.Cfg.HDNThreshold = c.ITDK.DegreeHistogram().Quantile(0.90)
+		if c.Cfg.HDNThreshold < 4 {
+			c.Cfg.HDNThreshold = 4
+		}
+	}
+	c.HDNs = c.ITDK.HDNs(c.Cfg.HDNThreshold)
+}
+
+// selectTargets builds set A (HDN neighbors) and set B (their neighbors),
+// and assigns each target to a team with the paper's consistency rule:
+// "if neighbor N is in VP set 1, then all neighbors of N are also in VP
+// set 1" — a neighbor's whole neighborhood probes from one team.
+func (c *Campaign) selectTargets() {
+	teams := c.Cfg.Teams
+	if teams < 1 {
+		teams = 1
+	}
+	c.teamOf = make(map[netaddr.Addr]int)
+	seen := make(map[netaddr.Addr]bool)
+	add := func(n *topo.Node, team int) {
+		for _, a := range n.Addrs {
+			if !seen[a] {
+				seen[a] = true
+				c.Targets = append(c.Targets, a)
+				c.teamOf[a] = team
+			}
+		}
+	}
+	nextTeam := 0
+	for _, hdn := range c.HDNs {
+		for _, nb := range c.ITDK.Neighbors(hdn) { // set A
+			team := nextTeam % teams
+			nextTeam++
+			add(nb, team)
+			for _, nb2 := range c.ITDK.Neighbors(nb) { // set B: same team as N
+				add(nb2, team)
+			}
+		}
+	}
+	sort.Slice(c.Targets, func(i, j int) bool { return c.Targets[i] < c.Targets[j] })
+}
+
+// probeTargets traces every target from its team's vantage point, with
+// per-hop fingerprinting, and spots revelation candidates.
+func (c *Campaign) probeTargets() {
+	vps := c.In.VPs
+	if len(vps) == 0 {
+		return
+	}
+	teams := c.Cfg.Teams
+	if teams < 1 || teams > len(vps) {
+		teams = len(vps)
+	}
+	hdnAddr := make(map[netaddr.Addr]*topo.Node)
+	for _, n := range c.HDNs {
+		for _, a := range n.Addrs {
+			hdnAddr[a] = n
+		}
+	}
+
+	for _, dst := range c.Targets {
+		team := c.teamOf[dst]
+		vp := vps[team%len(vps)]
+		vp.Prober.FirstTTL = c.Cfg.FirstTTL
+		tr := vp.Prober.Traceroute(dst)
+		rec := &Record{VP: vp, Trace: tr}
+		c.Records = append(c.Records, rec)
+
+		fp := fingerprint.New(vp.Prober)
+		for _, h := range tr.Hops {
+			if h.Anonymous() {
+				continue
+			}
+			if _, done := c.Fingerprints[h.Addr]; done {
+				continue
+			}
+			if r, ok := fp.FromHop(h); ok {
+				c.Fingerprints[h.Addr] = r
+				c.FingerprintVP[h.Addr] = vp
+			}
+		}
+
+		cand, ok := reveal.CandidateFromTrace(tr)
+		if !ok {
+			continue
+		}
+		// Both endpoints must be HDN routers of the same AS (Sec. 4's
+		// post-processing filter).
+		iNode, iOK := hdnAddr[cand.Ingress.Addr]
+		eNode, eOK := hdnAddr[cand.Egress.Addr]
+		if !iOK || !eOK || iNode.ASN != eNode.ASN || iNode.ID == eNode.ID {
+			continue
+		}
+		rec.Candidate = &cand
+		rec.CandidateAS = iNode.ASN
+		if reply, ok := vp.Prober.Ping(cand.Egress.Addr, 64); ok {
+			rec.EgressEchoTTL = reply.ReplyTTL
+		}
+	}
+}
+
+// revealCandidates runs the recursive revelation for each distinct
+// candidate pair.
+func (c *Campaign) revealCandidates() {
+	type pair struct{ x, y netaddr.Addr }
+	done := make(map[pair]*reveal.Revelation)
+	for _, rec := range c.Records {
+		if rec.Candidate == nil {
+			continue
+		}
+		k := pair{rec.Candidate.Ingress.Addr, rec.Candidate.Egress.Addr}
+		if rev, ok := done[k]; ok {
+			rec.Revelation = rev
+			continue
+		}
+		rev := reveal.Reveal(rec.VP.Prober, k.x, k.y)
+		done[k] = rev
+		rec.Revelation = rev
+	}
+}
+
+// Revelations returns the distinct successful revelations.
+func (c *Campaign) Revelations() []*reveal.Revelation {
+	seen := make(map[*reveal.Revelation]bool)
+	var out []*reveal.Revelation
+	for _, rec := range c.Records {
+		if rec.Revelation != nil && !seen[rec.Revelation] {
+			seen[rec.Revelation] = true
+			out = append(out, rec.Revelation)
+		}
+	}
+	return out
+}
+
+// CorrectedGraph rebuilds the observed graph with revealed tunnel hops
+// spliced between their ingress-egress pairs (the Fig. 10 correction).
+// The splice is router-level: any trace whose consecutive hops land on a
+// revealed pair's routers — whatever interface addresses it observed —
+// gets the hidden LSRs inserted, so the false mesh dissolves at node
+// granularity, the way the paper corrects the mapped ITDK graph.
+func (c *Campaign) CorrectedGraph() *topo.Graph {
+	g := topo.New(c.resolver())
+	resolve := c.resolver()
+	routerOf := func(a netaddr.Addr) string {
+		if name, _, ok := resolve(a); ok {
+			return name
+		}
+		return "unmapped-" + a.String()
+	}
+	replaced := make(map[[2]string][]netaddr.Addr)
+	for _, rev := range c.Revelations() {
+		if len(rev.Hops) > 0 {
+			replaced[[2]string{routerOf(rev.Ingress), routerOf(rev.Egress)}] = rev.Hops
+		}
+	}
+	for _, rec := range c.Records {
+		c.addCorrectedTrace(g, rec.Trace, routerOf, replaced)
+	}
+	return g
+}
+
+// addCorrectedTrace splices revealed hops into a trace's adjacency.
+func (c *Campaign) addCorrectedTrace(g *topo.Graph, tr *probe.Trace, routerOf func(netaddr.Addr) string, replaced map[[2]string][]netaddr.Addr) {
+	var seq []netaddr.Addr
+	for _, h := range tr.Hops {
+		if !h.Anonymous() {
+			seq = append(seq, h.Addr)
+		}
+	}
+	var path []netaddr.Addr
+	for i, a := range seq {
+		path = append(path, a)
+		if i+1 < len(seq) {
+			if hidden, ok := replaced[[2]string{routerOf(a), routerOf(seq[i+1])}]; ok {
+				path = append(path, hidden...)
+			}
+		}
+	}
+	g.AddPath(path)
+}
+
+// ObservedTraceGraph builds the uncorrected graph from the campaign
+// records only (the "invisible" side of Fig. 10).
+func (c *Campaign) ObservedTraceGraph() *topo.Graph {
+	g := topo.New(c.resolver())
+	for _, rec := range c.Records {
+		g.AddTrace(rec.Trace)
+	}
+	return g
+}

@@ -1,0 +1,461 @@
+// Package cli implements the wormhole command's subcommands; the thin
+// cmd/wormhole main delegates here so the CLI is unit-testable.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wormhole/internal/campaign"
+	"wormhole/internal/experiments"
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/lab"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/pcap"
+	"wormhole/internal/reveal"
+	"wormhole/internal/stats"
+	"wormhole/internal/topo"
+	"wormhole/internal/tracefile"
+)
+
+// Main dispatches a full command line (without the program name) and
+// returns the process exit code. Output goes to stdout/stderr.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	out = stdout
+	var err error
+	switch args[0] {
+	case "emulate":
+		err = cmdEmulate(args[1:])
+	case "campaign":
+		err = cmdCampaign(args[1:])
+	case "experiments":
+		err = cmdExperiments(args[1:])
+	case "fingerprint":
+		err = cmdFingerprint(args[1:])
+	case "analyze":
+		err = cmdAnalyze(args[1:])
+	case "tnt":
+		err = cmdTNT(args[1:])
+	case "graph":
+		err = cmdGraph(args[1:])
+	case "-h", "--help", "help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stderr, "wormhole: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "wormhole:", err)
+		return 1
+	}
+	return 0
+}
+
+// out is the active stdout for the running command; Main sets it before
+// dispatch. Subcommands print through printf/println.
+var out io.Writer = os.Stdout
+
+func printf(format string, a ...any) { fmt.Fprintf(out, format, a...) }
+func println(a ...any)               { fmt.Fprintln(out, a...) }
+func printstr(a ...any)              { fmt.Fprint(out, a...) }
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `wormhole - tracking invisible MPLS tunnels (IMC'17 reproduction)
+
+commands:
+  emulate      run the Fig. 2 GNS3-style testbed and print traces
+  campaign     generate a synthetic Internet and run the full campaign
+  experiments  regenerate the paper's tables and figures
+  fingerprint  TTL-signature a testbed router
+  analyze      offline analysis of a saved campaign dataset
+  tnt          trigger-driven traceroute with inline tunnel revelation
+  graph        export campaign graphs (before/after revelation) as DOT
+`)
+}
+
+func parseScenario(s string) (lab.Scenario, error) {
+	switch s {
+	case "default":
+		return lab.Default, nil
+	case "backward-recursive":
+		return lab.BackwardRecursive, nil
+	case "explicit-route":
+		return lab.ExplicitRoute, nil
+	case "totally-invisible":
+		return lab.TotallyInvisible, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q", s)
+	}
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "small":
+		return experiments.Small, nil
+	case "medium":
+		return experiments.Medium, nil
+	case "large":
+		return experiments.Large, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func cmdEmulate(args []string) error {
+	fs := flag.NewFlagSet("emulate", flag.ExitOnError)
+	scenarioName := fs.String("scenario", "backward-recursive", "MPLS configuration scenario")
+	target := fs.String("target", "", "trace target (default: CE2.left), e.g. 10.23.0.2")
+	revealFlag := fs.Bool("reveal", true, "run the revelation pipeline on the trace's candidate pair")
+	pcapPath := fs.String("pcap", "", "capture all fabric traffic to this pcap file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := parseScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	l, err := lab.Build(lab.Options{Scenario: scenario})
+	if err != nil {
+		return err
+	}
+	dst := l.CE2Left
+	if *target != "" {
+		if dst, err = netaddr.ParseAddr(*target); err != nil {
+			return err
+		}
+	}
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pw := pcap.NewWriter(f)
+		pcap.Attach(l.Net, pw)
+		defer func() { printf("captured %d frames to %s\n", pw.Packets, *pcapPath) }()
+	}
+	printf("scenario %s, tracing %s:\n", scenario, dst)
+	tr := l.Prober.Traceroute(dst)
+	for _, h := range tr.Hops {
+		if h.Anonymous() {
+			printf("%2d  *\n", h.ProbeTTL)
+			continue
+		}
+		printf("%2d  %-16s [%d]\n", h.ProbeTTL, h.Addr, h.ReplyTTL)
+		for _, lse := range h.MPLS {
+			printf("      MPLS Label %d TTL=%d\n", lse.Label, lse.TTL)
+		}
+	}
+	if !*revealFlag {
+		return nil
+	}
+	cand, ok := reveal.CandidateFromTrace(tr)
+	if !ok {
+		println("no revelation candidate in this trace")
+		return nil
+	}
+	rev := reveal.Reveal(l.Prober, cand.Ingress.Addr, cand.Egress.Addr)
+	printf("\nrevelation %s -> %s: technique=%s probes=%d\n",
+		rev.Ingress, rev.Egress, rev.Technique, rev.Probes)
+	for i, h := range rev.Hops {
+		printf("  hidden hop %d: %s\n", i+1, h)
+	}
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	seed := fs.Int64("seed", 2024, "generator seed")
+	scaleName := fs.String("scale", "small", "internet scale")
+	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
+	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds > 1 {
+		return multiSeedCampaign(*seed, *seeds, *scaleName)
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	w, err := experiments.NewWorld(*seed, scale)
+	if err != nil {
+		return err
+	}
+	c := w.C
+	printf("internet: %d ASes, %d VPs\n", len(w.In.ASes), len(w.In.VPs))
+	printf("observed graph: %d nodes, %d edges, density %.4f\n",
+		c.ITDK.NumNodes(), c.ITDK.NumEdges(), c.ITDK.Density())
+	printf("HDNs (threshold %d): %d\n", c.Cfg.HDNThreshold, len(c.HDNs))
+	printf("targets probed: %d, probes sent: %d\n", len(c.Targets), c.Probes)
+	byTech := map[reveal.Technique]int{}
+	hidden := 0
+	for _, rev := range c.Revelations() {
+		byTech[rev.Technique]++
+		hidden += len(rev.Hops)
+	}
+	printf("revelations: DPR=%d BRPR=%d either=%d hybrid=%d failed=%d, hidden hops found=%d\n",
+		byTech[reveal.TechDPR], byTech[reveal.TechBRPR], byTech[reveal.TechEither],
+		byTech[reveal.TechHybrid], byTech[reveal.TechNone], hidden)
+	if *out != "" {
+		ds := tracefile.FromCampaign(c, fmt.Sprintf("seed=%d scale=%s", *seed, *scaleName))
+		if err := tracefile.Save(*out, ds); err != nil {
+			return err
+		}
+		printf("dataset saved to %s (%d records, %d fingerprints)\n", *out, len(ds.Records), len(ds.Fingerprints))
+	}
+	return nil
+}
+
+// multiSeedCampaign pools statistics across parallel worlds.
+func multiSeedCampaign(first int64, n int, scaleName string) error {
+	scale, err := parseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	var list []int64
+	for i := 0; i < n; i++ {
+		list = append(list, first+int64(i))
+	}
+	sums := campaign.RunSeeds(list, scale.Params(0), campaign.DefaultConfig())
+	printf("%-8s %-7s %-7s %-6s %-8s %-8s %-12s %-6s\n",
+		"seed", "nodes", "edges", "HDNs", "targets", "probes", "revelations", "hops")
+	for _, s := range sums {
+		if s.Err != nil {
+			printf("%-8d generator error: %v\n", s.Seed, s.Err)
+			continue
+		}
+		printf("%-8d %-7d %-7d %-6d %-8d %-8d %-12d %-6d\n",
+			s.Seed, s.Nodes, s.Edges, s.HDNs, s.Targets, s.Probes, s.Revelations, s.HiddenHops)
+	}
+	pooled := campaign.MergeFTL(sums)
+	if pooled.N() > 0 {
+		printstr(pooled.Render("pooled forward tunnel length", 40))
+	}
+	return nil
+}
+
+// cmdAnalyze re-derives the headline statistics from a saved dataset,
+// without any probing: the offline workflow the paper's published dataset
+// supports.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: wormhole analyze <dataset.jsonl>")
+	}
+	ds, err := tracefile.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	printf("dataset: %s (%d records, %d fingerprints)\n", ds.Header.Comment, len(ds.Records), len(ds.Fingerprints))
+
+	g := topo.New(nil)
+	lengths := stats.NewHistogram()
+	ftl := stats.NewHistogram()
+	techniques := map[string]int{}
+	for _, rec := range ds.Records {
+		tr, err := rec.Trace.ToTrace()
+		if err != nil {
+			return err
+		}
+		g.AddTrace(tr)
+		if tr.Reached {
+			n := 0
+			for _, h := range tr.Hops {
+				if !h.Anonymous() {
+					n++
+				}
+			}
+			lengths.Add(n)
+		}
+		if rec.Revelation != nil && len(rec.Revelation.Hops) > 0 {
+			techniques[rec.Revelation.Technique]++
+			ftl.Add(len(rec.Revelation.Hops))
+		}
+	}
+	printf("observed graph: %d nodes, %d edges, density %.4f\n", g.NumNodes(), g.NumEdges(), g.Density())
+	printstr(lengths.Render("trace length (responding hops)", 40))
+	if ftl.N() > 0 {
+		printstr(ftl.Render("revealed tunnel interior length", 40))
+	}
+	printf("techniques: %v\n", techniques)
+	sigs := map[string]int{}
+	for _, fp := range ds.Fingerprints {
+		sigs[fp.Class]++
+	}
+	printf("fingerprint classes: %v\n", sigs)
+	return nil
+}
+
+// cmdGraph runs a campaign and writes the observed and corrected graphs
+// as Graphviz DOT files, HDNs highlighted.
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	seed := fs.Int64("seed", 2024, "generator seed")
+	scaleName := fs.String("scale", "small", "internet scale")
+	beforePath := fs.String("before", "before.dot", "output for the uncorrected graph")
+	afterPath := fs.String("after", "after.dot", "output for the corrected graph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	w, err := experiments.NewWorld(*seed, scale)
+	if err != nil {
+		return err
+	}
+	hdn := map[string]bool{}
+	for _, n := range w.C.HDNs {
+		hdn[n.Name] = true
+	}
+	highlight := func(n *topo.Node) bool { return hdn[n.Name] }
+	write := func(path string, g *topo.Graph, name string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f, name, highlight); err != nil {
+			return err
+		}
+		printf("%s: %d nodes, %d edges -> %s\n", name, g.NumNodes(), g.NumEdges(), path)
+		return f.Close()
+	}
+	if err := write(*beforePath, w.C.ObservedTraceGraph(), "invisible"); err != nil {
+		return err
+	}
+	return write(*afterPath, w.C.CorrectedGraph(), "revealed")
+}
+
+// cmdTNT runs the augmented traceroute on the testbed: FRPLA/RTLA as
+// triggers, DPR/BRPR inline, as the paper's conclusion envisions.
+func cmdTNT(args []string) error {
+	fs := flag.NewFlagSet("tnt", flag.ExitOnError)
+	scenarioName := fs.String("scenario", "backward-recursive", "testbed scenario")
+	target := fs.String("target", "", "trace target (default: CE2.left)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := parseScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	l, err := lab.Build(lab.Options{Scenario: scenario})
+	if err != nil {
+		return err
+	}
+	dst := l.CE2Left
+	if *target != "" {
+		if dst, err = netaddr.ParseAddr(*target); err != nil {
+			return err
+		}
+	}
+	at := reveal.AugmentedTraceroute(l.Prober, dst)
+	for _, h := range at.Hops {
+		if h.Anonymous() {
+			printf("%2d  *\n", h.ProbeTTL)
+			continue
+		}
+		printf("%2d  %-16s [%d]", h.ProbeTTL, h.Addr, h.ReplyTTL)
+		if h.Trigger != reveal.TriggerNone {
+			printf("  trigger:%s", h.Trigger)
+		}
+		println()
+		for _, hidden := range h.Hidden {
+			printf("      + %-16s (%s)\n", hidden, h.Technique)
+		}
+	}
+	printf("path length %d, extra probes %d\n", at.PathLength(), at.ExtraProbes)
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	seed := fs.Int64("seed", 2024, "generator seed")
+	scaleName := fs.String("scale", "small", "internet scale")
+	mdPath := fs.String("md", "", "also write a Markdown report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range fs.Args() {
+		want[strings.ToLower(id)] = true
+	}
+	var reports []*experiments.Report
+	var w *experiments.World
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		if r.NeedsWorld && w == nil {
+			fmt.Fprintf(os.Stderr, "building world (seed %d, scale %s)...\n", *seed, *scaleName)
+			if w, err = experiments.NewWorld(*seed, scale); err != nil {
+				return err
+			}
+		}
+		rep, err := r.Run(w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		reports = append(reports, rep)
+		println(rep)
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteMarkdown(f, *seed, *scaleName, reports); err != nil {
+			return err
+		}
+		printf("markdown report written to %s\n", *mdPath)
+		return f.Close()
+	}
+	return nil
+}
+
+func cmdFingerprint(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ExitOnError)
+	scenarioName := fs.String("scenario", "default", "testbed scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := parseScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	l, err := lab.Build(lab.Options{Scenario: scenario})
+	if err != nil {
+		return err
+	}
+	tr := l.Prober.Traceroute(l.CE2Left)
+	fp := fingerprint.New(l.Prober)
+	for _, h := range tr.Hops {
+		if h.Anonymous() {
+			continue
+		}
+		if r, ok := fp.FromHop(h); ok {
+			printf("%-16s signature %s class %s\n", r.Addr, r.Signature, r.Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a command line and returns (exit code, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := Main(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageOnNoArgs(t *testing.T) {
+	code, _, stderr := run(t)
+	if code != 2 || !strings.Contains(stderr, "commands:") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := run(t, "frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, stdout, _ := run(t, "help")
+	if code != 0 || !strings.Contains(stdout, "emulate") {
+		t.Errorf("code=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestEmulateDefault(t *testing.T) {
+	code, stdout, stderr := run(t, "emulate", "-scenario", "backward-recursive")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{"10.12.0.2", "[254]", "revelation", "BRPR", "hidden hop 1: 10.2.1.2"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestEmulateBadScenario(t *testing.T) {
+	code, _, stderr := run(t, "emulate", "-scenario", "nope")
+	if code != 1 || !strings.Contains(stderr, "unknown scenario") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestEmulateExplicitTarget(t *testing.T) {
+	code, stdout, _ := run(t, "emulate", "-scenario", "default", "-target", "10.2.4.2", "-reveal=false")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(stdout, "MPLS Label") {
+		t.Errorf("explicit tunnel trace lacks labels:\n%s", stdout)
+	}
+}
+
+func TestTNTCommand(t *testing.T) {
+	code, stdout, _ := run(t, "tnt")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, want := range []string{"trigger:frpla", "path length 7"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestFingerprintCommand(t *testing.T) {
+	code, stdout, _ := run(t, "fingerprint", "-scenario", "default")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(stdout, "<255,255>") || !strings.Contains(stdout, "cisco") {
+		t.Errorf("fingerprint output wrong:\n%s", stdout)
+	}
+}
+
+func TestCampaignSaveAndAnalyze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	code, stdout, stderr := run(t, "campaign", "-scale", "small", "-seed", "7", "-out", path)
+	if code != 0 {
+		t.Fatalf("campaign: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "revelations:") || !strings.Contains(stdout, "dataset saved") {
+		t.Errorf("campaign output:\n%s", stdout)
+	}
+	code, stdout, stderr = run(t, "analyze", path)
+	if code != 0 {
+		t.Fatalf("analyze: code=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{"observed graph:", "trace length", "fingerprint classes"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	code, _, stderr := run(t, "analyze", "/nonexistent/file.jsonl")
+	if code != 1 || stderr == "" {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestExperimentsSubset(t *testing.T) {
+	code, stdout, stderr := run(t, "experiments", "-scale", "small", "table1", "fig4")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{"TABLE1", "FIG4", "shape check"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Contains(stdout, "TABLE5") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestGraphCommand(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "b.dot")
+	after := filepath.Join(dir, "a.dot")
+	code, stdout, stderr := run(t, "graph", "-scale", "small", "-seed", "7",
+		"-before", before, "-after", after)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "invisible:") || !strings.Contains(stdout, "revealed:") {
+		t.Errorf("stdout = %q", stdout)
+	}
+	for _, p := range []string{before, after} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), "graph") || !strings.Contains(string(b), "--") {
+			t.Errorf("%s does not look like DOT", p)
+		}
+	}
+}
+
+func TestExperimentsMarkdownReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	code, _, stderr := run(t, "experiments", "-scale", "small", "-md", path, "table1", "fig4")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(b)
+	for _, want := range []string{"# Regenerated evaluation", "## TABLE1", "## FIG4", "**shape:**", "0 shape checks failed"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestMultiSeedCampaign(t *testing.T) {
+	code, stdout, stderr := run(t, "campaign", "-seeds", "2", "-seed", "300")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{"300", "301", "pooled forward tunnel length"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+}

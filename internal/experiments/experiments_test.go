@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// world is shared across experiment tests (building it dominates runtime).
+var testWorld *World
+
+func getWorld(t *testing.T) *World {
+	t.Helper()
+	if testWorld == nil {
+		w, err := NewWorld(2024, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testWorld = w
+	}
+	return testWorld
+}
+
+// TestAllExperimentsProduceReports runs every runner at small scale and
+// requires each report to render and pass its own shape check.
+func TestAllExperimentsProduceReports(t *testing.T) {
+	w := getWorld(t)
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep, err := r.Run(w)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if rep.Text == "" {
+				t.Fatalf("%s: empty report", r.ID)
+			}
+			if strings.HasPrefix(rep.Check, "FAILED") {
+				t.Errorf("%s shape check failed: %s\n%s", r.ID, rep.Check, rep.Text)
+			}
+		})
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Text: "body\n", Check: "ok"}
+	s := rep.String()
+	for _, want := range []string{"X", "t", "body", "shape check: ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestScaleParams(t *testing.T) {
+	small := Small.Params(1)
+	large := Large.Params(1)
+	if small.NumStub >= large.NumStub {
+		t.Error("scales not ordered")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormhole/internal/gen"
+)
+
+// SurveyShares regenerates the Sec. 1-2 operator-survey numbers from the
+// generated Internet's configuration assignment — the calibration the
+// whole synthetic substrate rests on. It is not a numbered table in the
+// paper, but the survey values (87% MPLS, 48% no-ttl-propagate, 10% UHP,
+// 58/28% Cisco/Juniper) appear throughout Secs. 1-3 and gate every
+// technique's applicability, so the reproduction checks them explicitly.
+func SurveyShares(w *World) (*Report, error) {
+	var transit, mpls, hidden, uhp int
+	vendors := map[gen.Vendor]int{}
+	for _, as := range w.In.ASes {
+		if as.Profile.Tier == gen.Stub {
+			continue
+		}
+		transit++
+		vendors[as.Profile.Vendor]++
+		if as.Profile.MPLS {
+			mpls++
+			if !as.Profile.Propagate {
+				hidden++
+			}
+			if as.Profile.UHP {
+				uhp++
+			}
+		}
+	}
+	if transit == 0 {
+		return nil, fmt.Errorf("survey: no transit ASes")
+	}
+	pct := func(n, of int) float64 {
+		if of == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(of)
+	}
+	rows := [][]string{
+		{"MPLS deployed", "87%", fmt.Sprintf("%.0f%%", pct(mpls, transit))},
+		{"no-ttl-propagate (of MPLS)", "48%", fmt.Sprintf("%.0f%%", pct(hidden, mpls))},
+		{"UHP (of MPLS)", "10%", fmt.Sprintf("%.0f%%", pct(uhp, mpls))},
+		{"Cisco hardware", "58%", fmt.Sprintf("%.0f%%", pct(vendors[gen.VendorCisco], transit))},
+		{"Juniper hardware", "28%", fmt.Sprintf("%.0f%%", pct(vendors[gen.VendorJuniper], transit))},
+		{"mixed hardware", "(25% use a mix)", fmt.Sprintf("%.0f%%", pct(vendors[gen.VendorMixed], transit))},
+	}
+	text := table([]string{"survey item", "paper", "generated"}, rows)
+
+	// Stratified assignment must land within rounding of the survey.
+	ok := within(pct(mpls, transit), 87, 10) &&
+		within(pct(hidden, mpls), 48, 12) &&
+		within(pct(vendors[gen.VendorCisco], transit), 58, 10)
+	check := "generated configuration shares match the operator survey"
+	if !ok {
+		check = "FAILED: " + check
+	}
+	return &Report{ID: "survey", Title: "Operator survey calibration", Text: text, Check: check}, nil
+}
+
+func within(got, want, tol float64) bool {
+	d := got - want
+	return d <= tol && d >= -tol
+}

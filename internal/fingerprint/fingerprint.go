@@ -1,0 +1,145 @@
+// Package fingerprint implements TTL-based router signatures (Vanaubel et
+// al., "Network Fingerprinting: TTL-Based Router Signatures", IMC 2013),
+// the Table 1 classification the paper's RTLA technique depends on: the
+// pair of initial TTLs a router uses for ICMP time-exceeded and ICMP
+// echo-reply identifies its vendor/OS family.
+package fingerprint
+
+import (
+	"fmt"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/packet"
+	"wormhole/internal/probe"
+)
+
+// Signature is the <time-exceeded, echo-reply> initial TTL pair.
+type Signature struct {
+	TimeExceeded uint8
+	EchoReply    uint8
+}
+
+// String renders "<255,64>" style notation.
+func (s Signature) String() string {
+	return fmt.Sprintf("<%d,%d>", s.TimeExceeded, s.EchoReply)
+}
+
+// Class is the inferred router family.
+type Class uint8
+
+const (
+	Unknown     Class = iota
+	CiscoLike         // <255,255>: IOS, IOS XR
+	JuniperLike       // <255,64>: Junos
+	JunosELike        // <128,128>
+	LegacyLike        // <64,64>: Brocade, Alcatel, Linux
+)
+
+func (c Class) String() string {
+	switch c {
+	case CiscoLike:
+		return "cisco"
+	case JuniperLike:
+		return "juniper"
+	case JunosELike:
+		return "junose"
+	case LegacyLike:
+		return "legacy"
+	default:
+		return "unknown"
+	}
+}
+
+// InferInitial rounds an observed reply TTL up to the nearest plausible
+// initial value (the set used by deployed stacks: 32, 64, 128, 255).
+func InferInitial(observed uint8) uint8 {
+	switch {
+	case observed == 0:
+		return 0
+	case observed <= 32:
+		return 32
+	case observed <= 64:
+		return 64
+	case observed <= 128:
+		return 128
+	default:
+		return 255
+	}
+}
+
+// Classify maps a signature to a class per Table 1.
+func Classify(s Signature) Class {
+	switch s {
+	case Signature{255, 255}:
+		return CiscoLike
+	case Signature{255, 64}:
+		return JuniperLike
+	case Signature{128, 128}:
+		return JunosELike
+	case Signature{64, 64}:
+		return LegacyLike
+	default:
+		return Unknown
+	}
+}
+
+// Result is a fingerprinting outcome for one interface address.
+type Result struct {
+	Addr      netaddr.Addr
+	Signature Signature
+	Class     Class
+	// TEReplyTTL and EchoReplyTTL are the raw observed reply TTLs, kept
+	// because RTLA consumes the unrounded values.
+	TEReplyTTL   uint8
+	EchoReplyTTL uint8
+}
+
+// Fingerprinter probes addresses to build signatures. The time-exceeded
+// sample comes from a traceroute-style hop observation (supplied by the
+// caller, who has just traced through the address); the echo sample from a
+// direct ping.
+type Fingerprinter struct {
+	Prober *probe.Prober
+
+	// cache avoids re-pinging addresses within one campaign.
+	cache map[netaddr.Addr]Result
+}
+
+// New creates a Fingerprinter on a prober.
+func New(p *probe.Prober) *Fingerprinter {
+	return &Fingerprinter{Prober: p, cache: make(map[netaddr.Addr]Result)}
+}
+
+// FromHop fingerprints the router behind a traceroute hop: the hop's reply
+// TTL provides the time-exceeded half, a fresh echo-request provides the
+// other half.
+func (f *Fingerprinter) FromHop(hop probe.Hop) (Result, bool) {
+	if hop.Anonymous() || hop.ICMPType != packet.ICMPTimeExceeded {
+		return Result{}, false
+	}
+	if r, ok := f.cache[hop.Addr]; ok {
+		return r, true
+	}
+	reply, ok := f.Prober.Ping(hop.Addr, 64)
+	if !ok || reply.ICMPType != packet.ICMPEchoReply {
+		return Result{}, false
+	}
+	r := Result{
+		Addr: hop.Addr,
+		Signature: Signature{
+			TimeExceeded: InferInitial(hop.ReplyTTL),
+			EchoReply:    InferInitial(reply.ReplyTTL),
+		},
+		TEReplyTTL:   hop.ReplyTTL,
+		EchoReplyTTL: reply.ReplyTTL,
+	}
+	r.Class = Classify(r.Signature)
+	f.cache[hop.Addr] = r
+	return r, true
+}
+
+// Known returns the cached result for addr if fingerprinted already.
+func (f *Fingerprinter) Known(addr netaddr.Addr) (Result, bool) {
+	r, ok := f.cache[addr]
+	return r, ok
+}

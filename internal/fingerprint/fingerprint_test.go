@@ -1,0 +1,183 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/packet"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+)
+
+func TestInferInitial(t *testing.T) {
+	cases := []struct {
+		in   uint8
+		want uint8
+	}{
+		{0, 0}, {1, 32}, {32, 32}, {33, 64}, {60, 64}, {64, 64},
+		{65, 128}, {128, 128}, {129, 255}, {250, 255}, {255, 255},
+	}
+	for _, c := range cases {
+		if got := InferInitial(c.in); got != c.want {
+			t.Errorf("InferInitial(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInferInitialNeverBelowObserved(t *testing.T) {
+	f := func(v uint8) bool {
+		got := InferInitial(v)
+		return got >= v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		sig  Signature
+		want Class
+	}{
+		{Signature{255, 255}, CiscoLike},
+		{Signature{255, 64}, JuniperLike},
+		{Signature{128, 128}, JunosELike},
+		{Signature{64, 64}, LegacyLike},
+		{Signature{64, 255}, Unknown},
+		{Signature{32, 32}, Unknown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.sig); got != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.sig, got, c.want)
+		}
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if got := (Signature{255, 64}).String(); got != "<255,64>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestFromHopOnLiveTestbed fingerprints every hop of a testbed trace per
+// personality and checks the recovered classes.
+func TestFromHopOnLiveTestbed(t *testing.T) {
+	cases := []struct {
+		pers router.Personality
+		want Class
+	}{
+		{router.Cisco, CiscoLike},
+		{router.Juniper, JuniperLike},
+		{router.JunosE, JunosELike},
+		{router.Legacy, LegacyLike},
+	}
+	for _, c := range cases {
+		l := lab.MustBuild(lab.Options{Scenario: lab.Default, AS2Personality: c.pers})
+		tr := l.Prober.Traceroute(l.CE2Left)
+		fp := New(l.Prober)
+		classified := 0
+		for _, h := range tr.Hops {
+			if h.Addr != l.P1Left && h.Addr != l.P2Left {
+				continue // only AS2 interior routers carry the personality
+			}
+			r, ok := fp.FromHop(h)
+			if !ok {
+				t.Fatalf("%s: fingerprinting failed for %s", c.pers.Name, h.Addr)
+			}
+			if r.Class != c.want {
+				t.Errorf("%s: %s classified %s, want %s", c.pers.Name, h.Addr, r.Class, c.want)
+			}
+			classified++
+		}
+		if classified == 0 {
+			t.Fatalf("%s: no hops classified", c.pers.Name)
+		}
+	}
+}
+
+func TestFromHopCaches(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	tr := l.Prober.Traceroute(l.CE2Left)
+	fp := New(l.Prober)
+	var hop probe.Hop
+	for _, h := range tr.Hops {
+		if h.Addr == l.P1Left {
+			hop = h
+		}
+	}
+	if _, ok := fp.FromHop(hop); !ok {
+		t.Fatal("first fingerprint failed")
+	}
+	sent := l.Prober.Sent
+	if _, ok := fp.FromHop(hop); !ok {
+		t.Fatal("cached fingerprint failed")
+	}
+	if l.Prober.Sent != sent {
+		t.Error("cache miss: extra probes sent")
+	}
+	if _, ok := fp.Known(hop.Addr); !ok {
+		t.Error("Known does not see the cache")
+	}
+}
+
+func TestFromHopRejectsNonTE(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	fp := New(l.Prober)
+	if _, ok := fp.FromHop(probe.Hop{}); ok {
+		t.Error("anonymous hop fingerprinted")
+	}
+	echoHop := probe.Hop{Addr: l.CE2Left, ICMPType: packet.ICMPEchoReply, ReplyTTL: 250}
+	if _, ok := fp.FromHop(echoHop); ok {
+		t.Error("echo-reply hop fingerprinted as TE")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		Unknown: "unknown", CiscoLike: "cisco", JuniperLike: "juniper",
+		JunosELike: "junose", LegacyLike: "legacy",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %s, want %s", c, c.String(), want)
+		}
+	}
+}
+
+func TestFromHopUnresponsiveTarget(t *testing.T) {
+	// A hop whose address no longer answers pings cannot be fingerprinted.
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	tr := l.Prober.Traceroute(l.CE2Left)
+	var hop probe.Hop
+	for _, h := range tr.Hops {
+		if h.Addr == l.P2Left {
+			hop = h
+		}
+	}
+	cfg := l.P2.Config()
+	cfg.Silent = true
+	l.P2.SetConfig(cfg)
+	if _, ok := New(l.Prober).FromHop(hop); ok {
+		t.Error("fingerprinted a router that stopped answering")
+	}
+}
+
+func TestSignatureMismatchClassifiesUnknown(t *testing.T) {
+	// A contrived personality outside Table 1 lands in Unknown.
+	pers := router.Personality{Name: "weird", TimeExceededTTL: 128, EchoReplyTTL: 64, RFC4950: true, MinOnPop: true}
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default, AS2Personality: pers})
+	tr := l.Prober.Traceroute(l.CE2Left)
+	fp := New(l.Prober)
+	for _, h := range tr.Hops {
+		if h.Addr != l.P1Left {
+			continue
+		}
+		r, ok := fp.FromHop(h)
+		if !ok {
+			t.Fatal("fingerprinting failed")
+		}
+		if r.Class != Unknown {
+			t.Errorf("class = %s, want unknown for <128,64>", r.Class)
+		}
+	}
+}

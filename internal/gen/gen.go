@@ -1,0 +1,729 @@
+// Package gen generates synthetic Internets: a three-tier AS hierarchy
+// (Tier-1 full-mesh peering, transit ASes buying from Tier-1s, stubs
+// buying from transits), two-level intra-AS PoP topologies (core ring plus
+// edge routers), addressing, and per-AS hardware and MPLS configuration
+// drawn from the paper's operator survey (Sec. 1-2: 87% of operators
+// deploy MPLS, 48% use no-ttl-propagate, 10% UHP; 58% Cisco, 28% Juniper,
+// the rest mixed).
+//
+// The generated network plays the role of the real Internet in the
+// reproduction: its traceroute-observed graph stands in for the CAIDA
+// ITDK, its stub-attached hosts for PlanetLab vantage points, and its
+// ground-truth address-to-router map for ITDK alias resolution.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"wormhole/internal/bgp"
+	"wormhole/internal/igp"
+	"wormhole/internal/ldp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/ospf"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+	"wormhole/internal/rsvpte"
+)
+
+// Tier classifies an AS's role.
+type Tier uint8
+
+const (
+	Tier1 Tier = iota
+	Transit
+	Stub
+)
+
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Transit:
+		return "transit"
+	default:
+		return "stub"
+	}
+}
+
+// Vendor is the hardware profile of an AS.
+type Vendor uint8
+
+const (
+	VendorCisco Vendor = iota
+	VendorJuniper
+	VendorMixed
+	VendorLegacy
+)
+
+func (v Vendor) String() string {
+	switch v {
+	case VendorCisco:
+		return "cisco"
+	case VendorJuniper:
+		return "juniper"
+	case VendorMixed:
+		return "mixed"
+	default:
+		return "legacy"
+	}
+}
+
+// Params tunes the generator. The zero value is unusable; use
+// DefaultParams.
+type Params struct {
+	Seed int64
+
+	NumTier1, NumTransit, NumStub int
+
+	// Router counts per AS class: [core, edge] ranges.
+	Tier1Core, Tier1Edge     [2]int
+	TransitCore, TransitEdge [2]int
+	StubRouters              [2]int
+
+	// Survey-derived configuration distribution.
+	MPLSFrac        float64 // share of transit/Tier-1 ASes running MPLS
+	NoPropagateFrac float64 // share of MPLS ASes hiding tunnels
+	UHPFrac         float64 // share of MPLS ASes using UHP
+	TEFrac          float64 // share of MPLS ASes adding RSVP-TE detour tunnels
+	CiscoFrac       float64
+	JuniperFrac     float64
+	MixedFrac       float64 // remainder after Cisco+Juniper+Mixed: legacy
+
+	// TransitPeerProb links pairs of transit ASes as peers.
+	TransitPeerProb float64
+
+	NumVPs int
+
+	// Link delays are uniform in [MinDelay, MaxDelay].
+	MinDelay, MaxDelay time.Duration
+	// Regional places each AS at a random point on a unit square and
+	// scales inter-AS link delays with the distance between the
+	// endpoints' regions (up to RegionDelay for opposite corners),
+	// modeling geography the way PlanetLab vantage points experience it.
+	Regional    bool
+	RegionDelay time.Duration
+	// InBandControlPlane converges every AS with actual protocol message
+	// exchange on the fabric (OSPF LSA flooding, LDP mapping cascades)
+	// instead of the centralized computations. Slower to build,
+	// observationally identical; integration tests exercise both.
+	InBandControlPlane bool
+}
+
+// DefaultParams mirrors the survey shares at a simulable scale.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:            seed,
+		NumTier1:        4,
+		NumTransit:      12,
+		NumStub:         30,
+		Tier1Core:       [2]int{6, 10},
+		Tier1Edge:       [2]int{8, 12},
+		TransitCore:     [2]int{4, 7},
+		TransitEdge:     [2]int{5, 9},
+		StubRouters:     [2]int{1, 3},
+		MPLSFrac:        0.87,
+		NoPropagateFrac: 0.48,
+		UHPFrac:         0.10,
+		TEFrac:          0.42,
+		CiscoFrac:       0.58,
+		JuniperFrac:     0.28,
+		MixedFrac:       0.10,
+		TransitPeerProb: 0.25,
+		NumVPs:          10,
+		MinDelay:        500 * time.Microsecond,
+		MaxDelay:        5 * time.Millisecond,
+		Regional:        true,
+		RegionDelay:     60 * time.Millisecond,
+	}
+}
+
+// Profile is the generated configuration of one AS.
+type Profile struct {
+	Tier      Tier
+	Vendor    Vendor
+	MPLS      bool
+	Propagate bool // ttl-propagate
+	UHP       bool
+	TE        bool // RSVP-TE detour tunnels on top of LDP
+	LDP       router.LDPPolicy
+}
+
+// Invisible reports whether the AS hides its tunnels from traceroute.
+func (p Profile) Invisible() bool { return p.MPLS && !p.Propagate }
+
+// ASInfo is one generated AS.
+type ASInfo struct {
+	Num     uint32
+	Name    string
+	Profile Profile
+	// X, Y locate the AS on the unit square when regional delays are on.
+	X, Y float64
+	Core []*router.Router
+	Edge []*router.Router
+	SPF  *igp.Result
+	// Aggregate is the announced address block.
+	Aggregate netaddr.Prefix
+
+	nextSubnet uint32
+	nextLo     uint32
+}
+
+// Routers returns all routers of the AS.
+func (a *ASInfo) Routers() []*router.Router {
+	out := make([]*router.Router, 0, len(a.Core)+len(a.Edge))
+	out = append(out, a.Core...)
+	return append(out, a.Edge...)
+}
+
+// VP is one vantage point: a host plus its prober.
+type VP struct {
+	Host   *netsim.Host
+	Prober *probe.Prober
+	AS     *ASInfo
+}
+
+// Internet is the generated world.
+type Internet struct {
+	Net  *netsim.Network
+	ASes []*ASInfo
+	VPs  []*VP
+
+	// addrInfo is the ground truth: interface address to (router, AS).
+	addrInfo map[netaddr.Addr]AddrInfo
+
+	rng *rand.Rand
+}
+
+// AddrInfo is the ground-truth owner of an interface address.
+type AddrInfo struct {
+	Router *router.Router
+	AS     *ASInfo
+}
+
+// Resolve is the ground-truth resolver handed to topo.Graph (the ITDK
+// alias/AS mapping substitute).
+func (in *Internet) Resolve(a netaddr.Addr) (string, uint32, bool) {
+	info, ok := in.addrInfo[a]
+	if !ok {
+		return "", 0, false
+	}
+	return info.Router.Name(), info.AS.Num, true
+}
+
+// Owner returns ground-truth info for an address.
+func (in *Internet) Owner(a netaddr.Addr) (AddrInfo, bool) {
+	info, ok := in.addrInfo[a]
+	return info, ok
+}
+
+// ASByNum returns the AS with the given number.
+func (in *Internet) ASByNum(num uint32) *ASInfo {
+	for _, as := range in.ASes {
+		if as.Num == num {
+			return as
+		}
+	}
+	return nil
+}
+
+// RouterAddrs returns every registered router interface address (loopbacks
+// included), in deterministic order. Campaigns draw probing targets from
+// this set.
+func (in *Internet) RouterAddrs() []netaddr.Addr {
+	var out []netaddr.Addr
+	for _, as := range in.ASes {
+		for _, r := range as.Routers() {
+			if lo := r.Loopback(); lo != nil {
+				out = append(out, lo.Addr)
+			}
+			for _, ifc := range r.Ifaces() {
+				out = append(out, ifc.Addr)
+			}
+		}
+	}
+	return out
+}
+
+// Build generates an Internet.
+func Build(p Params) (*Internet, error) {
+	if p.NumTier1 < 1 || p.NumTier1+p.NumTransit+p.NumStub > 250 {
+		return nil, fmt.Errorf("gen: unsupported AS counts (%d/%d/%d)", p.NumTier1, p.NumTransit, p.NumStub)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &Internet{
+		Net:      netsim.New(p.Seed ^ 0x5eed),
+		addrInfo: make(map[netaddr.Addr]AddrInfo),
+		rng:      rng,
+	}
+
+	// 1. Create ASes with intra-AS topologies. Transit and Tier-1 profiles
+	// are assigned by stratified sampling so the survey shares hold
+	// exactly whatever the seed (a small independent-draw world can
+	// otherwise end up with no invisible tunnels at all).
+	profiles := stratifiedProfiles(p, p.NumTier1+p.NumTransit, rng)
+	num := uint32(1)
+	next := 0
+	build := func(tier Tier, n int) []*ASInfo {
+		var out []*ASInfo
+		for i := 0; i < n; i++ {
+			var prof Profile
+			if tier == Stub {
+				prof = in.stubProfile(p)
+			} else {
+				prof = profiles[next]
+				next++
+			}
+			prof.Tier = tier
+			as := in.buildAS(p, num, tier, prof)
+			num++
+			out = append(out, as)
+			in.ASes = append(in.ASes, as)
+		}
+		return out
+	}
+	tier1s := build(Tier1, p.NumTier1)
+	transits := build(Transit, p.NumTransit)
+	stubs := build(Stub, p.NumStub)
+
+	// 2. Inter-AS wiring.
+	var sessions []*bgp.Session
+	link := func(a, b *ASInfo, rel bgp.Relationship) {
+		sessions = append(sessions, in.connectASes(p, a, b, rel))
+	}
+	for i := 0; i < len(tier1s); i++ {
+		for j := i + 1; j < len(tier1s); j++ {
+			link(tier1s[i], tier1s[j], bgp.APeerOfB)
+		}
+	}
+	for _, tr := range transits {
+		providers := 1 + rng.Intn(2)
+		perm := rng.Perm(len(tier1s))
+		for k := 0; k < providers && k < len(perm); k++ {
+			link(tr, tier1s[perm[k]], bgp.ACustomerOfB)
+		}
+	}
+	for i := 0; i < len(transits); i++ {
+		for j := i + 1; j < len(transits); j++ {
+			if rng.Float64() < p.TransitPeerProb {
+				link(transits[i], transits[j], bgp.APeerOfB)
+			}
+		}
+	}
+	for _, st := range stubs {
+		providers := 1 + rng.Intn(2)
+		perm := rng.Perm(len(transits))
+		for k := 0; k < providers && k < len(perm); k++ {
+			link(st, transits[perm[k]], bgp.ACustomerOfB)
+		}
+	}
+
+	// 3. Vantage points on distinct stubs.
+	vpStubs := rng.Perm(len(stubs))
+	for i := 0; i < p.NumVPs && i < len(vpStubs); i++ {
+		as := stubs[vpStubs[i]]
+		in.attachVP(p, as, i)
+	}
+
+	// 4. Control planes: IGP per AS, LDP where MPLS, then BGP.
+	var bgpASes []*bgp.AS
+	for _, as := range in.ASes {
+		var spf *igp.Result
+		if p.InBandControlPlane {
+			area := ospf.Enable(in.Net, as.Routers())
+			if err := area.Converge(); err != nil {
+				return nil, fmt.Errorf("gen: AS%d OSPF: %w", as.Num, err)
+			}
+			var err error
+			if spf, err = area.Result(); err != nil {
+				return nil, fmt.Errorf("gen: AS%d OSPF result: %w", as.Num, err)
+			}
+		} else {
+			dom := &igp.Domain{Routers: as.Routers()}
+			var err error
+			if spf, err = dom.Compute(); err != nil {
+				return nil, fmt.Errorf("gen: AS%d SPF: %w", as.Num, err)
+			}
+		}
+		as.SPF = spf
+		if as.Profile.MPLS {
+			if p.InBandControlPlane {
+				ldp.EnableInBand(in.Net, as.Routers()).Converge()
+			} else {
+				ldp.Build(as.Routers(), spf)
+			}
+			if as.Profile.TE {
+				in.addTETunnels(as)
+			}
+		}
+		bgpASes = append(bgpASes, &bgp.AS{
+			Num:      as.Num,
+			Routers:  as.Routers(),
+			Prefixes: []netaddr.Prefix{as.Aggregate},
+			SPF:      spf,
+		})
+	}
+	topo := &bgp.Topology{ASes: bgpASes, Sessions: sessions}
+	if p.InBandControlPlane {
+		bgp.EnableInBand(in.Net, topo).ConvergeAll()
+	} else if err := bgp.Compute(topo); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// --- internals ---
+
+func rngRange(rng *rand.Rand, r [2]int) int {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + rng.Intn(r[1]-r[0]+1)
+}
+
+func (in *Internet) delay(p Params) time.Duration {
+	span := p.MaxDelay - p.MinDelay
+	if span <= 0 {
+		return p.MinDelay
+	}
+	return p.MinDelay + time.Duration(in.rng.Int63n(int64(span)))
+}
+
+// aggregateOf returns AS number num's /16 block (10.num.0.0/16).
+func aggregateOf(num uint32) netaddr.Prefix {
+	return netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, byte(num), 0, 0), 16)
+}
+
+// subnet30 allocates the AS's next /30.
+func (a *ASInfo) subnet30() netaddr.Prefix {
+	// /30s from 10.num.0.0 upward, skipping the loopback range 10.num.255.x.
+	p := netaddr.MustPrefixFrom(a.Aggregate.Addr()+netaddr.Addr(a.nextSubnet*4), 30)
+	a.nextSubnet++
+	if a.nextSubnet >= 255*64 {
+		panic(fmt.Sprintf("gen: AS%d out of subnets", a.Num))
+	}
+	return p
+}
+
+// loopback allocates the AS's next loopback /32 in 10.num.255.x.
+func (a *ASInfo) loopback() netaddr.Addr {
+	a.nextLo++
+	if a.nextLo > 254 {
+		panic(fmt.Sprintf("gen: AS%d out of loopbacks", a.Num))
+	}
+	return a.Aggregate.Addr() + netaddr.Addr(255*256) + netaddr.Addr(a.nextLo)
+}
+
+// stratifiedProfiles deals out n transit/Tier-1 profiles whose vendor,
+// MPLS, no-ttl-propagate and UHP shares match the survey fractions exactly
+// (rounded), in shuffled order.
+func stratifiedProfiles(p Params, n int, rng *rand.Rand) []Profile {
+	profs := make([]Profile, n)
+	share := func(f float64, of int) int { return int(math.Round(f * float64(of))) }
+
+	// Vendors.
+	order := rng.Perm(n)
+	nc, nj, nm := share(p.CiscoFrac, n), share(p.JuniperFrac, n), share(p.MixedFrac, n)
+	for i, idx := range order {
+		v := VendorLegacy
+		switch {
+		case i < nc:
+			v = VendorCisco
+		case i < nc+nj:
+			v = VendorJuniper
+		case i < nc+nj+nm:
+			v = VendorMixed
+		}
+		profs[idx].Vendor = v
+	}
+	for i := range profs {
+		profs[i].Propagate = true
+		profs[i].LDP = router.LDPAllPrefixes
+		if profs[i].Vendor == VendorJuniper {
+			profs[i].LDP = router.LDPHostRoutesOnly
+		}
+	}
+
+	// MPLS, hiding, and UHP over fresh shuffles.
+	order = rng.Perm(n)
+	mpls := order[:share(p.MPLSFrac, n)]
+	for _, idx := range mpls {
+		profs[idx].MPLS = true
+	}
+	hide := rng.Perm(len(mpls))[:share(p.NoPropagateFrac, len(mpls))]
+	for _, k := range hide {
+		profs[mpls[k]].Propagate = false
+	}
+	uhp := rng.Perm(len(mpls))[:share(p.UHPFrac, len(mpls))]
+	for _, k := range uhp {
+		profs[mpls[k]].UHP = true
+	}
+	te := rng.Perm(len(mpls))[:share(p.TEFrac, len(mpls))]
+	for _, k := range te {
+		profs[mpls[k]].TE = true
+	}
+	return profs
+}
+
+// stubProfile draws a vendor for a plain-IP stub AS.
+func (in *Internet) stubProfile(p Params) Profile {
+	prof := Profile{Propagate: true, LDP: router.LDPAllPrefixes}
+	v := in.rng.Float64()
+	switch {
+	case v < p.CiscoFrac:
+		prof.Vendor = VendorCisco
+	case v < p.CiscoFrac+p.JuniperFrac:
+		prof.Vendor = VendorJuniper
+		prof.LDP = router.LDPHostRoutesOnly
+	case v < p.CiscoFrac+p.JuniperFrac+p.MixedFrac:
+		prof.Vendor = VendorMixed
+	default:
+		prof.Vendor = VendorLegacy
+	}
+	return prof
+}
+
+// personalityFor picks a router OS per the AS vendor profile.
+func (in *Internet) personalityFor(prof Profile) (router.Personality, router.LDPPolicy) {
+	switch prof.Vendor {
+	case VendorCisco:
+		return router.Cisco, router.LDPAllPrefixes
+	case VendorJuniper:
+		return router.Juniper, router.LDPHostRoutesOnly
+	case VendorLegacy:
+		return router.Legacy, router.LDPAllPrefixes
+	default: // mixed: per-router draw, Cisco-leaning, with a legacy tail
+		v := in.rng.Float64()
+		switch {
+		case v < 0.45:
+			return router.Cisco, router.LDPAllPrefixes
+		case v < 0.80:
+			return router.Juniper, router.LDPHostRoutesOnly
+		case v < 0.90:
+			return router.JunosE, router.LDPHostRoutesOnly
+		default:
+			return router.Legacy, router.LDPAllPrefixes
+		}
+	}
+}
+
+func (in *Internet) buildAS(p Params, num uint32, tier Tier, prof Profile) *ASInfo {
+	as := &ASInfo{
+		Num:       num,
+		Name:      fmt.Sprintf("AS%d", num),
+		Aggregate: aggregateOf(num),
+		Profile:   prof,
+		X:         in.rng.Float64(),
+		Y:         in.rng.Float64(),
+	}
+
+	var nCore, nEdge int
+	switch tier {
+	case Tier1:
+		nCore, nEdge = rngRange(in.rng, p.Tier1Core), rngRange(in.rng, p.Tier1Edge)
+	case Transit:
+		nCore, nEdge = rngRange(in.rng, p.TransitCore), rngRange(in.rng, p.TransitEdge)
+	default:
+		nCore, nEdge = rngRange(in.rng, p.StubRouters), 0
+	}
+
+	mk := func(kind string, i int) *router.Router {
+		pers, pol := in.personalityFor(as.Profile)
+		cfg := router.Config{
+			TTLPropagate: as.Profile.Propagate,
+			MPLSEnabled:  as.Profile.MPLS,
+			UHP:          as.Profile.UHP,
+			LDP:          pol,
+		}
+		r := router.New(fmt.Sprintf("as%d-%s%d", num, kind, i), pers, cfg)
+		r.SetASN(num)
+		lo := r.SetLoopback(as.loopback())
+		in.Net.AddNode(r)
+		in.register(lo, r, as)
+		return r
+	}
+	for i := 0; i < nCore; i++ {
+		as.Core = append(as.Core, mk("p", i))
+	}
+	for i := 0; i < nEdge; i++ {
+		as.Edge = append(as.Edge, mk("pe", i))
+	}
+
+	// Core ring (+ a chord when large enough).
+	wire := func(a, b *router.Router) {
+		sub := as.subnet30()
+		ai := a.AddIface(fmt.Sprintf("to-%s", b.Name()), sub.Nth(1), sub)
+		bi := b.AddIface(fmt.Sprintf("to-%s", a.Name()), sub.Nth(2), sub)
+		in.Net.Connect(ai, bi, in.delay(p))
+		in.register(ai, a, as)
+		in.register(bi, b, as)
+	}
+	switch {
+	case tier == Stub:
+		// Stubs with several routers: a chain.
+		for i := 1; i < len(as.Core); i++ {
+			wire(as.Core[i-1], as.Core[i])
+		}
+	case len(as.Core) == 2:
+		wire(as.Core[0], as.Core[1])
+	case len(as.Core) > 2:
+		for i := 0; i < len(as.Core); i++ {
+			wire(as.Core[i], as.Core[(i+1)%len(as.Core)])
+		}
+		if len(as.Core) >= 5 {
+			wire(as.Core[0], as.Core[len(as.Core)/2])
+		}
+	}
+	// Edges attach to one or two core routers.
+	for i, e := range as.Edge {
+		wire(e, as.Core[i%len(as.Core)])
+		if in.rng.Float64() < 0.4 && len(as.Core) > 1 {
+			wire(e, as.Core[(i+1)%len(as.Core)])
+		}
+	}
+	return as
+}
+
+func (in *Internet) register(ifc *netsim.Iface, r *router.Router, as *ASInfo) {
+	if err := in.Net.RegisterIface(ifc); err != nil {
+		panic(err) // generator bug: address allocation never collides
+	}
+	in.addrInfo[ifc.Addr] = AddrInfo{Router: r, AS: as}
+}
+
+// borderOf picks a border-capable router (edge router when present).
+func (in *Internet) borderOf(as *ASInfo) *router.Router {
+	if len(as.Edge) > 0 {
+		return as.Edge[in.rng.Intn(len(as.Edge))]
+	}
+	return as.Core[in.rng.Intn(len(as.Core))]
+}
+
+// interASDelay returns the propagation delay of a link between two ASes:
+// the base jitter plus a geographic component when regional delays are on.
+func (in *Internet) interASDelay(p Params, a, b *ASInfo) time.Duration {
+	d := in.delay(p)
+	if !p.Regional || p.RegionDelay <= 0 {
+		return d
+	}
+	dx, dy := a.X-b.X, a.Y-b.Y
+	dist := math.Sqrt(dx*dx+dy*dy) / math.Sqrt2 // normalized to [0,1]
+	return d + time.Duration(dist*float64(p.RegionDelay))
+}
+
+func (in *Internet) connectASes(p Params, a, b *ASInfo, rel bgp.Relationship) *bgp.Session {
+	ra, rb := in.borderOf(a), in.borderOf(b)
+	// The subnet comes from the lexically-smaller AS's space; ownership
+	// only matters for IP-to-AS mapping noise, which the campaign models
+	// separately.
+	owner := a
+	if b.Num < a.Num {
+		owner = b
+	}
+	sub := owner.subnet30()
+	ai := ra.AddIface(fmt.Sprintf("x-as%d", b.Num), sub.Nth(1), sub)
+	bi := rb.AddIface(fmt.Sprintf("x-as%d", a.Num), sub.Nth(2), sub)
+	in.Net.Connect(ai, bi, in.interASDelay(p, a, b))
+	in.register(ai, ra, a)
+	in.register(bi, rb, b)
+	return &bgp.Session{A: ra, B: rb, AIf: ai, BIf: bi, Rel: rel}
+}
+
+func (in *Internet) attachVP(p Params, as *ASInfo, idx int) {
+	sub := as.subnet30()
+	r := as.Core[in.rng.Intn(len(as.Core))]
+	host := netsim.NewHost(fmt.Sprintf("vp%d", idx), sub.Nth(2), sub)
+	ri := r.AddIface(fmt.Sprintf("to-vp%d", idx), sub.Nth(1), sub)
+	in.Net.AddNode(host)
+	in.Net.Connect(ri, host.If, in.delay(p))
+	in.register(ri, r, as)
+	if err := in.Net.RegisterIface(host.If); err != nil {
+		panic(err)
+	}
+	in.VPs = append(in.VPs, &VP{Host: host, Prober: probe.New(in.Net, host), AS: as})
+}
+
+// addTETunnels overlays one or two RSVP-TE detour LSPs on an AS that,
+// per the survey, runs RSVP-TE in addition to LDP. Each tunnel steers the
+// traffic for a random egress LER's loopback along an explicit path
+// through an extra core router — off the IGP shortest path, the way
+// operators balance load. The tunnel replaces the ingress's LDP binding
+// for that FEC, so revelation heuristics encounter the paper's "more
+// advanced configurations" (Sec. 3.4).
+func (in *Internet) addTETunnels(as *ASInfo) {
+	if len(as.Edge) < 2 || len(as.Core) < 2 {
+		return
+	}
+	tunnels := 1 + in.rng.Intn(2)
+	for t := 0; t < tunnels; t++ {
+		ingress := as.Edge[in.rng.Intn(len(as.Edge))]
+		egress := as.Edge[in.rng.Intn(len(as.Edge))]
+		via := as.Core[in.rng.Intn(len(as.Core))]
+		if ingress == egress {
+			continue
+		}
+		path := in.explicitPath(as, ingress, via, egress)
+		if path == nil {
+			continue
+		}
+		tn := &rsvpte.Tunnel{
+			Name: fmt.Sprintf("as%d-te%d", as.Num, t),
+			Path: path,
+			FEC:  netaddr.HostPrefix(egress.Loopback().Addr),
+			UHP:  as.Profile.UHP,
+		}
+		// Signal failures (non-adjacent walk artifacts) just skip the
+		// tunnel; the base LDP LSP keeps working.
+		_ = rsvpte.Signal(tn)
+	}
+}
+
+// explicitPath concatenates the IGP walks ingress->via->egress, returning
+// nil when the joined walk revisits a router (no loops allowed in an LSP).
+func (in *Internet) explicitPath(as *ASInfo, ingress, via, egress *router.Router) []*router.Router {
+	first := in.walk(as, ingress, via)
+	second := in.walk(as, via, egress)
+	if first == nil || second == nil {
+		return nil
+	}
+	path := append(first, second[1:]...)
+	seen := map[*router.Router]bool{}
+	for _, r := range path {
+		if seen[r] {
+			return nil
+		}
+		seen[r] = true
+	}
+	if len(path) < 2 {
+		return nil
+	}
+	return path
+}
+
+// walk follows the AS's SPF first hops from a to b, inclusive.
+func (in *Internet) walk(as *ASInfo, a, b *router.Router) []*router.Router {
+	if a == b {
+		return []*router.Router{a}
+	}
+	lo := b.Loopback()
+	if lo == nil {
+		return nil
+	}
+	path := []*router.Router{a}
+	cur := a
+	for steps := 0; steps < 64; steps++ {
+		hops := as.SPF.NextHops[cur][lo.Prefix]
+		if len(hops) == 0 || hops[0].Via == nil {
+			return nil
+		}
+		cur = hops[0].Via
+		path = append(path, cur)
+		if cur == b {
+			return path
+		}
+	}
+	return nil
+}

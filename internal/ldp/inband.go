@@ -1,0 +1,218 @@
+package ldp
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+	"wormhole/internal/router"
+)
+
+// In-band LDP: instead of the centralized Build, label mappings travel as
+// control messages between adjacent routers (real LDP runs over TCP 646;
+// the fabric models the session as Raw TCP datagrams). Each egress
+// advertises (implicit/explicit) null for the FECs its policy covers;
+// a router that hears a mapping from its IGP next hop toward the FEC
+// installs the binding, allocates its own label, and advertises upstream —
+// the ordered-control cascade the centralized builder models, emerging
+// from message propagation. Results are verified against Build in tests.
+
+// mapping is one LDP label mapping message.
+type mapping struct {
+	FEC   netaddr.Prefix
+	Label uint32 // real label, or the implicit/explicit null sentinels
+}
+
+// msgTag discriminates LDP payloads from other TCP-borne control traffic
+// (BGP) sharing the fabric: gob would otherwise happily decode one
+// protocol's message as the other's zero value.
+const msgTag = 'L'
+
+// Protocol is the in-band LDP instance for one IGP domain.
+type Protocol struct {
+	net      *netsim.Network
+	speakers map[*router.Router]*speaker
+	member   map[*router.Router]bool
+	routers  []*router.Router
+}
+
+type speaker struct {
+	p *Protocol
+	r *router.Router
+	// learned[fec][neighborIface] = advertised label from that neighbor.
+	learned map[netaddr.Prefix]map[netaddr.Addr]uint32
+	// advertised guards against re-advertising a FEC.
+	advertised map[netaddr.Prefix]bool
+	// local holds our allocated label per FEC.
+	local map[netaddr.Prefix]uint32
+	prev  func(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet)
+}
+
+// EnableInBand attaches LDP speakers to the routers of a domain. IGP
+// routes must already be installed (centralized igp or in-band ospf);
+// label distribution follows them. Call Converge to run the exchange.
+func EnableInBand(net *netsim.Network, routers []*router.Router) *Protocol {
+	p := &Protocol{
+		net:      net,
+		speakers: make(map[*router.Router]*speaker, len(routers)),
+		member:   make(map[*router.Router]bool, len(routers)),
+		routers:  routers,
+	}
+	for _, r := range routers {
+		sp := &speaker{
+			p:          p,
+			r:          r,
+			learned:    make(map[netaddr.Prefix]map[netaddr.Addr]uint32),
+			advertised: make(map[netaddr.Prefix]bool),
+			local:      make(map[netaddr.Prefix]uint32),
+			prev:       r.ControlHandler,
+		}
+		p.speakers[r] = sp
+		p.member[r] = true
+		r.ControlHandler = sp.receive
+	}
+	return p
+}
+
+// Converge has every egress advertise its covered FECs and drains the
+// fabric; the mapping cascade installs bindings and LFIBs along the way.
+func (p *Protocol) Converge() {
+	for _, r := range p.routers {
+		if !r.Config().MPLSEnabled {
+			continue
+		}
+		sp := p.speakers[r]
+		if r.Config().UHP {
+			r.InstallLFIB(&router.LFIBEntry{InLabel: router.OutLabelExplicitNull, PopLocal: true})
+		}
+		for _, fec := range sp.ownedFECs() {
+			if !covers(r, fec) {
+				continue
+			}
+			label := uint32(router.OutLabelImplicitNull)
+			if r.Config().UHP {
+				label = router.OutLabelExplicitNull
+			}
+			sp.advertised[fec] = true
+			sp.advertise(mapping{FEC: fec, Label: label})
+		}
+	}
+	p.net.Run()
+}
+
+// ownedFECs lists the prefixes this router is an egress for.
+func (s *speaker) ownedFECs() []netaddr.Prefix {
+	var out []netaddr.Prefix
+	if lo := s.r.Loopback(); lo != nil {
+		out = append(out, lo.Prefix)
+	}
+	for _, ifc := range s.r.Ifaces() {
+		remote := ifc.Remote()
+		if remote == nil {
+			continue
+		}
+		if nr, ok := remote.Owner.(*router.Router); ok && !s.p.member[nr] {
+			continue // cross-AS subnet: not an LDP FEC
+		}
+		out = append(out, ifc.Prefix)
+	}
+	return out
+}
+
+// advertise sends the mapping to every in-domain neighbor.
+func (s *speaker) advertise(m mapping) {
+	var buf bytes.Buffer
+	buf.WriteByte(msgTag)
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return
+	}
+	for _, ifc := range s.r.Ifaces() {
+		if ifc.Link == nil || !ifc.Link.Up {
+			continue
+		}
+		remote := ifc.Remote()
+		nr, ok := remote.Owner.(*router.Router)
+		if !ok || !s.p.member[nr] || !nr.Config().MPLSEnabled {
+			continue
+		}
+		s.p.net.Transmit(ifc, &packet.Packet{
+			IP: packet.IPv4{
+				TTL:      1,
+				Protocol: packet.ProtoTCP, // LDP session transport
+				Src:      ifc.Addr,
+				Dst:      remote.Addr,
+			},
+			Raw: buf.Bytes(),
+		})
+	}
+}
+
+// receive handles a control packet: LDP mappings are processed, anything
+// else chains to the previously installed handler (in-band OSPF).
+func (s *speaker) receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	if pkt.IP.Protocol != packet.ProtoTCP || len(pkt.Raw) == 0 || pkt.Raw[0] != msgTag {
+		if s.prev != nil {
+			s.prev(net, in, pkt)
+		}
+		return
+	}
+	var m mapping
+	if err := gob.NewDecoder(bytes.NewReader(pkt.Raw[1:])).Decode(&m); err != nil {
+		return
+	}
+	byNb, ok := s.learned[m.FEC]
+	if !ok {
+		byNb = make(map[netaddr.Addr]uint32)
+		s.learned[m.FEC] = byNb
+	}
+	byNb[pkt.IP.Src] = m.Label
+	s.evaluate(m.FEC)
+}
+
+// evaluate checks whether the router now has labels from its IGP next hops
+// toward fec; if so it installs the binding and, when its policy covers
+// the FEC, allocates and advertises its own label.
+func (s *speaker) evaluate(fec netaddr.Prefix) {
+	r := s.r
+	if !r.Config().MPLSEnabled {
+		return
+	}
+	// Egresses handled their FECs in Converge.
+	for _, owned := range s.ownedFECs() {
+		if owned == fec {
+			return
+		}
+	}
+	rt, ok := r.GetRoute(fec)
+	if !ok || rt.Origin == router.OriginConnected {
+		return
+	}
+	byNb := s.learned[fec]
+	var hops []router.LabelHop
+	for _, nh := range rt.NextHops {
+		label, ok := byNb[nh.Gateway]
+		if !ok {
+			continue
+		}
+		hops = append(hops, router.LabelHop{Out: nh.Out, Label: label})
+	}
+	if len(hops) == 0 {
+		return
+	}
+	r.InstallBinding(&router.Binding{FEC: fec, NextHops: hops})
+	if covers(r, fec) && !s.advertised[fec] {
+		label, have := s.local[fec]
+		if !have {
+			label = r.AllocLabel()
+			s.local[fec] = label
+		}
+		r.InstallLFIB(&router.LFIBEntry{InLabel: label, NextHops: hops})
+		s.advertised[fec] = true
+		s.advertise(mapping{FEC: fec, Label: label})
+	} else if covers(r, fec) {
+		// Refresh the LFIB with the (possibly better) hops.
+		r.InstallLFIB(&router.LFIBEntry{InLabel: s.local[fec], NextHops: hops})
+	}
+}

@@ -1,0 +1,134 @@
+// Package ldp builds the MPLS label state for one IGP domain: per-FEC
+// label allocation, advertisement subject to each router's policy (all
+// prefixes vs. host routes only), penultimate-hop popping via implicit
+// null or ultimate-hop popping via explicit null, and installation of the
+// resulting bindings and LFIB entries into the routers.
+//
+// Label distribution follows ordered control: a router advertises a label
+// for a FEC only once it has a labeled path toward the FEC's egress. In
+// domains with a homogeneous policy this is indistinguishable from
+// Cisco's independent mode; in mixed-vendor domains (the paper's "hybrid
+// hardware" case) it avoids label black holes while still producing the
+// partially-labeled paths the paper observes.
+package ldp
+
+import (
+	"math"
+	"sort"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/router"
+)
+
+// nullKind distinguishes the two egress advertisements.
+type nullKind uint8
+
+const (
+	noNull nullKind = iota
+	implicitNull
+	explicitNull
+)
+
+// Build computes and installs label state for the domain described by spf.
+// Routers with MPLS disabled neither allocate labels nor receive bindings.
+func Build(routers []*router.Router, spf *igp.Result) {
+	// UHP egresses need the shared explicit-null disposition entry.
+	for _, r := range routers {
+		if r.Config().MPLSEnabled && r.Config().UHP {
+			r.InstallLFIB(&router.LFIBEntry{InLabel: router.OutLabelExplicitNull, PopLocal: true})
+		}
+	}
+	for _, fec := range spf.Prefixes {
+		buildFEC(routers, spf, fec)
+	}
+}
+
+// covers reports whether r's LDP policy advertises a label for fec.
+func covers(r *router.Router, fec netaddr.Prefix) bool {
+	if !r.Config().MPLSEnabled {
+		return false
+	}
+	if r.Config().LDP == router.LDPAllPrefixes {
+		return true
+	}
+	return fec.IsHost()
+}
+
+func buildFEC(routers []*router.Router, spf *igp.Result, fec netaddr.Prefix) {
+	owners := spf.Owners[fec]
+	if len(owners) == 0 {
+		return
+	}
+	ownerSet := make(map[*router.Router]nullKind, len(owners))
+	for _, o := range owners {
+		if !covers(o, fec) {
+			ownerSet[o] = noNull
+			continue
+		}
+		if o.Config().UHP {
+			ownerSet[o] = explicitNull
+		} else {
+			ownerSet[o] = implicitNull
+		}
+	}
+
+	// Order the remaining routers by distance to the FEC so that
+	// downstream labels exist before upstream routers look for them.
+	type distRouter struct {
+		r *router.Router
+		d int
+	}
+	var order []distRouter
+	for _, r := range routers {
+		if _, isOwner := ownerSet[r]; isOwner {
+			continue
+		}
+		d := math.MaxInt32
+		for _, o := range owners {
+			if dd, ok := spf.Dist[r][o]; ok && dd < d {
+				d = dd
+			}
+		}
+		if d == math.MaxInt32 {
+			continue
+		}
+		order = append(order, distRouter{r, d})
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].d < order[j].d })
+
+	local := make(map[*router.Router]uint32)
+	for _, dr := range order {
+		r := dr.r
+		if !r.Config().MPLSEnabled {
+			continue
+		}
+		var hops []router.LabelHop
+		for _, h := range spf.NextHops[r][fec] {
+			if h.Via == nil {
+				continue // connected: r would be an owner
+			}
+			if kind, isOwner := ownerSet[h.Via]; isOwner {
+				switch kind {
+				case implicitNull:
+					hops = append(hops, router.LabelHop{Out: h.Out, Label: router.OutLabelImplicitNull})
+				case explicitNull:
+					hops = append(hops, router.LabelHop{Out: h.Out, Label: router.OutLabelExplicitNull})
+				}
+				continue
+			}
+			if l, ok := local[h.Via]; ok {
+				hops = append(hops, router.LabelHop{Out: h.Out, Label: l})
+			}
+		}
+		if len(hops) == 0 {
+			continue // no labeled path: traffic for this FEC stays IP here
+		}
+		r.InstallBinding(&router.Binding{FEC: fec, NextHops: hops})
+		if covers(r, fec) {
+			l := r.AllocLabel()
+			local[r] = l
+			r.InstallLFIB(&router.LFIBEntry{InLabel: l, NextHops: hops})
+		}
+	}
+}

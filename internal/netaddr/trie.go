@@ -1,0 +1,128 @@
+package netaddr
+
+// Trie is a binary (unibit) longest-prefix-match trie mapping prefixes to
+// arbitrary values. It is the FIB structure used by every simulated router.
+//
+// The zero Trie is ready to use. Trie is not safe for concurrent mutation;
+// lookups are safe concurrently with each other.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Insert adds or replaces the value for an exact prefix.
+func (t *Trie[V]) Insert(p Prefix, v V) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (a >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Delete removes the value for an exact prefix, reporting whether it existed.
+// Interior nodes are left in place; the trie is used for long-lived FIBs
+// where deletions are rare, so compaction is not worth the complexity.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits() && n != nil; i++ {
+		n = n.child[(a>>(31-uint(i)))&1]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Lookup returns the value of the longest prefix covering a.
+func (t *Trie[V]) Lookup(a Addr) (v V, ok bool) {
+	n := t.root
+	u := uint32(a)
+	for i := 0; n != nil; i++ {
+		if n.set {
+			v, ok = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[(u>>(31-uint(i)))&1]
+	}
+	return v, ok
+}
+
+// LookupPrefix returns both the matched prefix and its value.
+func (t *Trie[V]) LookupPrefix(a Addr) (p Prefix, v V, ok bool) {
+	n := t.root
+	u := uint32(a)
+	for i := 0; n != nil; i++ {
+		if n.set {
+			p = Prefix{addr: Addr(u) & maskOf(i), bits: uint8(i)}
+			v, ok = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[(u>>(31-uint(i)))&1]
+	}
+	return p, v, ok
+}
+
+// Get returns the value stored for an exact prefix (no LPM semantics).
+func (t *Trie[V]) Get(p Prefix) (v V, ok bool) {
+	n := t.root
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits() && n != nil; i++ {
+		n = n.child[(a>>(31-uint(i)))&1]
+	}
+	if n == nil || !n.set {
+		return v, false
+	}
+	return n.val, true
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Walk visits every stored prefix in lexicographic (address, length) order.
+// Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	walk(t.root, 0, 0, fn)
+}
+
+func walk[V any](n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(Prefix{addr: Addr(addr), bits: uint8(depth)}, n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}

@@ -1,0 +1,266 @@
+// Package netsim is the packet-level simulation fabric the emulated
+// network runs on: nodes joined by point-to-point links with one-way
+// delays, driven by a virtual clock.
+//
+// The fabric is deliberately synchronous and single-goroutine: probing
+// workloads inject a packet and drain the event queue to completion, which
+// keeps per-probe behaviour deterministic (a property the paper's emulation
+// validation depends on) and makes millions of probes cheap. Concurrency
+// belongs to the layers above (the prober rate-limits and parallelizes
+// whole probes, never individual hops).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/packet"
+)
+
+// Node is anything attached to the fabric: routers and hosts.
+type Node interface {
+	// Name returns a unique human-readable identifier ("PE1", "vp0", ...).
+	Name() string
+	// Receive handles a packet arriving over in. Implementations forward
+	// by calling net.Transmit and must not retain pkt after returning
+	// unless they clone it.
+	Receive(net *Network, in *Iface, pkt *packet.Packet)
+}
+
+// Iface is one end of a point-to-point link.
+type Iface struct {
+	Owner  Node
+	Name   string // "left", "right", "lo0", ...
+	Addr   netaddr.Addr
+	Prefix netaddr.Prefix // subnet shared with the far end
+	Link   *Link          // nil for loopbacks
+}
+
+// Remote returns the interface at the other end of the attached link, or
+// nil for loopback interfaces.
+func (i *Iface) Remote() *Iface {
+	if i.Link == nil {
+		return nil
+	}
+	return i.Link.other(i)
+}
+
+func (i *Iface) String() string {
+	if i == nil {
+		return "<nil>"
+	}
+	return i.Owner.Name() + "." + i.Name
+}
+
+// Link is a bidirectional point-to-point link.
+type Link struct {
+	a, b  *Iface
+	Delay time.Duration // one-way propagation delay
+	Up    bool
+
+	// LossProb drops packets independently in each direction with this
+	// probability, using the network's seeded RNG (failure injection).
+	LossProb float64
+
+	// BytesPerSec, when non-zero, models the link's serialization rate:
+	// each packet occupies the link for size/BytesPerSec and subsequent
+	// packets queue behind it (one FIFO per direction). Zero means
+	// infinite bandwidth.
+	BytesPerSec int64
+
+	// busyUntil tracks per-direction transmitter occupancy (index 0 for
+	// a->b, 1 for b->a).
+	busyUntil [2]time.Duration
+}
+
+func (l *Link) other(i *Iface) *Iface {
+	if i == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+// Endpoints returns both interfaces of the link.
+func (l *Link) Endpoints() (*Iface, *Iface) { return l.a, l.b }
+
+// Network is the simulation fabric: the set of nodes, links, the virtual
+// clock, and the pending-delivery queue.
+type Network struct {
+	nodes  []Node
+	links  []*Link
+	ifaces map[netaddr.Addr]*Iface
+
+	clock  time.Duration
+	queue  eventQueue
+	seq    uint64 // tiebreaker for deterministic ordering
+	rng    *rand.Rand
+	budget int // remaining deliveries for the current drain (loop guard)
+
+	// Trace, when non-nil, observes every delivery (pcap-ish hook).
+	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
+}
+
+// DefaultEventBudget bounds deliveries per Run call; a forwarding loop in a
+// misconfigured topology exhausts it instead of hanging the process.
+const DefaultEventBudget = 1 << 20
+
+// New creates an empty network with a seeded RNG (loss injection and any
+// tie-breaking randomness derive from it, keeping runs reproducible).
+func New(seed int64) *Network {
+	return &Network{
+		ifaces: make(map[netaddr.Addr]*Iface),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddNode registers a node with the fabric.
+func (n *Network) AddNode(node Node) { n.nodes = append(n.nodes, node) }
+
+// Nodes returns all registered nodes.
+func (n *Network) Nodes() []Node { return n.nodes }
+
+// RegisterIface indexes an interface address (including loopbacks) so that
+// OwnerOf can resolve addresses fabric-wide.
+func (n *Network) RegisterIface(i *Iface) error {
+	if i.Addr.IsUnspecified() {
+		return fmt.Errorf("netsim: interface %s has no address", i)
+	}
+	if prev, dup := n.ifaces[i.Addr]; dup {
+		return fmt.Errorf("netsim: address %s already bound to %s", i.Addr, prev)
+	}
+	n.ifaces[i.Addr] = i
+	return nil
+}
+
+// OwnerOf resolves an address to the interface bearing it.
+func (n *Network) OwnerOf(a netaddr.Addr) (*Iface, bool) {
+	i, ok := n.ifaces[a]
+	return i, ok
+}
+
+// Connect joins two interfaces with a link of the given one-way delay.
+func (n *Network) Connect(a, b *Iface, delay time.Duration) *Link {
+	l := &Link{a: a, b: b, Delay: delay, Up: true}
+	a.Link, b.Link = l, l
+	n.links = append(n.links, l)
+	return l
+}
+
+// Links returns all links.
+func (n *Network) Links() []*Link { return n.links }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.clock }
+
+// Transmit sends pkt out of interface out. Delivery to the remote end is
+// scheduled after the queueing (bandwidth) and propagation delays; down
+// links and loss-injected packets are silently dropped, as on a real wire.
+func (n *Network) Transmit(out *Iface, pkt *packet.Packet) {
+	l := out.Link
+	if l == nil || !l.Up {
+		return
+	}
+	if l.LossProb > 0 && n.rng.Float64() < l.LossProb {
+		return
+	}
+	depart := n.clock
+	if l.BytesPerSec > 0 {
+		dir := 0
+		if out == l.b {
+			dir = 1
+		}
+		start := depart
+		if l.busyUntil[dir] > start {
+			start = l.busyUntil[dir] // queue behind the packet on the wire
+		}
+		tx := time.Duration(int64(wireSize(pkt)) * int64(time.Second) / l.BytesPerSec)
+		l.busyUntil[dir] = start + tx
+		depart = l.busyUntil[dir]
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{
+		at:  depart + l.Delay,
+		seq: n.seq,
+		to:  l.other(out),
+		pkt: pkt,
+	})
+}
+
+// wireSize estimates the on-wire byte count without serializing: IPv4
+// header, 4 bytes per label stack entry, the transport header, and any
+// opaque payload. ICMP errors carry their RFC 4884-padded quote.
+func wireSize(pkt *packet.Packet) int {
+	size := 20 + 4*len(pkt.MPLS) + pkt.PayloadLen
+	switch {
+	case pkt.ICMP != nil && pkt.ICMP.IsError():
+		size += 8 + 128 + 16 // header + padded quote + extension estimate
+	case pkt.ICMP != nil:
+		size += 8
+	case pkt.UDP != nil:
+		size += 8
+	}
+	return size
+}
+
+// Inject introduces a packet as if node src emitted it from iface out at
+// the current virtual time, then drains the queue until the fabric is idle.
+// It returns the virtual time consumed.
+func (n *Network) Inject(out *Iface, pkt *packet.Packet) time.Duration {
+	start := n.clock
+	n.Transmit(out, pkt)
+	n.Run()
+	return n.clock - start
+}
+
+// Run drains the event queue until idle (or until the event budget is
+// exhausted, which indicates a forwarding loop).
+func (n *Network) Run() {
+	n.budget = DefaultEventBudget
+	for n.queue.Len() > 0 {
+		if n.budget == 0 {
+			// Drop the remaining events: a loop was detected. The queue is
+			// cleared so the next Run starts clean.
+			n.queue = n.queue[:0]
+			return
+		}
+		n.budget--
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.at > n.clock {
+			n.clock = ev.at
+		}
+		if n.Trace != nil {
+			n.Trace(n.clock, ev.to, ev.pkt)
+		}
+		ev.to.Owner.Receive(n, ev.to, ev.pkt)
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	to  *Iface
+	pkt *packet.Packet
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

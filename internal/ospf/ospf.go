@@ -1,0 +1,478 @@
+// Package ospf implements an in-band link-state protocol over the
+// simulation fabric: each router floods a link-state advertisement
+// describing its adjacencies and owned prefixes as protocol-89 packets,
+// neighbors re-flood unseen LSAs, and once the fabric drains every router
+// computes shortest paths over its own link-state database and installs
+// routes — the distributed counterpart of internal/igp's centralized
+// computation (the paper's testbed ran real OSPF between the emulated
+// routers; this package plays that role, and its results are verified to
+// match the centralized SPF exactly).
+//
+// LSAs are encoded with encoding/gob; framing realism lives in the other
+// protocols, the point here is the in-band distribution dynamics
+// (flooding, sequence numbers, re-convergence on topology change).
+package ospf
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+	"wormhole/internal/router"
+)
+
+// lsaLink is one adjacency in an LSA.
+type lsaLink struct {
+	// Neighbor is the adjacent router's ID (its name).
+	Neighbor string
+	// Gateway is the neighbor's interface address on the shared link.
+	Gateway netaddr.Addr
+	// Local is this router's interface address (identifies the out
+	// interface when the receiver is the LSA's origin's neighbor).
+	Local netaddr.Addr
+	// Cost is the link metric.
+	Cost int
+}
+
+// lsa is one router's link-state advertisement.
+type lsa struct {
+	Origin   string
+	Seq      uint64
+	Links    []lsaLink
+	Prefixes []netaddr.Prefix // loopback + connected (intra-area) prefixes
+}
+
+// Instance is the OSPF speaker running on one router.
+type Instance struct {
+	r    *router.Router
+	area *Area
+	lsdb map[string]lsa
+	seq  uint64
+}
+
+// Area groups the speakers of one IGP domain.
+type Area struct {
+	Net       *netsim.Network
+	instances map[*router.Router]*Instance
+	routers   []*router.Router
+	member    map[string]bool
+}
+
+// Enable attaches OSPF speakers to the routers of one area. Flooding and
+// route computation happen in Converge.
+func Enable(net *netsim.Network, routers []*router.Router) *Area {
+	a := &Area{
+		Net:       net,
+		instances: make(map[*router.Router]*Instance, len(routers)),
+		routers:   routers,
+		member:    make(map[string]bool, len(routers)),
+	}
+	for _, r := range routers {
+		inst := &Instance{r: r, area: a, lsdb: make(map[string]lsa)}
+		a.instances[r] = inst
+		r.ControlHandler = inst.receive
+		a.member[r.Name()] = true
+	}
+	return a
+}
+
+// Converge floods every router's current LSA, drains the fabric, and
+// installs the resulting routes. Call again after topology changes
+// (failed links) to re-converge.
+func (a *Area) Converge() error {
+	for _, r := range a.routers {
+		inst := a.instances[r]
+		inst.seq++
+		own := inst.buildLSA()
+		inst.accept(own)
+		inst.flood(nil, own)
+	}
+	a.Net.Run()
+	// Every router now computes and installs from its own LSDB.
+	for _, r := range a.routers {
+		if err := a.instances[r].installRoutes(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Instance returns r's speaker (tests inspect LSDBs).
+func (a *Area) Instance(r *router.Router) *Instance { return a.instances[r] }
+
+// LSDBSize returns the number of LSAs a router holds.
+func (i *Instance) LSDBSize() int { return len(i.lsdb) }
+
+// buildLSA snapshots the router's live adjacencies and owned prefixes.
+func (i *Instance) buildLSA() lsa {
+	l := lsa{Origin: i.r.Name(), Seq: i.seq}
+	if lo := i.r.Loopback(); lo != nil {
+		l.Prefixes = append(l.Prefixes, lo.Prefix)
+	}
+	for _, ifc := range i.r.Ifaces() {
+		if ifc.Link == nil || !ifc.Link.Up {
+			continue
+		}
+		remote := ifc.Remote()
+		nr, ok := remote.Owner.(*router.Router)
+		if !ok {
+			// Host-facing subnet: advertised as an owned prefix.
+			l.Prefixes = append(l.Prefixes, ifc.Prefix)
+			continue
+		}
+		if !i.area.member[nr.Name()] {
+			continue // cross-AS: not in the area
+		}
+		l.Links = append(l.Links, lsaLink{
+			Neighbor: nr.Name(),
+			Gateway:  remote.Addr,
+			Local:    ifc.Addr,
+			Cost:     1,
+		})
+		l.Prefixes = append(l.Prefixes, ifc.Prefix)
+	}
+	return l
+}
+
+// receive handles an OSPF packet: decode, accept if new, re-flood.
+func (i *Instance) receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	var l lsa
+	if err := gob.NewDecoder(bytes.NewReader(pkt.Raw)).Decode(&l); err != nil {
+		return // malformed LSA: dropped, as real OSPF would
+	}
+	if old, ok := i.lsdb[l.Origin]; ok && old.Seq >= l.Seq {
+		return // already have it: flooding terminates
+	}
+	i.accept(l)
+	i.flood(in, l)
+}
+
+func (i *Instance) accept(l lsa) { i.lsdb[l.Origin] = l }
+
+// flood sends the LSA out every area-internal interface except the one it
+// arrived on.
+func (i *Instance) flood(in *netsim.Iface, l lsa) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(l); err != nil {
+		return
+	}
+	for _, ifc := range i.r.Ifaces() {
+		if ifc == in || ifc.Link == nil || !ifc.Link.Up {
+			continue
+		}
+		remote := ifc.Remote()
+		nr, ok := remote.Owner.(*router.Router)
+		if !ok || !i.area.member[nr.Name()] {
+			continue
+		}
+		i.area.Net.Transmit(ifc, &packet.Packet{
+			IP: packet.IPv4{
+				TTL:      1, // link-local
+				Protocol: packet.ProtoOSPF,
+				Src:      ifc.Addr,
+				Dst:      remote.Addr,
+			},
+			Raw: buf.Bytes(),
+		})
+	}
+}
+
+// installRoutes runs Dijkstra over the local LSDB and installs connected
+// and IGP routes, mirroring internal/igp's semantics.
+func (i *Instance) installRoutes() error {
+	dist, firstHops, err := i.spf()
+	if err != nil {
+		return err
+	}
+
+	// Prefix ownership and best-owner routes.
+	owners := map[netaddr.Prefix][]string{}
+	var prefixes []netaddr.Prefix
+	for _, origin := range sortedOrigins(i.lsdb) {
+		l := i.lsdb[origin]
+		for _, p := range l.Prefixes {
+			if len(owners[p]) == 0 {
+				prefixes = append(prefixes, p)
+			}
+			owners[p] = append(owners[p], l.Origin)
+		}
+	}
+	ifaceByAddr := map[netaddr.Addr]*netsim.Iface{}
+	for _, ifc := range i.r.Ifaces() {
+		ifaceByAddr[ifc.Addr] = ifc
+	}
+
+	for _, p := range prefixes {
+		// Connected wins.
+		if connected := i.connectedIface(p); connected != nil {
+			i.r.InstallRoute(p, &router.Route{
+				Origin:   router.OriginConnected,
+				NextHops: []router.NextHop{{Out: connected}},
+			})
+			continue
+		}
+		if lo := i.r.Loopback(); lo != nil && lo.Prefix == p {
+			continue
+		}
+		best := math.MaxInt32
+		for _, o := range owners[p] {
+			if d, ok := dist[o]; ok && d < best {
+				best = d
+			}
+		}
+		if best == math.MaxInt32 {
+			continue
+		}
+		var nhs []router.NextHop
+		seen := map[netaddr.Addr]bool{}
+		for _, o := range owners[p] {
+			if dist[o] != best {
+				continue
+			}
+			for _, h := range firstHops[o] {
+				out, ok := ifaceByAddr[h.Local]
+				if !ok {
+					return fmt.Errorf("ospf: %s: first hop via unknown interface %s", i.r.Name(), h.Local)
+				}
+				if !seen[h.Gateway] {
+					seen[h.Gateway] = true
+					nhs = append(nhs, router.NextHop{Out: out, Gateway: h.Gateway})
+				}
+			}
+		}
+		if len(nhs) > 0 {
+			i.r.InstallRoute(p, &router.Route{Origin: router.OriginIGP, NextHops: nhs})
+		}
+	}
+	// Cross-area interfaces never enter LSAs, but the border still owns
+	// their connected routes (the centralized igp installs these too; BGP
+	// redistributes them further).
+	for _, ifc := range i.r.Ifaces() {
+		remote := ifc.Remote()
+		if remote == nil {
+			continue
+		}
+		if nr, ok := remote.Owner.(*router.Router); ok && !i.area.member[nr.Name()] {
+			i.r.InstallRoute(ifc.Prefix, &router.Route{
+				Origin:   router.OriginConnected,
+				NextHops: []router.NextHop{{Out: ifc}},
+			})
+		}
+	}
+	return nil
+}
+
+func (i *Instance) connectedIface(p netaddr.Prefix) *netsim.Iface {
+	for _, ifc := range i.r.Ifaces() {
+		if ifc.Prefix == p {
+			return ifc
+		}
+	}
+	return nil
+}
+
+func appendHop(hops []lsaLink, h lsaLink) []lsaLink {
+	for _, e := range hops {
+		if e.Local == h.Local && e.Gateway == h.Gateway {
+			return hops
+		}
+	}
+	return append(hops, h)
+}
+
+func sortedOrigins(lsdb map[string]lsa) []string {
+	out := make([]string, 0, len(lsdb))
+	for k := range lsdb {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type ndEntry struct {
+	name string
+	d    int
+}
+
+type ndQueue []ndEntry
+
+func (q ndQueue) Len() int            { return len(q) }
+func (q ndQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q ndQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *ndQueue) Push(x interface{}) { *q = append(*q, x.(ndEntry)) }
+func (q *ndQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	*q = old[:n-1]
+	return v
+}
+
+// Result converts the area's converged link state into the igp.Result
+// shape the LDP builder and BGP hot-potato computation consume, so a
+// domain whose routing came from in-band flooding can still drive the
+// rest of the control plane. All routers hold identical LSDBs after
+// Converge; the first instance's database is authoritative.
+func (a *Area) Result() (*igp.Result, error) {
+	if len(a.routers) == 0 {
+		return nil, fmt.Errorf("ospf: empty area")
+	}
+	byName := make(map[string]*router.Router, len(a.routers))
+	for _, r := range a.routers {
+		byName[r.Name()] = r
+	}
+	res := &igp.Result{
+		Owners:   make(map[netaddr.Prefix][]*router.Router),
+		NextHops: make(map[*router.Router]map[netaddr.Prefix][]igp.Hop),
+		Dist:     make(map[*router.Router]map[*router.Router]int),
+	}
+	ref := a.instances[a.routers[0]]
+	seen := map[netaddr.Prefix]bool{}
+	for _, origin := range sortedOrigins(ref.lsdb) {
+		l := ref.lsdb[origin]
+		r, ok := byName[origin]
+		if !ok {
+			continue
+		}
+		for _, p := range l.Prefixes {
+			if !seen[p] {
+				seen[p] = true
+				res.Prefixes = append(res.Prefixes, p)
+			}
+			already := false
+			for _, o := range res.Owners[p] {
+				if o == r {
+					already = true
+				}
+			}
+			if !already {
+				res.Owners[p] = append(res.Owners[p], r)
+			}
+		}
+	}
+	for _, r := range a.routers {
+		inst := a.instances[r]
+		dist, firstHops, err := inst.spf()
+		if err != nil {
+			return nil, err
+		}
+		dr := make(map[*router.Router]int, len(dist))
+		for name, d := range dist {
+			if other, ok := byName[name]; ok {
+				dr[other] = d
+			}
+		}
+		res.Dist[r] = dr
+		nh := make(map[netaddr.Prefix][]igp.Hop)
+		res.NextHops[r] = nh
+		ifaceByAddr := map[netaddr.Addr]*netsim.Iface{}
+		for _, ifc := range r.Ifaces() {
+			ifaceByAddr[ifc.Addr] = ifc
+		}
+		for _, p := range res.Prefixes {
+			if connected := inst.connectedIface(p); connected != nil {
+				nh[p] = []igp.Hop{{Out: connected}}
+				continue
+			}
+			if lo := r.Loopback(); lo != nil && lo.Prefix == p {
+				nh[p] = nil
+				continue
+			}
+			best := math.MaxInt32
+			for _, o := range res.Owners[p] {
+				if d, ok := dr[o]; ok && d < best {
+					best = d
+				}
+			}
+			if best == math.MaxInt32 {
+				continue
+			}
+			var hops []igp.Hop
+			dedup := map[netaddr.Addr]bool{}
+			for _, o := range res.Owners[p] {
+				if dr[o] != best {
+					continue
+				}
+				for _, h := range firstHops[o.Name()] {
+					if dedup[h.Gateway] {
+						continue
+					}
+					dedup[h.Gateway] = true
+					hops = append(hops, igp.Hop{
+						Out:     ifaceByAddr[h.Local],
+						Gateway: h.Gateway,
+						Via:     byName[h.Neighbor],
+					})
+				}
+			}
+			nh[p] = hops
+		}
+	}
+	return res, nil
+}
+
+// spf exposes the Dijkstra pass installRoutes uses, returning distances
+// and first-hop sets by router name.
+func (i *Instance) spf() (map[string]int, map[string][]lsaLink, error) {
+	self := i.r.Name()
+	type edge struct {
+		to      string
+		cost    int
+		local   netaddr.Addr
+		gateway netaddr.Addr
+	}
+	adj := map[string][]edge{}
+	for _, l := range i.lsdb {
+		for _, ln := range l.Links {
+			peer, ok := i.lsdb[ln.Neighbor]
+			if !ok {
+				continue
+			}
+			twoWay := false
+			for _, back := range peer.Links {
+				if back.Neighbor == l.Origin {
+					twoWay = true
+				}
+			}
+			if twoWay {
+				adj[l.Origin] = append(adj[l.Origin], edge{to: ln.Neighbor, cost: ln.Cost, local: ln.Local, gateway: ln.Gateway})
+			}
+		}
+	}
+	dist := map[string]int{self: 0}
+	firstHops := map[string][]lsaLink{}
+	pq := &ndQueue{{self, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(ndEntry)
+		if cur.d > dist[cur.name] {
+			continue
+		}
+		for _, e := range adj[cur.name] {
+			ndist := cur.d + e.cost
+			old, seen := dist[e.to]
+			relaxed := !seen || ndist < old
+			if relaxed {
+				dist[e.to] = ndist
+				firstHops[e.to] = nil
+				heap.Push(pq, ndEntry{e.to, ndist})
+			}
+			if relaxed || ndist == old {
+				if cur.name == self {
+					firstHops[e.to] = appendHop(firstHops[e.to], lsaLink{Neighbor: e.to, Local: e.local, Gateway: e.gateway})
+				} else {
+					for _, h := range firstHops[cur.name] {
+						firstHops[e.to] = appendHop(firstHops[e.to], h)
+					}
+				}
+			}
+		}
+	}
+	return dist, firstHops, nil
+}

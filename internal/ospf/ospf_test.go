@@ -1,0 +1,281 @@
+package ospf_test
+
+import (
+	"testing"
+	"time"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/ldp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/ospf"
+	"wormhole/internal/packet"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+)
+
+// fixture: vp - a - {b|c} - d - h diamond, plain IP.
+type fixture struct {
+	net        *netsim.Network
+	vp, host   *netsim.Host
+	a, b, c, d *router.Router
+	all        []*router.Router
+	prober     *probe.Prober
+}
+
+func build(t *testing.T) *fixture {
+	t.Helper()
+	net := netsim.New(21)
+	f := &fixture{net: net}
+	mk := func(name string, i int) *router.Router {
+		r := router.New(name, router.Cisco, router.Config{TTLPropagate: true})
+		r.SetLoopback(netaddr.AddrFrom4(192, 168, 44, byte(i+1)))
+		net.AddNode(r)
+		if err := net.RegisterIface(r.Loopback()); err != nil {
+			t.Fatal(err)
+		}
+		f.all = append(f.all, r)
+		return r
+	}
+	f.a, f.b, f.c, f.d = mk("a", 0), mk("b", 1), mk("c", 2), mk("d", 3)
+	sub := 0
+	wire := func(x, y *router.Router) {
+		p := netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, 44, byte(sub), 0), 30)
+		sub++
+		xi := x.AddIface("to-"+y.Name(), p.Nth(1), p)
+		yi := y.AddIface("to-"+x.Name(), p.Nth(2), p)
+		net.Connect(xi, yi, time.Millisecond)
+		for _, ifc := range []*netsim.Iface{xi, yi} {
+			if err := net.RegisterIface(ifc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wire(f.a, f.b)
+	wire(f.b, f.d)
+	wire(f.a, f.c)
+	wire(f.c, f.d)
+
+	vpP := netaddr.MustParsePrefix("10.44.100.0/30")
+	f.vp = netsim.NewHost("vp", vpP.Nth(2), vpP)
+	net.AddNode(f.vp)
+	ai := f.a.AddIface("to-vp", vpP.Nth(1), vpP)
+	net.Connect(ai, f.vp.If, time.Millisecond)
+	hP := netaddr.MustParsePrefix("10.44.101.0/30")
+	f.host = netsim.NewHost("h", hP.Nth(2), hP)
+	net.AddNode(f.host)
+	di := f.d.AddIface("to-h", hP.Nth(1), hP)
+	net.Connect(di, f.host.If, time.Millisecond)
+	for _, ifc := range []*netsim.Iface{ai, f.vp.If, di, f.host.If} {
+		if err := net.RegisterIface(ifc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.prober = probe.New(net, f.vp)
+	return f
+}
+
+func TestFloodingFillsAllLSDBs(t *testing.T) {
+	f := build(t)
+	area := ospf.Enable(f.net, f.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.all {
+		if got := area.Instance(r).LSDBSize(); got != 4 {
+			t.Errorf("%s LSDB has %d LSAs, want 4", r.Name(), got)
+		}
+	}
+}
+
+func TestOSPFRoutesMatchCentralizedSPF(t *testing.T) {
+	// Two identical fixtures: one converged via in-band OSPF, the other
+	// via the centralized igp computation. Every address must resolve to
+	// the same next-hop set on both.
+	fo := build(t)
+	area := ospf.Enable(fo.net, fo.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	fc := build(t)
+	dom := &igp.Domain{Routers: fc.all}
+	if _, err := dom.Compute(); err != nil {
+		t.Fatal(err)
+	}
+
+	targets := []netaddr.Addr{
+		fo.host.Addr(), fo.vp.Addr(),
+		fo.a.Loopback().Addr, fo.b.Loopback().Addr,
+		fo.c.Loopback().Addr, fo.d.Loopback().Addr,
+	}
+	for idx := range fo.all {
+		ro, rc := fo.all[idx], fc.all[idx]
+		for _, dst := range targets {
+			po, rto, oko := ro.LookupRoute(dst)
+			pc, rtc, okc := rc.LookupRoute(dst)
+			if oko != okc {
+				t.Fatalf("%s -> %s: presence differs (ospf %v, igp %v)", ro.Name(), dst, oko, okc)
+			}
+			if !oko {
+				continue
+			}
+			if po != pc {
+				t.Errorf("%s -> %s: matched prefix %v vs %v", ro.Name(), dst, po, pc)
+			}
+			if rto.Origin != rtc.Origin {
+				t.Errorf("%s -> %s: origin %v vs %v", ro.Name(), dst, rto.Origin, rtc.Origin)
+			}
+			if len(rto.NextHops) != len(rtc.NextHops) {
+				t.Errorf("%s -> %s: %d vs %d next hops", ro.Name(), dst, len(rto.NextHops), len(rtc.NextHops))
+				continue
+			}
+			// Compare gateway sets (order may differ).
+			gw := map[netaddr.Addr]bool{}
+			for _, nh := range rto.NextHops {
+				gw[nh.Gateway] = true
+			}
+			for _, nh := range rtc.NextHops {
+				if !gw[nh.Gateway] {
+					t.Errorf("%s -> %s: gateway %s only in centralized result", ro.Name(), dst, nh.Gateway)
+				}
+			}
+		}
+	}
+}
+
+func TestOSPFEndToEndForwarding(t *testing.T) {
+	f := build(t)
+	area := ospf.Enable(f.net, f.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("not reached: %+v", tr.Hops)
+	}
+	if len(tr.Hops) != 4 {
+		t.Errorf("%d hops, want 4 (a, b|c, d, h)", len(tr.Hops))
+	}
+}
+
+func TestOSPFReconvergesAfterFailure(t *testing.T) {
+	f := build(t)
+	area := ospf.Enable(f.net, f.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail both b links, re-flood, and check traffic survives via c.
+	for _, ifc := range f.b.Ifaces() {
+		ifc.Link.Up = false
+	}
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	crossed := false
+	f.net.Trace = func(_ time.Duration, to *netsim.Iface, pkt *packet.Packet) {
+		if r, ok := to.Owner.(*router.Router); ok && r == f.c && pkt.IP.Dst == f.host.Addr() {
+			crossed = true
+		}
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("not reached after reconvergence: %+v", tr.Hops)
+	}
+	if !crossed {
+		t.Error("traffic did not shift to the surviving branch")
+	}
+}
+
+func TestOSPFFloodingCost(t *testing.T) {
+	// Flooding terminates: LSAs delivered is finite and bounded (each
+	// LSA crosses each link at most a couple of times in this diamond).
+	f := build(t)
+	deliveries := 0
+	f.net.Trace = func(_ time.Duration, _ *netsim.Iface, pkt *packet.Packet) {
+		if pkt.IP.Protocol == packet.ProtoOSPF {
+			deliveries++
+		}
+	}
+	area := ospf.Enable(f.net, f.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveries == 0 || deliveries > 200 {
+		t.Errorf("flooding delivered %d LSAs, want a small finite number", deliveries)
+	}
+}
+
+// TestResultMatchesCentralized compares the igp.Result bridge from the
+// in-band area with the centralized computation: distances and next-hop
+// gateway sets must be identical, so BGP hot potato and LDP can run
+// unchanged on an in-band-converged domain.
+func TestResultMatchesCentralized(t *testing.T) {
+	fo := build(t)
+	area := ospf.Enable(fo.net, fo.all)
+	if err := area.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	ores, err := area.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := build(t)
+	dom := &igp.Domain{Routers: fc.all}
+	cres, err := dom.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ores.Prefixes) != len(cres.Prefixes) {
+		t.Fatalf("prefix counts: %d vs %d", len(ores.Prefixes), len(cres.Prefixes))
+	}
+	for i := range fo.all {
+		ro, rc := fo.all[i], fc.all[i]
+		for j := range fo.all {
+			do := ores.Dist[ro][fo.all[j]]
+			dc := cres.Dist[rc][fc.all[j]]
+			if do != dc {
+				t.Errorf("dist %s->%s: %d vs %d", ro.Name(), fo.all[j].Name(), do, dc)
+			}
+		}
+		for _, p := range cres.Prefixes {
+			oh := ores.NextHops[ro][p]
+			ch := cres.NextHops[rc][p]
+			if len(oh) != len(ch) {
+				t.Errorf("%s -> %v: %d vs %d hops", ro.Name(), p, len(oh), len(ch))
+				continue
+			}
+			gw := map[string]bool{}
+			for _, h := range oh {
+				gw[h.Gateway.String()] = true
+			}
+			for _, h := range ch {
+				if !gw[h.Gateway.String()] {
+					t.Errorf("%s -> %v: gateway %s only centralized", ro.Name(), p, h.Gateway)
+				}
+			}
+		}
+	}
+
+	// The bridged result must drive LDP identically: build labels from it
+	// and check the tunnel hides the interior.
+	ldpCfg := router.Config{MPLSEnabled: true, LDP: router.LDPAllPrefixes}
+	for _, r := range fo.all {
+		r.SetConfig(ldpCfg)
+	}
+	ldp.Build(fo.all, ores)
+	tr := fo.prober.Traceroute(fo.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("tunnel broke: %+v", tr.Hops)
+	}
+	responding := 0
+	for _, h := range tr.Hops {
+		if !h.Anonymous() {
+			responding++
+		}
+	}
+	// a, d, h visible; b|c hidden inside the tunnel.
+	if responding != 3 {
+		t.Errorf("saw %d hops, want 3 (interior hidden)", responding)
+	}
+}

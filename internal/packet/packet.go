@@ -1,0 +1,153 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Packet is the unit the simulator forwards: an optional MPLS label stack
+// encapsulating an IPv4 datagram whose payload is ICMP or UDP. The struct
+// form is what routers manipulate; Serialize/Decode produce and consume the
+// equivalent wire bytes.
+type Packet struct {
+	MPLS LabelStack // outer encapsulation; empty means plain IP
+	IP   IPv4
+	ICMP *ICMP // set when IP.Protocol == ProtoICMP
+	UDP  *UDP  // set when IP.Protocol == ProtoUDP
+	// Raw carries the opaque payload of other protocols (OSPF LSAs and
+	// the like); its encoding belongs to the owning subsystem.
+	Raw []byte
+
+	// PayloadLen is opaque application payload carried beyond the modeled
+	// headers; it only affects serialized length.
+	PayloadLen int
+}
+
+// Labeled reports whether the packet currently carries a label stack.
+func (p *Packet) Labeled() bool { return !p.MPLS.Empty() }
+
+// Clone returns a deep copy. Routers clone before mutating so that probing
+// code retains the packet it sent.
+func (p *Packet) Clone() *Packet {
+	out := *p
+	out.MPLS = p.MPLS.Clone()
+	out.ICMP = p.ICMP.Clone()
+	if p.UDP != nil {
+		u := *p.UDP
+		out.UDP = &u
+	}
+	if p.Raw != nil {
+		out.Raw = append([]byte(nil), p.Raw...)
+	}
+	return &out
+}
+
+// Serialize renders the full wire form: label stack, IPv4 header, transport.
+func (p *Packet) Serialize() ([]byte, error) {
+	transport, err := p.transportWire()
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.MPLS.AppendWire(nil)
+	if err != nil {
+		return nil, err
+	}
+	b = p.IP.AppendWire(b, len(transport))
+	return append(b, transport...), nil
+}
+
+func (p *Packet) transportWire() ([]byte, error) {
+	var transport []byte
+	switch p.IP.Protocol {
+	case ProtoICMP:
+		if p.ICMP == nil {
+			return nil, errorString("packet: ICMP protocol without ICMP layer")
+		}
+		var err error
+		transport, err = p.ICMP.AppendWire(nil)
+		if err != nil {
+			return nil, err
+		}
+	case ProtoUDP:
+		if p.UDP == nil {
+			return nil, errorString("packet: UDP protocol without UDP layer")
+		}
+		transport = p.UDP.AppendWire(nil, p.PayloadLen)
+	default:
+		if p.Raw == nil {
+			return nil, fmt.Errorf("packet: cannot serialize protocol %v", p.IP.Protocol)
+		}
+		transport = append(transport, p.Raw...)
+	}
+	for i := 0; i < p.PayloadLen; i++ {
+		transport = append(transport, 0)
+	}
+	return transport, nil
+}
+
+// Decode parses wire bytes into a Packet. If the first 4 bytes do not look
+// like an IPv4 header, an MPLS label stack is assumed to precede it (the
+// simulator knows from link context whether a frame is labeled; on a real
+// wire the ethertype disambiguates).
+func Decode(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if len(b) >= 1 && b[0]>>4 != 4 {
+		stack, n, err := DecodeLabelStack(b)
+		if err != nil {
+			return nil, err
+		}
+		p.MPLS = stack
+		b = b[n:]
+	}
+	h, total, off, err := DecodeIPv4(b)
+	if err != nil {
+		return nil, err
+	}
+	p.IP = h
+	if total > len(b) || total < off {
+		return nil, ErrTruncated
+	}
+	body := b[off:total]
+	switch h.Protocol {
+	case ProtoICMP:
+		m, err := DecodeICMP(body)
+		if err != nil {
+			return nil, err
+		}
+		p.ICMP = m
+		wire, err := m.AppendWire(nil)
+		if err != nil {
+			return nil, err
+		}
+		p.PayloadLen = len(body) - len(wire)
+		if p.PayloadLen < 0 {
+			p.PayloadLen = 0
+		}
+	case ProtoUDP:
+		u, err := DecodeUDP(body)
+		if err != nil {
+			return nil, err
+		}
+		p.UDP = &u
+		p.PayloadLen = len(body) - 8
+	default:
+		p.Raw = append([]byte(nil), body...)
+	}
+	return p, nil
+}
+
+// String renders a compact one-line description for logs and tests.
+func (p *Packet) String() string {
+	var sb strings.Builder
+	if p.Labeled() {
+		fmt.Fprintf(&sb, "MPLS%v ", p.MPLS)
+	}
+	fmt.Fprintf(&sb, "%s->%s ttl=%d %s", p.IP.Src, p.IP.Dst, p.IP.TTL, p.IP.Protocol)
+	if p.ICMP != nil {
+		fmt.Fprintf(&sb, " type=%d code=%d", p.ICMP.Type, p.ICMP.Code)
+	}
+	if p.UDP != nil {
+		fmt.Fprintf(&sb, " ports=%d->%d", p.UDP.SrcPort, p.UDP.DstPort)
+	}
+	return sb.String()
+}

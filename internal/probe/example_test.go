@@ -1,0 +1,34 @@
+package probe_test
+
+import (
+	"fmt"
+
+	"wormhole/internal/lab"
+)
+
+// Example_traceroute traces across the paper's testbed with the
+// tunnel visible, printing the paris-traceroute-style hop lines.
+func Example_traceroute() {
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	tr := l.Prober.Traceroute(l.CE2Left)
+	for _, h := range tr.Hops {
+		fmt.Printf("%d %s [%d]\n", h.ProbeTTL, h.Addr, h.ReplyTTL)
+	}
+	fmt.Println("reached:", tr.Reached)
+	// Output:
+	// 1 10.1.0.2 [255]
+	// 2 10.12.0.2 [254]
+	// 3 10.2.4.2 [250]
+	// 4 10.23.0.2 [250]
+	// reached: true
+}
+
+// Example_ping shows the signature raw material: a Cisco router's
+// echo reply TTL is 255-based.
+func Example_ping() {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	reply, ok := l.Prober.Ping(l.PE2Left, 64)
+	fmt.Println(ok, reply.ReplyTTL)
+	// Output:
+	// true 250
+}

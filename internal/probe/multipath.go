@@ -1,0 +1,87 @@
+package probe
+
+import (
+	"sort"
+
+	"wormhole/internal/netaddr"
+)
+
+// Multipath enumeration: ECMP routers hash the Paris flow identifier, so
+// varying it across traces exposes the per-hop interface sets — the
+// "diamonds" whose unequal branch lengths are the noise source the paper
+// identifies in its RTLA analysis (Fig. 9a's negative values). This is a
+// deliberately simple MDA-style sweep: a fixed number of flows per
+// destination rather than the full stochastic stopping rule.
+
+// MultipathResult describes the per-hop interface sets toward one
+// destination.
+type MultipathResult struct {
+	Dst netaddr.Addr
+	// Hops[i] lists the distinct responding addresses observed at probe
+	// TTL FirstTTL+i, sorted.
+	Hops [][]netaddr.Addr
+	// Flows is the number of distinct flow identifiers probed.
+	Flows int
+	// Reached reports whether at least one flow reached the destination.
+	Reached bool
+}
+
+// Diamonds returns the indices of hops where more than one interface
+// responded (load-balanced stages).
+func (m *MultipathResult) Diamonds() []int {
+	var out []int
+	for i, hs := range m.Hops {
+		if len(hs) > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxWidth returns the largest per-hop interface set size.
+func (m *MultipathResult) MaxWidth() int {
+	w := 0
+	for _, hs := range m.Hops {
+		if len(hs) > w {
+			w = len(hs)
+		}
+	}
+	return w
+}
+
+// Multipath traces dst once per flow identifier and merges the per-TTL
+// interface sets. The prober's FlowID is restored afterwards.
+func (p *Prober) Multipath(dst netaddr.Addr, flows int) *MultipathResult {
+	if flows < 1 {
+		flows = 1
+	}
+	saved := p.FlowID
+	defer func() { p.FlowID = saved }()
+
+	res := &MultipathResult{Dst: dst, Flows: flows}
+	sets := []map[netaddr.Addr]bool{}
+	for f := 0; f < flows; f++ {
+		p.FlowID = saved + uint16(f)*257 // spread hash inputs
+		tr := p.Traceroute(dst)
+		if tr.Reached {
+			res.Reached = true
+		}
+		for i, h := range tr.Hops {
+			for len(sets) <= i {
+				sets = append(sets, map[netaddr.Addr]bool{})
+			}
+			if !h.Anonymous() {
+				sets[i][h.Addr] = true
+			}
+		}
+	}
+	for _, s := range sets {
+		addrs := make([]netaddr.Addr, 0, len(s))
+		for a := range s {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		res.Hops = append(res.Hops, addrs)
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/router"
+)
+
+// buildDiamondNet wires vp - a - {b|c} - d - h: a load-balances between b
+// and c toward d.
+func buildDiamondNet(t *testing.T) (*Prober, *netsim.Host, []*router.Router) {
+	t.Helper()
+	net := netsim.New(6)
+	mk := func(name string, i int) *router.Router {
+		r := router.New(name, router.Cisco, router.Config{TTLPropagate: true})
+		r.SetLoopback(netaddr.AddrFrom4(192, 168, 66, byte(i+1)))
+		net.AddNode(r)
+		if err := net.RegisterIface(r.Loopback()); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b, c, d := mk("a", 0), mk("b", 1), mk("c", 2), mk("d", 3)
+	sub := 0
+	wire := func(x, y *router.Router) {
+		p := netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, 66, byte(sub), 0), 30)
+		sub++
+		xi := x.AddIface("to-"+y.Name(), p.Nth(1), p)
+		yi := y.AddIface("to-"+x.Name(), p.Nth(2), p)
+		net.Connect(xi, yi, time.Millisecond)
+		for _, ifc := range []*netsim.Iface{xi, yi} {
+			if err := net.RegisterIface(ifc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wire(a, b)
+	wire(a, c)
+	wire(b, d)
+	wire(c, d)
+
+	vpP := netaddr.MustParsePrefix("10.66.100.0/30")
+	vp := netsim.NewHost("vp", vpP.Nth(2), vpP)
+	net.AddNode(vp)
+	ai := a.AddIface("to-vp", vpP.Nth(1), vpP)
+	net.Connect(ai, vp.If, time.Millisecond)
+	hP := netaddr.MustParsePrefix("10.66.101.0/30")
+	h := netsim.NewHost("h", hP.Nth(2), hP)
+	net.AddNode(h)
+	di := d.AddIface("to-h", hP.Nth(1), hP)
+	net.Connect(di, h.If, time.Millisecond)
+	for _, ifc := range []*netsim.Iface{ai, vp.If, di, h.If} {
+		if err := net.RegisterIface(ifc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dom := &igp.Domain{Routers: []*router.Router{a, b, c, d}}
+	if _, err := dom.Compute(); err != nil {
+		t.Fatal(err)
+	}
+	return New(net, vp), h, []*router.Router{a, b, c, d}
+}
+
+func TestMultipathFindsDiamond(t *testing.T) {
+	p, h, rs := buildDiamondNet(t)
+	res := p.Multipath(h.Addr(), 24)
+	if !res.Reached {
+		t.Fatal("destination never reached")
+	}
+	diamonds := res.Diamonds()
+	if len(diamonds) == 0 {
+		t.Fatalf("no diamond found: %v", res.Hops)
+	}
+	ownersAt := func(stage []netaddr.Addr) map[string]bool {
+		owners := map[string]bool{}
+		for _, a := range stage {
+			for _, r := range rs {
+				for _, ifc := range r.Ifaces() {
+					if ifc.Addr == a {
+						owners[r.Name()] = true
+					}
+				}
+			}
+		}
+		return owners
+	}
+	// Stage 1 (probe TTL 2): the two load-balanced branches b and c.
+	if o := ownersAt(res.Hops[1]); !o["b"] || !o["c"] {
+		t.Errorf("branch stage owners = %v, want b and c", o)
+	}
+	// Stage 2 (probe TTL 3): the convergence router d, answering from the
+	// incoming interface of whichever branch the flow took — two distinct
+	// addresses of the SAME router, exactly what real MDA observes.
+	if o := ownersAt(res.Hops[2]); len(o) != 1 || !o["d"] {
+		t.Errorf("convergence stage owners = %v, want only d", o)
+	}
+	if res.MaxWidth() != 2 {
+		t.Errorf("MaxWidth = %d", res.MaxWidth())
+	}
+}
+
+func TestMultipathSingleFlowSeesOnePath(t *testing.T) {
+	p, h, _ := buildDiamondNet(t)
+	res := p.Multipath(h.Addr(), 1)
+	if len(res.Diamonds()) != 0 {
+		t.Errorf("single flow saw a diamond: %v", res.Hops)
+	}
+}
+
+func TestMultipathRestoresFlowID(t *testing.T) {
+	p, h, _ := buildDiamondNet(t)
+	want := p.FlowID
+	p.Multipath(h.Addr(), 5)
+	if p.FlowID != want {
+		t.Errorf("FlowID changed: %d -> %d", want, p.FlowID)
+	}
+}
+
+func TestMultipathOnLinearPath(t *testing.T) {
+	l := buildLine(t, 3)
+	res := l.prober.Multipath(l.host.Addr(), 8)
+	if len(res.Diamonds()) != 0 {
+		t.Errorf("linear path produced diamonds: %v", res.Hops)
+	}
+	if !res.Reached {
+		t.Error("not reached")
+	}
+}

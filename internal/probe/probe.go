@@ -1,0 +1,248 @@
+// Package probe implements the measurement side of the paper: a Paris
+// traceroute (stable per-flow identifier, so ECMP routers keep one path per
+// trace) and ping, both running over the simulation fabric the way
+// scamper's engines run over raw sockets.
+package probe
+
+import (
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+)
+
+// Hop is one line of traceroute output.
+type Hop struct {
+	// ProbeTTL is the TTL the probe carried.
+	ProbeTTL uint8
+	// Addr is the replying interface; zero for an anonymous hop (no reply).
+	Addr netaddr.Addr
+	// RTT is the virtual round-trip time.
+	RTT time.Duration
+	// ReplyTTL is the received IP TTL of the reply — the bracketed value
+	// in the paper's figures, the raw material of FRPLA and RTLA.
+	ReplyTTL uint8
+	// ICMPType/ICMPCode classify the reply.
+	ICMPType, ICMPCode uint8
+	// MPLS is the RFC 4950 label stack quoted by the replying LSR, if any.
+	MPLS packet.LabelStack
+}
+
+// Anonymous reports whether the hop went unanswered.
+func (h Hop) Anonymous() bool { return h.Addr.IsUnspecified() }
+
+// Labeled reports whether the hop exposed MPLS labels.
+func (h Hop) Labeled() bool { return len(h.MPLS) > 0 }
+
+// Trace is a complete traceroute.
+type Trace struct {
+	Src, Dst netaddr.Addr
+	Hops     []Hop
+	// Reached reports whether the destination itself replied.
+	Reached bool
+}
+
+// Last returns the final responding hop, if any.
+func (t *Trace) Last() (Hop, bool) {
+	for i := len(t.Hops) - 1; i >= 0; i-- {
+		if !t.Hops[i].Anonymous() {
+			return t.Hops[i], true
+		}
+	}
+	return Hop{}, false
+}
+
+// Len returns the hop distance of the destination if reached, else the
+// number of probed hops.
+func (t *Trace) Len() int { return len(t.Hops) }
+
+// PingReply is the outcome of one echo probe.
+type PingReply struct {
+	From     netaddr.Addr
+	RTT      time.Duration
+	ReplyTTL uint8
+	ICMPType uint8
+}
+
+// Method selects the probe type.
+type Method uint8
+
+const (
+	// ICMPParis sends ICMP echo requests with a fixed identifier (the
+	// paper's campaign configuration).
+	ICMPParis Method = iota
+	// UDPParis sends UDP probes with fixed ports (classic traceroute;
+	// the destination answers with port-unreachable).
+	UDPParis
+)
+
+// Prober issues probes from a vantage-point host. It is not safe for
+// concurrent use; campaigns run one Prober per vantage point sequentially
+// over the shared fabric.
+type Prober struct {
+	Net  *netsim.Network
+	Host *netsim.Host
+
+	// Method selects ICMP-echo (default) or UDP probing.
+	Method Method
+	// FirstTTL is the TTL of the first traceroute probe (the campaign
+	// uses 2, skipping the VP's own gateway, as in Sec. 4).
+	FirstTTL uint8
+	// MaxTTL bounds the traceroute.
+	MaxTTL uint8
+	// GapLimit stops a trace after this many consecutive anonymous hops.
+	GapLimit int
+	// Attempts retries an unanswered hop (rate-limited routers may answer
+	// the second probe). Minimum 1.
+	Attempts int
+	// FlowID is the Paris flow identifier (ICMP echo ID / UDP source port).
+	FlowID uint16
+
+	seq     uint16
+	pending *await
+
+	// Sent counts probe packets for campaign accounting.
+	Sent uint64
+}
+
+type await struct {
+	id, seq uint16
+	reply   *packet.Packet
+	rtt     time.Duration
+}
+
+// New creates a prober bound to a vantage-point host with scamper-like
+// defaults.
+func New(net *netsim.Network, host *netsim.Host) *Prober {
+	p := &Prober{Net: net, Host: host, FirstTTL: 1, MaxTTL: 30, GapLimit: 5, Attempts: 1, FlowID: 0x1234}
+	host.Handler = p.handle
+	return p
+}
+
+func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
+	if p.pending == nil || pkt.ICMP == nil {
+		return
+	}
+	m := pkt.ICMP
+	switch {
+	case m.Type == packet.ICMPEchoReply:
+		if m.ID == p.pending.id && m.Seq == p.pending.seq {
+			p.pending.reply = pkt
+		}
+	case m.IsError():
+		// ICMP probes are matched by quoted echo ID/Seq; UDP probes by
+		// quoted source/destination ports (the await fields hold whichever
+		// pair the probe carried).
+		if m.Quote != nil && m.Quote.ID == p.pending.id && m.Quote.Seq == p.pending.seq {
+			p.pending.reply = pkt
+		}
+	}
+}
+
+// sendAndWait injects one probe and drains the fabric, returning the
+// matching reply (nil if none arrived).
+func (p *Prober) sendAndWait(pkt *packet.Packet) (*packet.Packet, time.Duration) {
+	if pkt.UDP != nil {
+		p.pending = &await{id: pkt.UDP.SrcPort, seq: pkt.UDP.DstPort}
+	} else {
+		p.pending = &await{id: pkt.ICMP.ID, seq: pkt.ICMP.Seq}
+	}
+	p.Sent++
+	start := p.Net.Now()
+	p.Net.Inject(p.Host.If, pkt)
+	rtt := p.Net.Now() - start
+	reply := p.pending.reply
+	p.pending = nil
+	return reply, rtt
+}
+
+// buildProbe constructs one probe packet per the prober's method.
+func (p *Prober) buildProbe(dst netaddr.Addr, ttl uint8) *packet.Packet {
+	pkt := &packet.Packet{
+		IP: packet.IPv4{
+			TTL:      ttl,
+			Protocol: packet.ProtoICMP,
+			Src:      p.Host.Addr(),
+			Dst:      dst,
+		},
+	}
+	if p.Method == UDPParis {
+		pkt.IP.Protocol = packet.ProtoUDP
+		pkt.UDP = &packet.UDP{SrcPort: p.FlowID, DstPort: 33434 + p.seq%128}
+	} else {
+		pkt.ICMP = &packet.ICMP{Type: packet.ICMPEchoRequest, ID: p.FlowID, Seq: p.seq}
+	}
+	return pkt
+}
+
+// Traceroute traces toward dst.
+func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
+	tr := &Trace{Src: p.Host.Addr(), Dst: dst}
+	gaps := 0
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for ttl := p.FirstTTL; ttl <= p.MaxTTL; ttl++ {
+		var reply *packet.Packet
+		var rtt time.Duration
+		for try := 0; try < attempts && reply == nil; try++ {
+			p.seq++
+			reply, rtt = p.sendAndWait(p.buildProbe(dst, ttl))
+		}
+		hop := Hop{ProbeTTL: ttl}
+		if reply != nil {
+			hop.Addr = reply.IP.Src
+			hop.RTT = rtt
+			hop.ReplyTTL = reply.IP.TTL
+			hop.ICMPType = reply.ICMP.Type
+			hop.ICMPCode = reply.ICMP.Code
+			if reply.ICMP.Ext != nil {
+				hop.MPLS = reply.ICMP.Ext.LabelStack
+			}
+		}
+		tr.Hops = append(tr.Hops, hop)
+		if hop.Anonymous() {
+			gaps++
+			if gaps >= p.GapLimit {
+				break
+			}
+			continue
+		}
+		gaps = 0
+		if hop.ICMPType == packet.ICMPEchoReply || hop.ICMPType == packet.ICMPDestUnreach {
+			tr.Reached = true
+			break
+		}
+	}
+	return tr
+}
+
+// Ping sends one echo request with the given TTL (0 means 64) and reports
+// the reply.
+func (p *Prober) Ping(dst netaddr.Addr, ttl uint8) (PingReply, bool) {
+	if ttl == 0 {
+		ttl = 64
+	}
+	p.seq++
+	probe := &packet.Packet{
+		IP: packet.IPv4{
+			TTL:      ttl,
+			Protocol: packet.ProtoICMP,
+			Src:      p.Host.Addr(),
+			Dst:      dst,
+		},
+		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: p.FlowID, Seq: p.seq},
+	}
+	reply, rtt := p.sendAndWait(probe)
+	if reply == nil {
+		return PingReply{}, false
+	}
+	return PingReply{
+		From:     reply.IP.Src,
+		RTT:      rtt,
+		ReplyTTL: reply.IP.TTL,
+		ICMPType: reply.ICMP.Type,
+	}, true
+}

@@ -1,0 +1,51 @@
+package reveal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sample(rfa int) RFASample {
+	return RFASample{Forward: 5, Return: 5 + rfa}
+}
+
+func TestASAggregatorVerdicts(t *testing.T) {
+	a := NewASAggregator()
+	// AS 1: symmetric noise around 0 — not suspected.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a.Add(1, sample(rng.Intn(3)-1))
+	}
+	// AS 2: shifted by ~3 — suspected.
+	for i := 0; i < 100; i++ {
+		a.Add(2, sample(3+rng.Intn(3)-1))
+	}
+	// AS 3: shifted but too few samples.
+	for i := 0; i < 3; i++ {
+		a.Add(3, sample(4))
+	}
+
+	v1, ok := a.Verdict(1)
+	if !ok || v1.Suspected {
+		t.Errorf("AS1 verdict = %+v, want not suspected", v1)
+	}
+	v2, ok := a.Verdict(2)
+	if !ok || !v2.Suspected {
+		t.Errorf("AS2 verdict = %+v, want suspected", v2)
+	}
+	if v2.AvgTunnelLength < 2 || v2.AvgTunnelLength > 4 {
+		t.Errorf("AS2 avg tunnel length = %f, want ~3", v2.AvgTunnelLength)
+	}
+	v3, ok := a.Verdict(3)
+	if !ok || v3.Suspected {
+		t.Errorf("AS3 verdict = %+v, want suppressed by MinSamples", v3)
+	}
+	if _, ok := a.Verdict(99); ok {
+		t.Error("verdict for unseen AS")
+	}
+
+	vs := a.Verdicts()
+	if len(vs) != 3 || vs[0].ASN != 3 && vs[0].ASN != 2 {
+		t.Errorf("verdict order = %+v", vs)
+	}
+}

@@ -1,0 +1,75 @@
+package reveal
+
+import (
+	"testing"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/netaddr"
+)
+
+// TestDoubleTunnelCampaignHeuristicSeesOnlyLast reproduces the limitation
+// the paper states in Sec. 7: "when a trace goes through several invisible
+// tunnels, our current set of techniques only reveal the last one" — the
+// X, Y, D candidate heuristic looks at the final hops only.
+func TestDoubleTunnelCampaignHeuristicSeesOnlyLast(t *testing.T) {
+	l := lab.MustBuildDouble()
+	tr := l.Prober.Traceroute(l.CE2Left)
+	if !tr.Reached {
+		t.Fatalf("not reached: %+v", tr.Hops)
+	}
+	// Both tunnels compressed: CE1, PE1a, PE2a, PE1b, PE2b, CE2.
+	var seen []netaddr.Addr
+	for _, h := range tr.Hops {
+		if !h.Anonymous() {
+			seen = append(seen, h.Addr)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("visible hops = %v, want 6 (both tunnels hidden)", seen)
+	}
+
+	cand, ok := CandidateFromTrace(tr)
+	if !ok {
+		t.Fatal("no candidate")
+	}
+	// The candidate is the LAST tunnel (AS3's PE1b -> PE2b).
+	if cand.Ingress.Addr != l.PE1bLeft || cand.Egress.Addr != l.PE2bLeft {
+		t.Fatalf("candidate = %s -> %s, want the second AS's pair", cand.Ingress.Addr, cand.Egress.Addr)
+	}
+	rev := Reveal(l.Prober, cand.Ingress.Addr, cand.Egress.Addr)
+	if len(rev.Hops) != 2 {
+		t.Fatalf("revealed %v, want P1b, P2b", rev.Hops)
+	}
+	// The first tunnel's interior stays hidden under this heuristic.
+	for _, h := range rev.Hops {
+		if h == l.P1aLeft || h == l.P2aLeft {
+			t.Errorf("first tunnel's hop %s revealed by the last-tunnel heuristic", h)
+		}
+	}
+}
+
+// TestDoubleTunnelAugmentedTracerouteRevealsBoth shows the TNT-style
+// tracer lifting that limitation: triggers fire at every suspicious hop
+// pair, so both tunnels are revealed in one pass.
+func TestDoubleTunnelAugmentedTracerouteRevealsBoth(t *testing.T) {
+	l := lab.MustBuildDouble()
+	at := AugmentedTraceroute(l.Prober, l.CE2Left)
+	if !at.Reached {
+		t.Fatal("not reached")
+	}
+	hidden := map[netaddr.Addr]bool{}
+	for _, h := range at.Hops {
+		for _, a := range h.Hidden {
+			hidden[a] = true
+		}
+	}
+	for _, want := range []netaddr.Addr{l.P1aLeft, l.P2aLeft, l.P1bLeft, l.P2bLeft} {
+		if !hidden[want] {
+			t.Errorf("hidden hop %s not revealed (got %v)", want, hidden)
+		}
+	}
+	// Full path: 6 visible + 4 hidden.
+	if at.PathLength() != 10 {
+		t.Errorf("PathLength = %d, want 10", at.PathLength())
+	}
+}

@@ -1,0 +1,62 @@
+package reveal_test
+
+import (
+	"fmt"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/reveal"
+)
+
+// ExampleReveal shows the full revelation workflow: trace, extract the
+// candidate pair, reveal the hidden LSRs.
+func ExampleReveal() {
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+
+	tr := l.Prober.Traceroute(l.CE2Left)
+	cand, _ := reveal.CandidateFromTrace(tr)
+	rev := reveal.Reveal(l.Prober, cand.Ingress.Addr, cand.Egress.Addr)
+
+	fmt.Printf("technique: %s\n", rev.Technique)
+	for i, h := range rev.Hops {
+		fmt.Printf("hidden %d: %s\n", i+1, h)
+	}
+	// Output:
+	// technique: BRPR
+	// hidden 1: 10.2.1.2
+	// hidden 2: 10.2.2.2
+	// hidden 3: 10.2.3.2
+}
+
+// ExampleFRPLA derives the forward/return asymmetry for the tunnel's
+// egress LER: +3 means three hidden hops leaked into the return path.
+func ExampleFRPLA() {
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	tr := l.Prober.Traceroute(l.CE2Left)
+	for _, h := range tr.Hops {
+		if h.Addr != l.PE2Left {
+			continue
+		}
+		s, _ := reveal.FRPLA(h, 255)
+		fmt.Printf("forward=%d return=%d rfa=%+d\n", s.Forward, s.Return, s.RFA())
+	}
+	// Output:
+	// forward=3 return=6 rfa=+3
+}
+
+// ExampleRTLA computes the exact return tunnel length from the TTL gap of
+// a Juniper-signature egress.
+func ExampleRTLA() {
+	fmt.Println(reveal.RTLA(250, 62)) // te path 5, echo path 2
+	// Output:
+	// 3
+}
+
+// ExampleAugmentedTraceroute runs the TNT-style tracer: triggers fire and
+// hidden hops appear inline.
+func ExampleAugmentedTraceroute() {
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	at := reveal.AugmentedTraceroute(l.Prober, l.CE2Left)
+	fmt.Printf("visible+hidden path length: %d\n", at.PathLength())
+	// Output:
+	// visible+hidden path length: 7
+}

@@ -1,0 +1,145 @@
+package reveal
+
+import (
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/probe"
+)
+
+// The paper's conclusion envisions "a modification of traceroute, using
+// FRPLA and RTLA as triggers for the presence of invisible tunnels, and
+// BRPR and DPR to reveal the internal nodes on the fly" (the design that
+// later became the authors' TNT tool). AugmentedTraceroute implements it:
+// a single traceroute whose hops carry trigger annotations and inline
+// revelations.
+
+// Trigger names the signal that flagged a hidden tunnel.
+type Trigger string
+
+const (
+	// TriggerNone: nothing suspicious.
+	TriggerNone Trigger = ""
+	// TriggerFRPLA: the return/forward asymmetry jumped across this hop.
+	TriggerFRPLA Trigger = "frpla"
+	// TriggerRTLA: the time-exceeded/echo-reply gap exposed a return
+	// tunnel at this hop.
+	TriggerRTLA Trigger = "rtla"
+)
+
+// AugmentedHop is one output line of the augmented traceroute.
+type AugmentedHop struct {
+	probe.Hop
+	// Trigger tells why revelation ran after this hop.
+	Trigger Trigger
+	// RTLAEstimate is the return tunnel length when TriggerRTLA fired.
+	RTLAEstimate int
+	// Hidden lists LSRs revealed between this hop and the next one.
+	Hidden []netaddr.Addr
+	// Technique says how the hidden hops were obtained.
+	Technique Technique
+}
+
+// AugmentedTrace is a traceroute with inline tunnel revelation.
+type AugmentedTrace struct {
+	Dst     netaddr.Addr
+	Hops    []AugmentedHop
+	Reached bool
+	// ExtraProbes counts the additional traces and pings spent on
+	// triggers and revelations beyond the base traceroute.
+	ExtraProbes uint64
+}
+
+// PathLength returns the hop count including revealed hidden hops.
+func (t *AugmentedTrace) PathLength() int {
+	n := 0
+	for _, h := range t.Hops {
+		if !h.Anonymous() {
+			n++
+		}
+		n += len(h.Hidden)
+	}
+	return n
+}
+
+// frplaJump is the asymmetry increase between consecutive hops that fires
+// the FRPLA trigger. A jump of 2+ hops across one link is unlikely from
+// plain routing asymmetry (which accumulates gradually) but exactly what
+// an invisible tunnel produces at its egress.
+const frplaJump = 2
+
+// AugmentedTraceroute traces dst and, at every hop pair where FRPLA or
+// RTLA signals a hidden tunnel, runs the revelation process inline.
+func AugmentedTraceroute(p *probe.Prober, dst netaddr.Addr) *AugmentedTrace {
+	fp := fingerprint.New(p)
+	base := p.Traceroute(dst)
+	sentBefore := p.Sent
+
+	out := &AugmentedTrace{Dst: dst, Reached: base.Reached}
+	for _, h := range base.Hops {
+		out.Hops = append(out.Hops, AugmentedHop{Hop: h})
+	}
+
+	// Walk consecutive responding hop pairs (x, y).
+	prev := -1
+	for i := range out.Hops {
+		if out.Hops[i].Anonymous() {
+			continue
+		}
+		if prev < 0 {
+			prev = i
+			continue
+		}
+		x, y := &out.Hops[prev], &out.Hops[i]
+		prev = i
+
+		trigger, rtl := detect(fp, x, y)
+		if trigger == TriggerNone {
+			continue
+		}
+		x.Trigger = trigger
+		x.RTLAEstimate = rtl
+		rev := Reveal(p, x.Addr, y.Addr)
+		if len(rev.Hops) > 0 {
+			x.Hidden = rev.Hops
+			x.Technique = rev.Technique
+		}
+	}
+	out.ExtraProbes = p.Sent - sentBefore
+	return out
+}
+
+// detect applies the two analytical triggers to a hop pair. Hops already
+// carrying RFC 4950 labels belong to an explicit tunnel: there is nothing
+// to reveal, and their replies detour via the tunnel tail, which would
+// inflate FRPLA into a false positive.
+func detect(fp *fingerprint.Fingerprinter, x, y *AugmentedHop) (Trigger, int) {
+	if x.Labeled() || y.Labeled() {
+		return TriggerNone, 0
+	}
+	fy, okY := fp.FromHop(y.Hop)
+	if okY && fy.Class == fingerprint.JuniperLike {
+		if rtl := RTLA(y.ReplyTTL, fy.EchoReplyTTL); rtl > 0 {
+			return TriggerRTLA, rtl
+		}
+	}
+	fx, okX := fp.FromHop(x.Hop)
+	if !okX || !okY {
+		return TriggerNone, 0
+	}
+	sx, okSX := FRPLA(x.Hop, fx.Signature.TimeExceeded)
+	sy, okSY := FRPLA(y.Hop, fy.Signature.TimeExceeded)
+	if !okSX || !okSY {
+		return TriggerNone, 0
+	}
+	// Primary signal: the asymmetry jumps across the pair. Secondary: the
+	// far hop's absolute asymmetry is tunnel-sized and grew — the jump
+	// alone undercounts when the reply's originator is not the return
+	// tunnel's ingress (the LSE starts at 255 while the IP TTL has already
+	// been decremented, so min() leaks fewer hops; with enough offset the
+	// leak vanishes entirely, which is why a trace across two invisible
+	// ASes shows the middle LERs with dampened asymmetry).
+	if sy.RFA()-sx.RFA() >= frplaJump || (sy.RFA() >= frplaJump && sy.RFA() > sx.RFA()) {
+		return TriggerFRPLA, 0
+	}
+	return TriggerNone, 0
+}

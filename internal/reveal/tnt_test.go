@@ -1,0 +1,92 @@
+package reveal
+
+import (
+	"testing"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/router"
+)
+
+func TestAugmentedTracerouteRevealsInline(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	at := AugmentedTraceroute(l.Prober, l.CE2Left)
+	if !at.Reached {
+		t.Fatal("not reached")
+	}
+	// The PE1 hop must carry the trigger and the three hidden LSRs.
+	var pe1 *AugmentedHop
+	for i := range at.Hops {
+		if at.Hops[i].Addr == l.PE1Left {
+			pe1 = &at.Hops[i]
+		}
+	}
+	if pe1 == nil {
+		t.Fatal("PE1 not in trace")
+	}
+	if pe1.Trigger == TriggerNone {
+		t.Fatal("no trigger fired at the tunnel ingress")
+	}
+	if len(pe1.Hidden) != 3 {
+		t.Fatalf("revealed %d hidden hops (%v), want 3", len(pe1.Hidden), pe1.Hidden)
+	}
+	want := []string{l.P1Left.String(), l.P2Left.String(), l.P3Left.String()}
+	for i, h := range pe1.Hidden {
+		if h.String() != want[i] {
+			t.Errorf("hidden[%d] = %s, want %s", i, h, want[i])
+		}
+	}
+	// Path length: 4 visible + 3 hidden.
+	if at.PathLength() != 7 {
+		t.Errorf("PathLength = %d, want 7", at.PathLength())
+	}
+	if at.ExtraProbes == 0 {
+		t.Error("extra probe accounting missing")
+	}
+}
+
+func TestAugmentedTracerouteRTLATrigger(t *testing.T) {
+	l := lab.MustBuild(lab.Options{
+		Scenario:       lab.BackwardRecursive,
+		PE2Personality: router.Juniper,
+	})
+	at := AugmentedTraceroute(l.Prober, l.CE2Left)
+	var pe1 *AugmentedHop
+	for i := range at.Hops {
+		if at.Hops[i].Addr == l.PE1Left {
+			pe1 = &at.Hops[i]
+		}
+	}
+	if pe1 == nil || pe1.Trigger != TriggerRTLA {
+		t.Fatalf("RTLA trigger did not fire: %+v", pe1)
+	}
+	if pe1.RTLAEstimate != 3 {
+		t.Errorf("RTLA estimate = %d, want 3", pe1.RTLAEstimate)
+	}
+}
+
+func TestAugmentedTracerouteQuietOnVisibleTunnel(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	at := AugmentedTraceroute(l.Prober, l.CE2Left)
+	for _, h := range at.Hops {
+		if h.Trigger != TriggerNone {
+			t.Errorf("trigger %s fired on a visible tunnel at %s", h.Trigger, h.Addr)
+		}
+		if len(h.Hidden) != 0 {
+			t.Errorf("phantom revelation at %s: %v", h.Addr, h.Hidden)
+		}
+	}
+	// 7 visible hops, nothing hidden.
+	if at.PathLength() != 7 {
+		t.Errorf("PathLength = %d, want 7", at.PathLength())
+	}
+}
+
+func TestAugmentedTracerouteUHPStaysDark(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.TotallyInvisible})
+	at := AugmentedTraceroute(l.Prober, l.CE2Left)
+	for _, h := range at.Hops {
+		if len(h.Hidden) != 0 {
+			t.Errorf("UHP tunnel revealed at %s: %v", h.Addr, h.Hidden)
+		}
+	}
+}

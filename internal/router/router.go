@@ -1,0 +1,536 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+)
+
+// Router is an emulated Label Switching Router (or plain IP router when
+// MPLS is disabled). It implements netsim.Node.
+type Router struct {
+	name string
+	os   Personality
+	cfg  Config
+	asn  uint32
+
+	loopback *netsim.Iface
+	ifaces   []*netsim.Iface
+	local    map[netaddr.Addr]bool
+
+	fib      netaddr.Trie[*Route]
+	bindings netaddr.Trie[*Binding]
+	lfib     map[uint32]*LFIBEntry
+
+	nextLabel uint32
+	lastICMP  time.Duration
+	icmpSent  bool
+
+	// Stats counts data-plane events; tests and the campaign post-mortem
+	// read them.
+	Stats Stats
+
+	// ControlHandler, when set, receives control-plane packets (OSPF and
+	// the like) addressed to the router or multicast on a link. In-band
+	// routing protocols register here.
+	ControlHandler func(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet)
+}
+
+// Stats are per-router data-plane counters.
+type Stats struct {
+	Received      uint64
+	Forwarded     uint64
+	Dropped       uint64
+	TimeExceeded  uint64
+	EchoReplies   uint64
+	LabelSwitched uint64
+	RateLimited   uint64
+}
+
+// firstLabel is the first non-reserved MPLS label (RFC 3032 reserves 0-15).
+const firstLabel = 16
+
+// New creates a router with the given OS personality and configuration.
+func New(name string, os Personality, cfg Config) *Router {
+	return &Router{
+		name:      name,
+		os:        os,
+		cfg:       cfg,
+		local:     make(map[netaddr.Addr]bool),
+		lfib:      make(map[uint32]*LFIBEntry),
+		nextLabel: firstLabel,
+	}
+}
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// Personality returns the router's OS personality.
+func (r *Router) Personality() Personality { return r.os }
+
+// SetPersonality swaps the OS personality (scenario variants in
+// experiments re-type a router without rebuilding the testbed).
+func (r *Router) SetPersonality(p Personality) { r.os = p }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// SetConfig replaces the configuration (emulation scenarios reconfigure
+// routers between runs).
+func (r *Router) SetConfig(cfg Config) { r.cfg = cfg }
+
+// ASN returns the router's autonomous system number.
+func (r *Router) ASN() uint32 { return r.asn }
+
+// SetASN assigns the router to an AS.
+func (r *Router) SetASN(asn uint32) { r.asn = asn }
+
+// AddIface attaches a new interface bearing addr within prefix. The
+// interface must still be connected via netsim.Network.Connect.
+func (r *Router) AddIface(name string, addr netaddr.Addr, prefix netaddr.Prefix) *netsim.Iface {
+	ifc := &netsim.Iface{Owner: r, Name: name, Addr: addr, Prefix: prefix}
+	r.ifaces = append(r.ifaces, ifc)
+	r.local[addr] = true
+	return ifc
+}
+
+// SetLoopback assigns the loopback /32; LDP host-routes policies advertise
+// labels for exactly these.
+func (r *Router) SetLoopback(addr netaddr.Addr) *netsim.Iface {
+	r.loopback = &netsim.Iface{Owner: r, Name: "lo0", Addr: addr, Prefix: netaddr.HostPrefix(addr)}
+	r.local[addr] = true
+	return r.loopback
+}
+
+// Loopback returns the loopback interface (nil if unset).
+func (r *Router) Loopback() *netsim.Iface { return r.loopback }
+
+// Ifaces returns the physical interfaces (loopback excluded).
+func (r *Router) Ifaces() []*netsim.Iface { return r.ifaces }
+
+// IsLocal reports whether addr is one of the router's own addresses.
+func (r *Router) IsLocal(addr netaddr.Addr) bool { return r.local[addr] }
+
+// InstallRoute adds or replaces a FIB entry.
+func (r *Router) InstallRoute(p netaddr.Prefix, rt *Route) {
+	if len(rt.NextHops) == 0 {
+		panic(fmt.Sprintf("router %s: route for %s with no next hops", r.name, p))
+	}
+	r.fib.Insert(p, rt)
+}
+
+// LookupRoute resolves dst through the FIB (tests and control-plane
+// builders use it).
+func (r *Router) LookupRoute(dst netaddr.Addr) (netaddr.Prefix, *Route, bool) {
+	return r.fib.LookupPrefix(dst)
+}
+
+// GetRoute returns the FIB entry for exactly p, without LPM semantics.
+func (r *Router) GetRoute(p netaddr.Prefix) (*Route, bool) {
+	return r.fib.Get(p)
+}
+
+// DeleteRoute removes the FIB entry for exactly p (BGP withdrawals).
+func (r *Router) DeleteRoute(p netaddr.Prefix) bool {
+	return r.fib.Delete(p)
+}
+
+// WalkRoutes visits every FIB entry.
+func (r *Router) WalkRoutes(fn func(netaddr.Prefix, *Route) bool) { r.fib.Walk(fn) }
+
+// InstallBinding adds a label-imposition entry for a FEC.
+func (r *Router) InstallBinding(b *Binding) { r.bindings.Insert(b.FEC, b) }
+
+// InstallLFIB adds an incoming-label entry.
+func (r *Router) InstallLFIB(e *LFIBEntry) { r.lfib[e.InLabel] = e }
+
+// ClearMPLS removes all label state (scenario reconfiguration).
+func (r *Router) ClearMPLS() {
+	r.bindings = netaddr.Trie[*Binding]{}
+	r.lfib = make(map[uint32]*LFIBEntry)
+	r.nextLabel = firstLabel
+}
+
+// AllocLabel returns a fresh label from the router's platform-wide space.
+func (r *Router) AllocLabel() uint32 {
+	l := r.nextLabel
+	r.nextLabel++
+	return l
+}
+
+// Receive implements netsim.Node.
+func (r *Router) Receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	r.Stats.Received++
+	if pkt.Labeled() {
+		if !r.cfg.MPLSEnabled {
+			r.Stats.Dropped++
+			return
+		}
+		r.receiveMPLS(net, in, pkt)
+		return
+	}
+	r.receiveIP(net, in, pkt)
+}
+
+// ---- Plain IP path ----
+
+func (r *Router) receiveIP(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	if pkt.IP.Protocol == packet.ProtoOSPF ||
+		(pkt.IP.Protocol == packet.ProtoTCP && pkt.Raw != nil && r.local[pkt.IP.Dst]) {
+		// Control-plane traffic: OSPF is link-local; LDP sessions (TCP
+		// 646 in reality) are modeled as Raw TCP datagrams between
+		// adjacent routers. Never forwarded as data.
+		if r.ControlHandler != nil {
+			r.ControlHandler(net, in, pkt)
+		}
+		return
+	}
+	if r.local[pkt.IP.Dst] {
+		r.deliverLocal(net, in, pkt)
+		return
+	}
+	if pkt.IP.TTL <= 1 {
+		r.sendTimeExceeded(net, in, pkt)
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.IP.TTL--
+	r.forward(net, fwd)
+}
+
+// Originate routes a locally-generated packet (no TTL decrement).
+func (r *Router) Originate(net *netsim.Network, pkt *packet.Packet) {
+	r.forward(net, pkt)
+}
+
+// forward performs the FIB lookup, label imposition when a binding covers
+// the packet's FEC, and transmission. TTL adjustments have already been
+// made by the caller.
+func (r *Router) forward(net *netsim.Network, pkt *packet.Packet) {
+	matched, rt, ok := r.fib.LookupPrefix(pkt.IP.Dst)
+	if !ok {
+		r.Stats.Dropped++
+		return
+	}
+	if r.cfg.MPLSEnabled {
+		if b := r.lookupBinding(matched, rt, pkt.IP.Dst); b != nil {
+			r.impose(net, pkt, b)
+			return
+		}
+	}
+	nh := pickNextHop(rt.NextHops, pkt)
+	r.Stats.Forwarded++
+	net.Transmit(nh.Out, pkt)
+}
+
+// lookupBinding resolves the FEC for a route per Sec. 3.2: BGP routes are
+// switched toward the BGP next hop's FEC; IGP routes toward the matched
+// prefix itself (only when LDP advertised exactly that FEC, keeping LSPs
+// congruent with the IGP); connected routes are never labeled (the router
+// is the egress).
+func (r *Router) lookupBinding(matched netaddr.Prefix, rt *Route, dst netaddr.Addr) *Binding {
+	switch rt.Origin {
+	case OriginConnected:
+		return nil
+	case OriginBGP:
+		if rt.BGPNextHop.IsUnspecified() {
+			return nil
+		}
+		fec, b, ok := r.bindings.LookupPrefix(rt.BGPNextHop)
+		if ok && fec.IsHost() {
+			return b
+		}
+		// Fall back to a covering binding for the next hop (all-prefix
+		// LDP may have bound the loopback's containing prefix).
+		if ok {
+			return b
+		}
+		return nil
+	default:
+		b, ok := r.bindings.Get(matched)
+		if !ok {
+			return nil
+		}
+		return b
+	}
+}
+
+// impose pushes the FEC's label (or forwards unlabeled for implicit null)
+// and transmits.
+func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
+	hop := pickLabelHop(b.NextHops, pkt)
+	r.Stats.Forwarded++
+	lseTTL := uint8(255)
+	if r.cfg.TTLPropagate {
+		lseTTL = pkt.IP.TTL
+	}
+	// Deeper labels first (segment lists), then the top label.
+	for i := len(hop.Under) - 1; i >= 0; i-- {
+		pkt.MPLS = pkt.MPLS.Push(packet.LSE{Label: hop.Under[i], TTL: lseTTL})
+	}
+	switch hop.Label {
+	case OutLabelImplicitNull:
+		// PHP pre-applied: nothing more on the wire for the top segment.
+		net.Transmit(hop.Out, pkt)
+	default:
+		pkt.MPLS = pkt.MPLS.Push(packet.LSE{Label: hop.Label, TTL: lseTTL})
+		net.Transmit(hop.Out, pkt)
+	}
+}
+
+// ---- MPLS path ----
+
+func (r *Router) receiveMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	r.switchMPLS(net, in, pkt, true)
+}
+
+// switchMPLS performs one label operation. decrement is false when the
+// packet is being re-processed at the same router after an inner label
+// surfaced (a router charges the TTL once per hop, not once per label).
+func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, decrement bool) {
+	top, _ := pkt.MPLS.Top()
+	entry, ok := r.lfib[top.Label]
+	if !ok {
+		r.Stats.Dropped++
+		return
+	}
+	newTTL := top.TTL
+	if decrement {
+		if top.TTL <= 1 {
+			r.mplsExpired(net, in, pkt, entry)
+			return
+		}
+		newTTL = top.TTL - 1
+	} else if top.TTL == 0 {
+		r.mplsExpired(net, in, pkt, entry)
+		return
+	}
+	r.Stats.LabelSwitched++
+
+	if entry.PopLocal {
+		r.disposeUHP(net, in, pkt, newTTL)
+		return
+	}
+
+	hop := pickLabelHop(entry.NextHops, pkt)
+	fwd := pkt.Clone()
+	switch hop.Label {
+	case OutLabelImplicitNull:
+		// Penultimate-hop pop. The min(IP, LSE) loop guard is applied
+		// here, statelessly, whatever the ingress propagation setting —
+		// this is the leak FRPLA and RTLA measure.
+		_, rest, _ := fwd.MPLS.Pop()
+		fwd.MPLS = rest
+		if rest.Empty() {
+			if r.os.MinOnPop && newTTL < fwd.IP.TTL {
+				fwd.IP.TTL = newTTL
+			}
+		} else if r.os.MinOnPop && newTTL < rest[0].TTL {
+			rest[0].TTL = newTTL
+		}
+		// PHP forwards to the LFIB next hop directly; no IP lookup and no
+		// IP TTL decrement happen at the popping LSR.
+		net.Transmit(hop.Out, fwd)
+	default:
+		// Swap (possibly to explicit null for a UHP egress downstream).
+		fwd.MPLS[0] = packet.LSE{Label: hop.Label, TTL: newTTL, Bottom: fwd.MPLS[0].Bottom}
+		net.Transmit(hop.Out, fwd)
+	}
+}
+
+// disposeUHP handles the egress's own pop of an explicit-null label.
+// With ttl-propagate the egress behaves like an IP hop (min copy, expiry
+// check). Without it — the invisible case — the IP TTL is decremented with
+// no expiry check and no min copy: the TTL check already happened at the
+// MPLS layer, so the tunnel *and the egress* stay invisible (Fig. 4d).
+func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, lseTTL uint8) {
+	fwd := pkt.Clone()
+	_, rest, _ := fwd.MPLS.Pop()
+	fwd.MPLS = rest
+	if !rest.Empty() {
+		// Nested tunnels: propagate the TTL downward and keep switching —
+		// without a second decrement at this router.
+		if r.os.MinOnPop && lseTTL < rest[0].TTL {
+			rest[0].TTL = lseTTL
+		}
+		r.switchMPLS(net, in, fwd, false)
+		return
+	}
+	if r.cfg.TTLPropagate {
+		if lseTTL < fwd.IP.TTL {
+			fwd.IP.TTL = lseTTL
+		}
+		if r.local[fwd.IP.Dst] {
+			r.deliverLocal(net, in, fwd)
+			return
+		}
+		if fwd.IP.TTL == 0 {
+			r.sendTimeExceeded(net, in, fwd)
+			return
+		}
+		r.forward(net, fwd)
+		return
+	}
+	if r.local[fwd.IP.Dst] {
+		r.deliverLocal(net, in, fwd)
+		return
+	}
+	if fwd.IP.TTL > 0 {
+		fwd.IP.TTL--
+	}
+	r.forward(net, fwd)
+}
+
+// mplsExpired generates the time-exceeded for an LSE TTL expiry and
+// forwards it the way real LSRs do: by applying the expired packet's own
+// LFIB entry. A swap sends the reply down the remaining LSP to the tunnel
+// tail before it can turn around (the +k return TTLs of Fig. 4a); a pop
+// leaves a plain IP reply that is routed — and possibly re-tunneled —
+// immediately.
+func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, entry *LFIBEntry) {
+	if r.cfg.Silent || r.cfg.NoICMPTimeExceeded || !r.icmpAllowed(net) {
+		r.Stats.Dropped++
+		return
+	}
+	te := r.buildTimeExceeded(in, pkt)
+	if r.os.RFC4950 {
+		te.ICMP.Ext = &packet.Extension{LabelStack: pkt.MPLS.Clone()}
+	}
+	r.Stats.TimeExceeded++
+
+	if entry.PopLocal {
+		r.Originate(net, te)
+		return
+	}
+	hop := pickLabelHop(entry.NextHops, pkt)
+	switch hop.Label {
+	case OutLabelImplicitNull:
+		if len(pkt.MPLS) > 1 {
+			// Still labeled below the popped entry: ride the rest of the LSP.
+			te.MPLS = pkt.MPLS[1:].Clone()
+			for i := range te.MPLS {
+				te.MPLS[i].TTL = r.os.TimeExceededTTL
+			}
+			net.Transmit(hop.Out, te)
+			return
+		}
+		// Pop exposes plain IP: route the reply from here.
+		r.Originate(net, te)
+	default:
+		te.MPLS = packet.LabelStack{{Label: hop.Label, TTL: r.os.TimeExceededTTL, Bottom: true}}
+		net.Transmit(hop.Out, te)
+	}
+}
+
+// ---- ICMP generation ----
+
+func (r *Router) buildTimeExceeded(in *netsim.Iface, pkt *packet.Packet) *packet.Packet {
+	src := in.Addr
+	return &packet.Packet{
+		IP: packet.IPv4{
+			TTL:      r.os.TimeExceededTTL,
+			Protocol: packet.ProtoICMP,
+			Src:      src,
+			Dst:      pkt.IP.Src,
+		},
+		ICMP: &packet.ICMP{
+			Type:  packet.ICMPTimeExceeded,
+			Code:  packet.CodeTTLExpired,
+			Quote: quoteOf(pkt),
+		},
+	}
+}
+
+func (r *Router) sendTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	if r.cfg.Silent || r.cfg.NoICMPTimeExceeded || !r.icmpAllowed(net) {
+		r.Stats.Dropped++
+		return
+	}
+	r.Stats.TimeExceeded++
+	r.Originate(net, r.buildTimeExceeded(in, pkt))
+}
+
+// icmpAllowed applies the ICMPInterval rate limit against virtual time.
+func (r *Router) icmpAllowed(net *netsim.Network) bool {
+	if r.cfg.ICMPInterval == 0 || net == nil {
+		return true
+	}
+	now := net.Now()
+	if r.icmpSent && now-r.lastICMP < r.cfg.ICMPInterval {
+		r.Stats.RateLimited++
+		return false
+	}
+	r.lastICMP = now
+	r.icmpSent = true
+	return true
+}
+
+func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	if r.cfg.Silent {
+		r.Stats.Dropped++
+		return
+	}
+	switch {
+	case pkt.IP.Protocol == packet.ProtoICMP && pkt.ICMP != nil && pkt.ICMP.Type == packet.ICMPEchoRequest:
+		r.Stats.EchoReplies++
+		reply := &packet.Packet{
+			IP: packet.IPv4{
+				TTL:      r.os.EchoReplyTTL,
+				Protocol: packet.ProtoICMP,
+				Src:      pkt.IP.Dst, // reply from the targeted address
+				Dst:      pkt.IP.Src,
+			},
+			ICMP:       &packet.ICMP{Type: packet.ICMPEchoReply, ID: pkt.ICMP.ID, Seq: pkt.ICMP.Seq},
+			PayloadLen: pkt.PayloadLen,
+		}
+		r.Originate(net, reply)
+	case pkt.IP.Protocol == packet.ProtoUDP && pkt.UDP != nil:
+		src := pkt.IP.Dst
+		if r.os.ReplyFromOutgoing {
+			// Source the unreachable from the interface the reply leaves
+			// through (Mercator's alias signal).
+			if _, rt, ok := r.fib.LookupPrefix(pkt.IP.Src); ok {
+				src = pickNextHop(rt.NextHops, pkt).Out.Addr
+			}
+		}
+		reply := &packet.Packet{
+			IP: packet.IPv4{
+				TTL:      r.os.TimeExceededTTL,
+				Protocol: packet.ProtoICMP,
+				Src:      src,
+				Dst:      pkt.IP.Src,
+			},
+			ICMP: &packet.ICMP{
+				Type:  packet.ICMPDestUnreach,
+				Code:  packet.CodePortUnreach,
+				Quote: quoteOf(pkt),
+			},
+		}
+		r.Originate(net, reply)
+	case pkt.IP.Protocol == packet.ProtoOSPF,
+		pkt.IP.Protocol == packet.ProtoTCP && pkt.Raw != nil:
+		// Control traffic delivered through a label disposition path
+		// (e.g. multi-hop iBGP across a UHP tunnel) lands here rather
+		// than in receiveIP.
+		if r.ControlHandler != nil {
+			r.ControlHandler(net, in, pkt)
+		}
+	default:
+		// ICMP errors or replies addressed to the router: consumed.
+	}
+}
+
+func quoteOf(pkt *packet.Packet) *packet.Quote {
+	q := &packet.Quote{IP: pkt.IP}
+	switch {
+	case pkt.ICMP != nil:
+		q.ICMPType, q.ICMPCode = pkt.ICMP.Type, pkt.ICMP.Code
+		q.ID, q.Seq = pkt.ICMP.ID, pkt.ICMP.Seq
+	case pkt.UDP != nil:
+		q.ID, q.Seq = pkt.UDP.SrcPort, pkt.UDP.DstPort
+	}
+	return q
+}

@@ -1,0 +1,147 @@
+package router
+
+import (
+	"hash/fnv"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+)
+
+// Origin records how a FIB route was learned; it determines the FEC used
+// for label imposition (Sec. 3.2: external BGP traffic is switched toward
+// the BGP next hop, internal traffic toward the destination prefix itself).
+type Origin uint8
+
+const (
+	OriginConnected Origin = iota
+	OriginIGP
+	OriginBGP
+	OriginStatic
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginConnected:
+		return "connected"
+	case OriginIGP:
+		return "igp"
+	case OriginBGP:
+		return "bgp"
+	default:
+		return "static"
+	}
+}
+
+// NextHop is one forwarding alternative of a route.
+type NextHop struct {
+	Out *netsim.Iface
+	// Gateway is the next router's interface address; zero for connected
+	// routes (point-to-point delivery straight out of Out).
+	Gateway netaddr.Addr
+}
+
+// Route is a FIB entry. Multiple next hops model ECMP; the per-flow hash
+// picks one, so Paris traceroute (constant flow identifier) sees a stable
+// path.
+type Route struct {
+	Origin   Origin
+	NextHops []NextHop
+	// BGPNextHop is the iBGP next hop (the egress LER loopback) for
+	// OriginBGP routes; label imposition resolves the FEC through it.
+	BGPNextHop netaddr.Addr
+}
+
+// Special out-label sentinels in a LabelHop. Real label values start at 16,
+// so the reserved range below 16 is free for signaling.
+const (
+	// OutLabelImplicitNull means "do not push / pop before forwarding":
+	// the downstream router advertised implicit-null (it is the egress and
+	// PHP applies).
+	OutLabelImplicitNull = packet.LabelImplicitNull
+	// OutLabelExplicitNull pushes/swaps to label 0: the downstream router
+	// is a UHP egress.
+	OutLabelExplicitNull = packet.LabelExplicitNull
+)
+
+// LabelHop is one labeled forwarding alternative.
+type LabelHop struct {
+	Out   *netsim.Iface
+	Label uint32 // outgoing/top label, or one of the OutLabel sentinels
+	// Under lists additional labels imposed beneath the top one (Under[0]
+	// directly below it). Segment-routing steering uses this to push a
+	// whole segment list in one imposition; LDP never sets it.
+	Under []uint32
+}
+
+// Binding is the imposition entry for a FEC at an ingress/transit router:
+// push (or not, for implicit null) and forward.
+type Binding struct {
+	FEC      netaddr.Prefix
+	NextHops []LabelHop
+}
+
+// LFIBEntry maps an incoming label to its operation. The operation is
+// encoded by the out-label of the chosen hop: a real label means swap,
+// OutLabelImplicitNull means pop (PHP: forward the exposed payload to the
+// next hop without an IP lookup), OutLabelExplicitNull means swap-to-0.
+// PopLocal marks the egress's own entry for explicit-null (label 0): pop
+// and process the packet locally (UHP disposition).
+type LFIBEntry struct {
+	InLabel  uint32
+	NextHops []LabelHop
+	PopLocal bool
+}
+
+// flowHash computes the per-flow ECMP hash over the fields Paris
+// traceroute keeps constant: addresses, protocol, and the first 4 bytes of
+// the transport header (ICMP checksum/id or ports).
+func flowHash(pkt *packet.Packet) uint32 {
+	h := fnv.New32a()
+	var b [13]byte
+	src, dst := uint32(pkt.IP.Src), uint32(pkt.IP.Dst)
+	b[0], b[1], b[2], b[3] = byte(src>>24), byte(src>>16), byte(src>>8), byte(src)
+	b[4], b[5], b[6], b[7] = byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst)
+	b[8] = byte(pkt.IP.Protocol)
+	switch {
+	case pkt.ICMP != nil && !pkt.ICMP.IsError():
+		b[9], b[10] = byte(pkt.ICMP.ID>>8), byte(pkt.ICMP.ID)
+	case pkt.ICMP != nil && pkt.ICMP.Quote != nil:
+		// Error replies hash on the quoted probe's flow so that a reply
+		// takes a stable path too.
+		b[9], b[10] = byte(pkt.ICMP.Quote.ID>>8), byte(pkt.ICMP.Quote.ID)
+	case pkt.UDP != nil:
+		b[9], b[10] = byte(pkt.UDP.SrcPort>>8), byte(pkt.UDP.SrcPort)
+		b[11], b[12] = byte(pkt.UDP.DstPort>>8), byte(pkt.UDP.DstPort)
+	}
+	h.Write(b[:])
+	return mix32(h.Sum32())
+}
+
+// mix32 is a murmur3-style finalizer. FNV alone is a poor ECMP hash: its
+// low bit is just the XOR of the input bytes' low bits, so structured flow
+// identifiers (e.g. IDs stepping by 0x0101) never change hash%2 and a
+// two-way ECMP stage would look like a single path.
+func mix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// pickNextHop selects the ECMP member for a flow.
+func pickNextHop(hops []NextHop, pkt *packet.Packet) NextHop {
+	if len(hops) == 1 {
+		return hops[0]
+	}
+	return hops[flowHash(pkt)%uint32(len(hops))]
+}
+
+func pickLabelHop(hops []LabelHop, pkt *packet.Packet) LabelHop {
+	if len(hops) == 1 {
+		return hops[0]
+	}
+	return hops[flowHash(pkt)%uint32(len(hops))]
+}

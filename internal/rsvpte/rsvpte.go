@@ -1,0 +1,99 @@
+// Package rsvpte signals explicit-path traffic-engineering LSPs, the
+// second label distribution mode the paper's survey reports (RSVP-TE used
+// by half the operators, almost always alongside LDP). A TE tunnel pins
+// traffic for a FEC to an operator-chosen router sequence instead of the
+// IGP shortest path; combined with UHP and no-ttl-propagate it is the
+// configuration the paper's conclusion identifies as leaving tunnels
+// "truly invisible for the time being".
+package rsvpte
+
+import (
+	"fmt"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/router"
+)
+
+// Tunnel is one explicit-route LSP.
+type Tunnel struct {
+	// Name identifies the tunnel in errors.
+	Name string
+	// Path is the full router sequence, ingress first, egress last.
+	// Consecutive routers must share a link.
+	Path []*router.Router
+	// FEC is the destination prefix steered into the tunnel at the
+	// ingress.
+	FEC netaddr.Prefix
+	// UHP carries the label to the egress (explicit null); otherwise the
+	// penultimate router pops (PHP).
+	UHP bool
+}
+
+// Signal allocates labels hop by hop and installs the imposition entry at
+// the ingress and LFIB entries along the path, like an RSVP Path/Resv
+// exchange would.
+func Signal(tn *Tunnel) error {
+	if len(tn.Path) < 2 {
+		return fmt.Errorf("rsvpte: tunnel %s needs at least ingress and egress", tn.Name)
+	}
+	links := make([]*netsim.Iface, len(tn.Path)-1)
+	for i := 0; i+1 < len(tn.Path); i++ {
+		out, ok := connecting(tn.Path[i], tn.Path[i+1])
+		if !ok {
+			return fmt.Errorf("rsvpte: tunnel %s: %s and %s are not adjacent",
+				tn.Name, tn.Path[i].Name(), tn.Path[i+1].Name())
+		}
+		links[i] = out
+	}
+	for _, r := range tn.Path {
+		if !r.Config().MPLSEnabled {
+			return fmt.Errorf("rsvpte: tunnel %s: %s has MPLS disabled", tn.Name, r.Name())
+		}
+	}
+
+	// Resv flows egress -> ingress, handing each upstream router the
+	// label to use.
+	egress := tn.Path[len(tn.Path)-1]
+	downstreamLabel := uint32(router.OutLabelImplicitNull)
+	if tn.UHP {
+		downstreamLabel = router.OutLabelExplicitNull
+		egress.InstallLFIB(&router.LFIBEntry{InLabel: router.OutLabelExplicitNull, PopLocal: true})
+	}
+	for i := len(tn.Path) - 2; i >= 1; i-- {
+		r := tn.Path[i]
+		local := r.AllocLabel()
+		r.InstallLFIB(&router.LFIBEntry{
+			InLabel:  local,
+			NextHops: []router.LabelHop{{Out: links[i], Label: downstreamLabel}},
+		})
+		downstreamLabel = local
+	}
+	tn.Path[0].InstallBinding(&router.Binding{
+		FEC:      tn.FEC,
+		NextHops: []router.LabelHop{{Out: links[0], Label: downstreamLabel}},
+	})
+	// The ingress FIB must know the FEC so imposition triggers; the
+	// caller's routing (IGP/BGP) normally provides this. When the FEC is
+	// off the routing table entirely, imposition would never be
+	// consulted, so surface that early.
+	if _, _, ok := tn.Path[0].LookupRoute(tn.FEC.Addr()); !ok {
+		return fmt.Errorf("rsvpte: tunnel %s: ingress %s has no route for FEC %s",
+			tn.Name, tn.Path[0].Name(), tn.FEC)
+	}
+	return nil
+}
+
+// connecting returns the interface of a facing b, if they share a link.
+func connecting(a, b *router.Router) (*netsim.Iface, bool) {
+	for _, ifc := range a.Ifaces() {
+		remote := ifc.Remote()
+		if remote == nil {
+			continue
+		}
+		if r, ok := remote.Owner.(*router.Router); ok && r == b {
+			return ifc, true
+		}
+	}
+	return nil, false
+}

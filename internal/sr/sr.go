@@ -1,0 +1,140 @@
+// Package sr implements Segment Routing over MPLS (SR-MPLS), the third
+// label-distribution mechanism the paper's survey encounters (footnote 4:
+// one operator uses neither LDP nor RSVP-TE — "probably Segment
+// Routing"). Every router gets a globally significant node segment (SRGB
+// base + node index); transit routers forward a node-SID unchanged toward
+// its owner, and the owner's IGP neighbors pop it (the PHP analogue).
+// Ingress routers steer a FEC by pushing one node-SID (shortest-path
+// steering) or a stack of them (explicit segment paths, the TE analogue).
+//
+// For tunnel visibility, SR behaves like host-routes LDP: only node
+// segments exist, so traffic to internal subnets follows plain IGP routes
+// — DPR applies — while steered traffic is hidden when ttl-propagate is
+// off.
+package sr
+
+import (
+	"fmt"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/router"
+)
+
+// DefaultSRGBBase is the conventional start of the SR global block.
+const DefaultSRGBBase = 16000
+
+// Domain is an SR-enabled IGP domain.
+type Domain struct {
+	// Base is the SRGB base label (DefaultSRGBBase when zero).
+	Base uint32
+	// sids maps each router to its node-SID label.
+	sids map[*router.Router]uint32
+	spf  *igp.Result
+}
+
+// Build assigns node SIDs in router order and installs the SR LFIBs:
+// each router forwards every other router's node-SID along the IGP
+// shortest path, with the SID popped by the owner's upstream neighbor.
+func Build(routers []*router.Router, spf *igp.Result, base uint32) (*Domain, error) {
+	if base == 0 {
+		base = DefaultSRGBBase
+	}
+	d := &Domain{Base: base, sids: make(map[*router.Router]uint32, len(routers)), spf: spf}
+	for i, r := range routers {
+		if !r.Config().MPLSEnabled {
+			return nil, fmt.Errorf("sr: %s has MPLS disabled", r.Name())
+		}
+		d.sids[r] = base + uint32(i)
+		// The owner disposes its own node SID (it arrives non-popped when
+		// the upstream hop still had deeper segments to deliver, or when
+		// an adjacent ingress imposed a multi-segment stack).
+		r.InstallLFIB(&router.LFIBEntry{InLabel: d.sids[r], PopLocal: true})
+	}
+	for _, target := range routers {
+		lo := target.Loopback()
+		if lo == nil {
+			return nil, fmt.Errorf("sr: %s has no loopback for its node SID", target.Name())
+		}
+		sid := d.sids[target]
+		for _, r := range routers {
+			if r == target {
+				continue
+			}
+			hops := spf.NextHops[r][lo.Prefix]
+			if len(hops) == 0 {
+				continue // partitioned
+			}
+			var lhops []router.LabelHop
+			for _, h := range hops {
+				out := uint32(sid)
+				if h.Via == target {
+					out = router.OutLabelImplicitNull // penultimate pop
+				}
+				lhops = append(lhops, router.LabelHop{Out: h.Out, Label: out})
+			}
+			r.InstallLFIB(&router.LFIBEntry{InLabel: sid, NextHops: lhops})
+		}
+	}
+	return d, nil
+}
+
+// SID returns a router's node segment.
+func (d *Domain) SID(r *router.Router) (uint32, bool) {
+	s, ok := d.sids[r]
+	return s, ok
+}
+
+// Steer makes ingress push the segment list (visited in order) for
+// traffic matching fec. The final segment's owner must be the egress; the
+// packet continues as IP from there. The ingress must already have a FIB
+// route covering fec.
+func (d *Domain) Steer(ingress *router.Router, fec netaddr.Prefix, segments []*router.Router) error {
+	if len(segments) == 0 {
+		return fmt.Errorf("sr: empty segment list")
+	}
+	if _, _, ok := ingress.LookupRoute(fec.Addr()); !ok {
+		return fmt.Errorf("sr: ingress %s has no route for %s", ingress.Name(), fec)
+	}
+	// The imposition entry carries the first segment on top; the remaining
+	// segments ride beneath it on the stack (LabelHop.Under) and surface
+	// one by one as each segment's penultimate hop pops.
+	first := segments[0]
+	hops := d.spf.NextHops[ingress][first.Loopback().Prefix]
+	if ingress == first {
+		// Degenerate: first segment is the ingress itself; skip it.
+		return d.Steer(ingress, fec, segments[1:])
+	}
+	if len(hops) == 0 {
+		return fmt.Errorf("sr: %s cannot reach segment %s", ingress.Name(), first.Name())
+	}
+	// Under[0] sits directly beneath the top label and Under[len-1] is
+	// the deepest (= last) segment, so the list follows segment order.
+	var stack []uint32
+	for i := 1; i < len(segments); i++ {
+		sid, ok := d.sids[segments[i]]
+		if !ok {
+			return fmt.Errorf("sr: %s has no SID", segments[i].Name())
+		}
+		stack = append(stack, sid)
+	}
+	firstSID, ok := d.sids[first]
+	if !ok {
+		return fmt.Errorf("sr: %s has no SID", first.Name())
+	}
+	var lhops []router.LabelHop
+	for _, h := range hops {
+		top := firstSID
+		if h.Via == first && len(stack) == 0 {
+			top = router.OutLabelImplicitNull
+		}
+		lhops = append(lhops, router.LabelHop{Out: h.Out, Label: top, Under: stack})
+	}
+	ingress.InstallBinding(&router.Binding{FEC: fec, NextHops: lhops})
+	return nil
+}
+
+// ShortestPathSteer steers fec via the single node segment of egress.
+func (d *Domain) ShortestPathSteer(ingress, egress *router.Router, fec netaddr.Prefix) error {
+	return d.Steer(ingress, fec, []*router.Router{egress})
+}

@@ -1,0 +1,278 @@
+package sr
+
+import (
+	"testing"
+	"time"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+)
+
+// diamond wires vp - a - {b | c-d} - e - h (same shape as the rsvpte
+// tests): the IGP shortest path a-b-e, the detour a-c-d-e.
+type diamond struct {
+	net           *netsim.Network
+	vp, host      *netsim.Host
+	a, b, c, d, e *router.Router
+	rs            []*router.Router
+	prober        *probe.Prober
+	spf           *igp.Result
+}
+
+func buildDiamond(t *testing.T, propagate bool) *diamond {
+	t.Helper()
+	net := netsim.New(8)
+	f := &diamond{net: net}
+	cfg := router.Config{MPLSEnabled: true, TTLPropagate: propagate}
+	mk := func(name string, i int) *router.Router {
+		r := router.New(name, router.Cisco, cfg)
+		r.SetLoopback(netaddr.AddrFrom4(192, 168, 88, byte(i+1)))
+		net.AddNode(r)
+		if err := net.RegisterIface(r.Loopback()); err != nil {
+			t.Fatal(err)
+		}
+		f.rs = append(f.rs, r)
+		return r
+	}
+	f.a, f.b, f.c, f.d, f.e = mk("a", 0), mk("b", 1), mk("c", 2), mk("d", 3), mk("e", 4)
+	sub := 0
+	wire := func(x, y *router.Router) {
+		p := netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, 88, byte(sub), 0), 30)
+		sub++
+		xi := x.AddIface("to-"+y.Name(), p.Nth(1), p)
+		yi := y.AddIface("to-"+x.Name(), p.Nth(2), p)
+		net.Connect(xi, yi, time.Millisecond)
+		for _, ifc := range []*netsim.Iface{xi, yi} {
+			if err := net.RegisterIface(ifc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wire(f.a, f.b)
+	wire(f.b, f.e)
+	wire(f.a, f.c)
+	wire(f.c, f.d)
+	wire(f.d, f.e)
+
+	vpP := netaddr.MustParsePrefix("10.88.100.0/30")
+	f.vp = netsim.NewHost("vp", vpP.Nth(2), vpP)
+	net.AddNode(f.vp)
+	ai := f.a.AddIface("to-vp", vpP.Nth(1), vpP)
+	net.Connect(ai, f.vp.If, time.Millisecond)
+	hP := netaddr.MustParsePrefix("10.88.101.0/30")
+	f.host = netsim.NewHost("h", hP.Nth(2), hP)
+	net.AddNode(f.host)
+	ei := f.e.AddIface("to-h", hP.Nth(1), hP)
+	net.Connect(ei, f.host.If, time.Millisecond)
+	for _, ifc := range []*netsim.Iface{ai, f.vp.If, ei, f.host.If} {
+		if err := net.RegisterIface(ifc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dom := &igp.Domain{Routers: f.rs}
+	spf, err := dom.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.spf = spf
+	f.prober = probe.New(net, f.vp)
+	return f
+}
+
+func hostFEC() netaddr.Prefix { return netaddr.MustParsePrefix("10.88.101.0/30") }
+
+func responding(tr *probe.Trace) []netaddr.Addr {
+	var out []netaddr.Addr
+	for _, h := range tr.Hops {
+		if !h.Anonymous() {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+func TestSIDAssignment(t *testing.T) {
+	f := buildDiamond(t, true)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, r := range f.rs {
+		sid, ok := d.SID(r)
+		if !ok {
+			t.Fatalf("%s has no SID", r.Name())
+		}
+		if sid < DefaultSRGBBase {
+			t.Errorf("SID %d below SRGB base", sid)
+		}
+		if seen[sid] {
+			t.Errorf("duplicate SID %d", sid)
+		}
+		seen[sid] = true
+	}
+}
+
+func TestShortestPathSteerInvisible(t *testing.T) {
+	f := buildDiamond(t, false)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ShortestPathSteer(f.a, f.e, hostFEC()); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("not reached: %+v", tr.Hops)
+	}
+	hops := responding(tr)
+	// Steered via e's node SID without ttl-propagate: b hidden, PHP-style
+	// pop at b leaves e visible: a, e, h.
+	if len(hops) != 3 {
+		t.Fatalf("hops = %v, want a, e, h", hops)
+	}
+}
+
+func TestSegmentListDetour(t *testing.T) {
+	f := buildDiamond(t, true)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit segment list via d: traffic takes a-c-d then d's shortest
+	// path to e.
+	if err := d.Steer(f.a, hostFEC(), []*router.Router{f.d, f.e}); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("not reached: %+v", tr.Hops)
+	}
+	names := map[string]bool{}
+	for _, a := range responding(tr) {
+		if ifc, ok := f.net.OwnerOf(a); ok {
+			names[ifc.Owner.Name()] = true
+		}
+	}
+	if !names["c"] {
+		t.Errorf("detour skipped c: %v", names)
+	}
+	if names["b"] {
+		t.Errorf("traffic still crossed b: %v", names)
+	}
+}
+
+func TestSRLeavesInternalPrefixesUnlabeled(t *testing.T) {
+	// The DPR precondition: SR only steers what it is told to steer;
+	// internal /30 targets follow plain IGP routes and expose every hop.
+	f := buildDiamond(t, false)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ShortestPathSteer(f.a, f.e, hostFEC()); err != nil {
+		t.Fatal(err)
+	}
+	// Target e's incoming interface on the b-e link: not steered.
+	var target netaddr.Addr
+	for _, ifc := range f.e.Ifaces() {
+		if r, ok := ifc.Remote().Owner.(*router.Router); ok && r == f.b {
+			target = ifc.Addr
+		}
+	}
+	if target.IsUnspecified() {
+		t.Fatal("no b-facing interface on e")
+	}
+	hops := responding(f.prober.Traceroute(target))
+	// Plain IGP path: a, b, e all visible.
+	if len(hops) != 3 {
+		t.Fatalf("hops = %v, want 3 (DPR-style revelation)", hops)
+	}
+}
+
+func TestSteerValidation(t *testing.T) {
+	f := buildDiamond(t, true)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Steer(f.a, hostFEC(), nil); err == nil {
+		t.Error("empty segment list accepted")
+	}
+	unrouted := netaddr.MustParsePrefix("203.0.113.0/24")
+	if err := d.Steer(f.a, unrouted, []*router.Router{f.e}); err == nil {
+		t.Error("unrouted FEC accepted")
+	}
+}
+
+func TestBuildRejectsNonMPLS(t *testing.T) {
+	f := buildDiamond(t, true)
+	cfg := f.b.Config()
+	cfg.MPLSEnabled = false
+	f.b.SetConfig(cfg)
+	if _, err := Build(f.rs, f.spf, 0); err == nil {
+		t.Error("non-MPLS router accepted into SR domain")
+	}
+}
+
+func TestSRWithPropagateShowsSegments(t *testing.T) {
+	f := buildDiamond(t, true)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ShortestPathSteer(f.a, f.e, hostFEC()); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	labeled := false
+	for _, h := range tr.Hops {
+		for _, lse := range h.MPLS {
+			if lse.Label >= DefaultSRGBBase {
+				labeled = true
+			}
+		}
+	}
+	if !labeled {
+		t.Error("no SRGB label observed with ttl-propagate on")
+	}
+}
+
+// TestThreeSegmentList pins the on-wire stack order for lists longer than
+// two segments: a-c, then d, then e — the packet must visit c and d (in
+// that order) before e, which a reversed Under stack would break.
+func TestThreeSegmentList(t *testing.T) {
+	f := buildDiamond(t, true)
+	d, err := Build(f.rs, f.spf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Steer(f.a, hostFEC(), []*router.Router{f.c, f.d, f.e}); err != nil {
+		t.Fatal(err)
+	}
+	tr := f.prober.Traceroute(f.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("not reached: %+v", tr.Hops)
+	}
+	var order []string
+	for _, h := range tr.Hops {
+		if ifc, ok := f.net.OwnerOf(h.Addr); ok {
+			order = append(order, ifc.Owner.Name())
+		}
+	}
+	// Expect a, c, d, e, h in sequence.
+	want := []string{"a", "c", "d", "e", "h"}
+	if len(order) != len(want) {
+		t.Fatalf("path = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("path = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"wormhole/internal/stats"
+)
+
+func ExampleHistogram() {
+	h := stats.NewHistogram()
+	for _, tunnelLen := range []int{1, 1, 2, 2, 2, 3, 5} {
+		h.Add(tunnelLen)
+	}
+	fmt.Printf("n=%d median=%d mean=%.2f pdf(2)=%.2f\n",
+		h.N(), h.Median(), h.Mean(), h.PDF(2))
+	// Output:
+	// n=7 median=2 mean=2.29 pdf(2)=0.43
+}

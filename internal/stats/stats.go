@@ -1,0 +1,215 @@
+// Package stats provides the small statistical toolkit the measurement
+// analyses need: integer histograms with PDF views, medians and quantiles,
+// and compact ASCII rendering used by the experiment runners to print the
+// paper's figures as series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued observations (hop counts, TTL deltas).
+type Histogram struct {
+	counts map[int]int
+	n      int
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records an observation with multiplicity.
+func (h *Histogram) AddN(v, n int) {
+	h.counts[v] += n
+	h.n += n
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Count returns the count at value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Min and Max return the observed range; both 0 when empty.
+func (h *Histogram) Min() int {
+	first := true
+	m := 0
+	for v := range h.counts {
+		if first || v < m {
+			m, first = v, false
+		}
+	}
+	return m
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int {
+	first := true
+	m := 0
+	for v := range h.counts {
+		if first || v > m {
+			m, first = v, false
+		}
+	}
+	return m
+}
+
+// PDF returns the probability mass at v.
+func (h *Histogram) PDF(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.n)
+}
+
+// Values returns the sorted distinct observed values.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Median returns the median observation (lower median for even counts).
+func (h *Histogram) Median() int {
+	return h.Quantile(0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observations.
+func (h *Histogram) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for _, v := range h.Values() {
+		cum += h.counts[v]
+		if cum >= rank {
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.n)
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for v, c := range h.counts {
+		d := float64(v) - mean
+		ss += d * d * float64(c)
+	}
+	return math.Sqrt(ss / float64(h.n))
+}
+
+// ShareAbove returns the fraction of observations strictly above v.
+func (h *Histogram) ShareAbove(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	c := 0
+	for val, cnt := range h.counts {
+		if val > v {
+			c += cnt
+		}
+	}
+	return float64(c) / float64(h.n)
+}
+
+// Render prints the histogram as an ASCII bar chart (one row per value),
+// the form the experiment runners use to emit figure series.
+func (h *Histogram) Render(label string, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, mean=%.2f, median=%d)\n", label, h.n, h.Mean(), h.Median())
+	if h.n == 0 {
+		return sb.String()
+	}
+	maxC := 0
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for _, v := range h.Values() {
+		c := h.counts[v]
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(maxC)*float64(width))))
+		fmt.Fprintf(&sb, "%5d | %-*s %6.4f (%d)\n", v, width, bar, h.PDF(v), c)
+	}
+	return sb.String()
+}
+
+// Series is an (x, y) sequence for figure output.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// PDFSeries converts a histogram into a PDF series over its value range.
+func (h *Histogram) PDFSeries(name string) Series {
+	s := Series{Name: name}
+	for _, v := range h.Values() {
+		s.X = append(s.X, float64(v))
+		s.Y = append(s.Y, h.PDF(v))
+	}
+	return s
+}
+
+// Float64s summarizes a float sample (RTTs, densities).
+type Float64s []float64
+
+// Mean returns the arithmetic mean of the sample.
+func (f Float64s) Mean() float64 {
+	if len(f) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range f {
+		s += v
+	}
+	return s / float64(len(f))
+}
+
+// Median returns the sample median.
+func (f Float64s) Median() float64 {
+	if len(f) == 0 {
+		return 0
+	}
+	c := append(Float64s(nil), f...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

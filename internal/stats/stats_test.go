@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Errorf("counts wrong")
+	}
+	if h.Min() != 1 || h.Max() != 3 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.PDF(2); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("PDF(2) = %f", got)
+	}
+	if h.Median() != 2 { // lower median of {1,2,2,3,3,3}
+		t.Errorf("median = %d", h.Median())
+	}
+	if got := h.Mean(); math.Abs(got-14.0/6) > 1e-12 {
+		t.Errorf("mean = %f", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 || h.Median() != 0 || h.Mean() != 0 || h.StdDev() != 0 ||
+		h.PDF(1) != 0 || h.Min() != 0 || h.Max() != 0 || h.ShareAbove(0) != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	if out := h.Render("empty", 10); !strings.Contains(out, "n=0") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestHistogramNegativeValues(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{-3, -1, 0, 2} {
+		h.Add(v)
+	}
+	if h.Min() != -3 || h.Max() != 2 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	vals := h.Values()
+	if !sort.IntsAreSorted(vals) || len(vals) != 4 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestQuantileMatchesSortOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		h := NewHistogram()
+		sample := make([]int, n)
+		for i := range sample {
+			sample[i] = rng.Intn(41) - 20
+			h.Add(sample[i])
+		}
+		sort.Ints(sample)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95, 1.0} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if h.Quantile(q) != sample[rank-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianAgainstMeanBound(t *testing.T) {
+	// Property: |mean - median| <= stddev for any sample (a classic
+	// one-sided bound that must hold for our implementations).
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(int(v) % 100)
+		}
+		return math.Abs(h.Mean()-float64(h.Median())) <= h.StdDev()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareAbove(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 10; v++ {
+		h.Add(v)
+	}
+	if got := h.ShareAbove(7); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("ShareAbove(7) = %f", got)
+	}
+}
+
+func TestAddN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(5, 10)
+	if h.N() != 10 || h.Count(5) != 10 {
+		t.Errorf("AddN failed: n=%d count=%d", h.N(), h.Count(5))
+	}
+}
+
+func TestPDFSeries(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(4)
+	s := h.PDFSeries("x")
+	if s.Name != "x" || len(s.X) != 2 || s.X[0] != 1 || s.Y[0] != 2.0/3 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestRenderContainsBars(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Add(1)
+	}
+	h.Add(2)
+	out := h.Render("test", 20)
+	if !strings.Contains(out, "####################") {
+		t.Errorf("max bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("label missing")
+	}
+}
+
+func TestFloat64s(t *testing.T) {
+	f := Float64s{3, 1, 2}
+	if f.Mean() != 2 {
+		t.Errorf("mean = %f", f.Mean())
+	}
+	if f.Median() != 2 {
+		t.Errorf("median = %f", f.Median())
+	}
+	even := Float64s{1, 2, 3, 4}
+	if even.Median() != 2.5 {
+		t.Errorf("even median = %f", even.Median())
+	}
+	var empty Float64s
+	if empty.Mean() != 0 || empty.Median() != 0 {
+		t.Error("empty Float64s not zero")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	if got := h.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %f, want 2", got)
+	}
+}

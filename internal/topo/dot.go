@@ -1,0 +1,49 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form, one node per router
+// (labeled with its name and degree) and one edge per router-level link.
+// Nodes satisfying highlight (may be nil) are drawn filled — campaigns use
+// it to mark HDNs or revealed LSRs.
+func (g *Graph) WriteDOT(w io.Writer, name string, highlight func(*Node) bool) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=ellipse fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s (%d)", n.Name, n.Degree()))
+		if highlight != nil && highlight(n) {
+			attrs += ` style=filled fillcolor=lightcoral`
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", n.ID, attrs); err != nil {
+			return err
+		}
+	}
+	// Deterministic edge order.
+	type edge struct{ a, b NodeID }
+	var edges []edge
+	for _, n := range g.Nodes() {
+		for nb := range n.neighbors {
+			if n.ID < nb {
+				edges = append(edges, edge{n.ID, nb})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", e.a, e.b); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

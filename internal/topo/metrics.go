@@ -1,0 +1,94 @@
+package topo
+
+import "wormhole/internal/stats"
+
+// The Sec. 7 discussion lists the graph metrics invisible tunnels bias:
+// shortest paths, the average path length, and the diameter. These helpers
+// compute them on observed graphs so experiments can quantify the bias.
+
+// ShortestPathStats holds BFS-derived distance metrics of a graph's
+// largest connected component.
+type ShortestPathStats struct {
+	// AvgPathLength is the mean shortest-path length over all reachable
+	// ordered pairs.
+	AvgPathLength float64
+	// Diameter is the longest shortest path.
+	Diameter int
+	// Pairs is the number of reachable ordered pairs measured.
+	Pairs int
+	// Distances is the full distance histogram.
+	Distances *stats.Histogram
+}
+
+// ShortestPaths runs BFS from every node (exact all-pairs; the graphs the
+// campaign builds are small enough) and aggregates distance statistics.
+func (g *Graph) ShortestPaths() ShortestPathStats {
+	out := ShortestPathStats{Distances: stats.NewHistogram()}
+	nodes := g.Nodes()
+	sum := 0
+	for _, src := range nodes {
+		dist := g.bfs(src)
+		for _, d := range dist {
+			if d == 0 {
+				continue
+			}
+			out.Pairs++
+			sum += d
+			out.Distances.Add(d)
+			if d > out.Diameter {
+				out.Diameter = d
+			}
+		}
+	}
+	if out.Pairs > 0 {
+		out.AvgPathLength = float64(sum) / float64(out.Pairs)
+	}
+	return out
+}
+
+// bfs returns hop distances from src to every reachable node.
+func (g *Graph) bfs(src *Node) map[NodeID]int {
+	dist := map[NodeID]int{src.ID: 0}
+	queue := []NodeID{src.ID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for nb := range g.nodes[id].neighbors {
+			if _, seen := dist[nb]; !seen {
+				dist[nb] = dist[id] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// LargestComponentSize returns the node count of the biggest connected
+// component (observed graphs can fragment when traces are sparse).
+func (g *Graph) LargestComponentSize() int {
+	seen := make(map[NodeID]bool, len(g.nodes))
+	best := 0
+	for id := range g.nodes {
+		if seen[id] {
+			continue
+		}
+		size := 0
+		queue := []NodeID{id}
+		seen[id] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			size++
+			for nb := range g.nodes[cur].neighbors {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}

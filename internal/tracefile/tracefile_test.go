@@ -1,0 +1,141 @@
+package tracefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wormhole/internal/campaign"
+	"wormhole/internal/gen"
+	"wormhole/internal/reveal"
+)
+
+func smallCampaign(t *testing.T) *campaign.Campaign {
+	t.Helper()
+	p := gen.DefaultParams(404)
+	p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 2, 4, 8, 4
+	p.MPLSFrac, p.NoPropagateFrac, p.UHPFrac = 1.0, 0.8, 0
+	in, err := gen.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaign.Run(in, campaign.DefaultConfig())
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := smallCampaign(t)
+	ds := FromCampaign(c, "unit test")
+	if len(ds.Records) == 0 || len(ds.Fingerprints) == 0 {
+		t.Fatalf("empty dataset: %d records %d fingerprints", len(ds.Records), len(ds.Fingerprints))
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(ds.Records) {
+		t.Fatalf("records %d -> %d", len(ds.Records), len(back.Records))
+	}
+	if len(back.Fingerprints) != len(ds.Fingerprints) {
+		t.Fatalf("fingerprints %d -> %d", len(ds.Fingerprints), len(back.Fingerprints))
+	}
+	if back.Header.Comment != "unit test" {
+		t.Errorf("comment = %q", back.Header.Comment)
+	}
+	for i := range ds.Records {
+		a, b := ds.Records[i], back.Records[i]
+		if a.Trace.Dst != b.Trace.Dst || len(a.Trace.Hops) != len(b.Trace.Hops) {
+			t.Fatalf("record %d differs", i)
+		}
+		if (a.Revelation == nil) != (b.Revelation == nil) {
+			t.Fatalf("record %d revelation presence differs", i)
+		}
+		if a.Revelation != nil && a.Revelation.Technique != b.Revelation.Technique {
+			t.Fatalf("record %d technique differs", i)
+		}
+	}
+}
+
+func TestTraceConversionRoundTrip(t *testing.T) {
+	c := smallCampaign(t)
+	for _, rec := range c.Records[:10] {
+		st := fromTrace(rec.Trace)
+		back, err := st.ToTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Src != rec.Trace.Src || back.Dst != rec.Trace.Dst || back.Reached != rec.Trace.Reached {
+			t.Fatal("trace metadata changed")
+		}
+		for i, h := range rec.Trace.Hops {
+			bh := back.Hops[i]
+			if bh.Addr != h.Addr || bh.ReplyTTL != h.ReplyTTL || bh.RTT != h.RTT ||
+				bh.ICMPType != h.ICMPType || len(bh.MPLS) != len(h.MPLS) {
+				t.Fatalf("hop %d changed: %+v vs %+v", i, bh, h)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := smallCampaign(t)
+	ds := FromCampaign(c, "file test")
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	if err := Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(ds.Records) {
+		t.Fatalf("records %d -> %d", len(ds.Records), len(back.Records))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"record":{}}`)); err == nil {
+		t.Error("headerless stream accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"header":{"format":99}}`)); err == nil {
+		t.Error("future format accepted")
+	}
+}
+
+func TestToTraceRejectsBadAddrs(t *testing.T) {
+	bad := Trace{Src: "x", Dst: "10.0.0.1"}
+	if _, err := bad.ToTrace(); err == nil {
+		t.Error("bad src accepted")
+	}
+	bad = Trace{Src: "10.0.0.1", Dst: "10.0.0.2", Hops: []Hop{{Addr: "nope"}}}
+	if _, err := bad.ToTrace(); err == nil {
+		t.Error("bad hop accepted")
+	}
+}
+
+func TestRevelationSerialization(t *testing.T) {
+	c := smallCampaign(t)
+	found := false
+	for _, rev := range c.Revelations() {
+		if rev.Technique == reveal.TechNone || len(rev.Hops) == 0 {
+			continue
+		}
+		sr := fromRevelation(rev)
+		if sr.Ingress != rev.Ingress.String() || len(sr.Hops) != len(rev.Hops) {
+			t.Fatalf("revelation mangled: %+v", sr)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Skip("no successful revelation in this seed")
+	}
+}
