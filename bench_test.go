@@ -7,10 +7,13 @@
 package wormhole
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
+	"wormhole/internal/campaign"
 	"wormhole/internal/experiments"
 	"wormhole/internal/gen"
 	"wormhole/internal/lab"
@@ -123,6 +126,37 @@ func BenchmarkGenerateInternet(b *testing.B) {
 		if _, err := gen.Build(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignParallel measures the full measurement campaign
+// (traceroute, fingerprint, candidate selection, revelation) at different
+// worker-pool sizes over one shared pre-built Internet. Scaling shows up
+// in probes/s; wall-clock per op shrinks until shard count (one per team)
+// caps the useful parallelism.
+func BenchmarkCampaignParallel(b *testing.B) {
+	in, err := gen.Build(experiments.Small.Params(2024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := campaign.DefaultConfig()
+			var totalProbes uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(c.Records) == 0 {
+					b.Fatal("no campaign records")
+				}
+				totalProbes += c.Probes
+			}
+			b.ReportMetric(float64(totalProbes)/b.Elapsed().Seconds(), "probes/s")
+		})
 	}
 }
 

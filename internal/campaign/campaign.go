@@ -100,28 +100,90 @@ type Campaign struct {
 	// Probes counts every probe packet sent (campaign accounting).
 	Probes uint64
 
+	// Shards reports per-shard measurement statistics (probing phase
+	// only), in canonical shard order.
+	Shards []ShardStats
+	// Workers is the worker-pool size the probing phase ran with (1 for
+	// the serial engine).
+	Workers int
+
 	aliasSets *alias.Sets
 	// teamOf assigns each target to a vantage-point team with the
 	// paper's neighborhood-consistency rule.
 	teamOf map[netaddr.Addr]int
+	// bootProbes counts the probes spent on bootstrap (and, with
+	// MeasuredAliases, alias resolution) before the shard phase.
+	bootProbes uint64
 }
 
-// Run executes the full campaign.
+// Run executes the full campaign serially on the Internet's own fabric:
+// the same shard pipeline the parallel engine uses, with the shards
+// processed one after another. Output is byte-identical to RunParallel at
+// any worker count.
 func Run(in *gen.Internet, cfg Config) *Campaign {
+	c := prepare(in, cfg)
+	hdnAddr := c.hdnByAddr()
+	var results []*shardResult
+	for _, sh := range c.buildShards(ShardByTeam) {
+		vp := c.vpForTeam(sh.team)
+		results = append(results, c.runShard(sh, vp, vp, hdnAddr))
+	}
+	c.Workers = 1
+	c.merge(results)
+	return c
+}
+
+// prepare runs the phases every engine shares: bootstrap sweep, target
+// selection, and prober configuration. The returned campaign is ready for
+// its shards to be probed.
+func prepare(in *gen.Internet, cfg Config) *Campaign {
 	c := &Campaign{
 		In:            in,
 		Cfg:           cfg,
 		Fingerprints:  make(map[netaddr.Addr]fingerprint.Result),
 		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
 	}
+	sent0 := sentByVPs(in.VPs)
 	c.bootstrap()
 	c.selectTargets()
-	c.probeTargets()
-	c.revealCandidates()
+	c.bootProbes = sentByVPs(in.VPs) - sent0
+	// Campaign-wide prober configuration happens once, here: FirstTTL is
+	// shared per-VP state, so mutating it inside the per-target probe loop
+	// (as an earlier version did) is exactly the kind of latent coupling a
+	// parallel driver turns into a race. Every VP — including ones that end
+	// up with no targets but still run revelation re-traces — probes the
+	// whole campaign with the same FirstTTL.
 	for _, vp := range in.VPs {
-		c.Probes += vp.Prober.Sent
+		vp.Prober.FirstTTL = cfg.FirstTTL
 	}
 	return c
+}
+
+// sentByVPs sums the probe counters of a vantage-point set.
+func sentByVPs(vps []*gen.VP) uint64 {
+	var n uint64
+	for _, vp := range vps {
+		n += vp.Prober.Sent
+	}
+	return n
+}
+
+// vpForTeam maps a team index to its vantage point (the paper's 5-team
+// split over the VP pool).
+func (c *Campaign) vpForTeam(team int) *gen.VP {
+	return c.In.VPs[team%len(c.In.VPs)]
+}
+
+// hdnByAddr indexes the HDN set by interface address (the Sec. 4
+// candidate post-processing filter).
+func (c *Campaign) hdnByAddr() map[netaddr.Addr]*topo.Node {
+	hdnAddr := make(map[netaddr.Addr]*topo.Node)
+	for _, n := range c.HDNs {
+		for _, a := range n.Addrs {
+			hdnAddr[a] = n
+		}
+	}
+	return hdnAddr
 }
 
 // resolver returns the campaign's IP-to-router/AS mapping: the ground
@@ -222,85 +284,6 @@ func (c *Campaign) selectTargets() {
 		}
 	}
 	sort.Slice(c.Targets, func(i, j int) bool { return c.Targets[i] < c.Targets[j] })
-}
-
-// probeTargets traces every target from its team's vantage point, with
-// per-hop fingerprinting, and spots revelation candidates.
-func (c *Campaign) probeTargets() {
-	vps := c.In.VPs
-	if len(vps) == 0 {
-		return
-	}
-	teams := c.Cfg.Teams
-	if teams < 1 || teams > len(vps) {
-		teams = len(vps)
-	}
-	hdnAddr := make(map[netaddr.Addr]*topo.Node)
-	for _, n := range c.HDNs {
-		for _, a := range n.Addrs {
-			hdnAddr[a] = n
-		}
-	}
-
-	for _, dst := range c.Targets {
-		team := c.teamOf[dst]
-		vp := vps[team%len(vps)]
-		vp.Prober.FirstTTL = c.Cfg.FirstTTL
-		tr := vp.Prober.Traceroute(dst)
-		rec := &Record{VP: vp, Trace: tr}
-		c.Records = append(c.Records, rec)
-
-		fp := fingerprint.New(vp.Prober)
-		for _, h := range tr.Hops {
-			if h.Anonymous() {
-				continue
-			}
-			if _, done := c.Fingerprints[h.Addr]; done {
-				continue
-			}
-			if r, ok := fp.FromHop(h); ok {
-				c.Fingerprints[h.Addr] = r
-				c.FingerprintVP[h.Addr] = vp
-			}
-		}
-
-		cand, ok := reveal.CandidateFromTrace(tr)
-		if !ok {
-			continue
-		}
-		// Both endpoints must be HDN routers of the same AS (Sec. 4's
-		// post-processing filter).
-		iNode, iOK := hdnAddr[cand.Ingress.Addr]
-		eNode, eOK := hdnAddr[cand.Egress.Addr]
-		if !iOK || !eOK || iNode.ASN != eNode.ASN || iNode.ID == eNode.ID {
-			continue
-		}
-		rec.Candidate = &cand
-		rec.CandidateAS = iNode.ASN
-		if reply, ok := vp.Prober.Ping(cand.Egress.Addr, 64); ok {
-			rec.EgressEchoTTL = reply.ReplyTTL
-		}
-	}
-}
-
-// revealCandidates runs the recursive revelation for each distinct
-// candidate pair.
-func (c *Campaign) revealCandidates() {
-	type pair struct{ x, y netaddr.Addr }
-	done := make(map[pair]*reveal.Revelation)
-	for _, rec := range c.Records {
-		if rec.Candidate == nil {
-			continue
-		}
-		k := pair{rec.Candidate.Ingress.Addr, rec.Candidate.Egress.Addr}
-		if rev, ok := done[k]; ok {
-			rec.Revelation = rev
-			continue
-		}
-		rev := reveal.Reveal(rec.VP.Prober, k.x, k.y)
-		done[k] = rev
-		rec.Revelation = rev
-	}
 }
 
 // Revelations returns the distinct successful revelations.

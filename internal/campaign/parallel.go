@@ -1,0 +1,109 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wormhole/internal/gen"
+)
+
+// ParallelConfig tunes the parallel campaign engine.
+type ParallelConfig struct {
+	// Workers sizes the worker pool; <= 0 selects GOMAXPROCS. The pool is
+	// bounded by the shard count.
+	Workers int
+	// ShardBy selects the target partitioning (default ShardByTeam).
+	ShardBy ShardBy
+}
+
+// RunParallel executes the campaign with per-team worker shards.
+//
+// The bootstrap sweep and target selection run on the Internet's own
+// fabric, exactly as in Run. The probing phase then partitions the targets
+// into shards (per team by default, matching the paper's 5-team split) and
+// executes them on a bounded worker pool. Each worker owns a private
+// simulator replica built via gen.Internet.Clone — the whole fabric,
+// routers, links, and vantage points are per-worker, so no packet-level
+// state is ever shared between goroutines (netsim's ownership assertions
+// enforce this). Shard results are merged back in canonical (team, target)
+// order, giving Records, Fingerprints, and Revelations that are
+// byte-identical to the serial engine's at any worker count.
+//
+// The identity holds because per-probe fabric behaviour is independent of
+// probing history for the campaign's ICMP Paris method (no loss injection,
+// bandwidth modeling, or ICMP rate limiting is active in generated worlds,
+// and the ECMP flow hash sees only fields that are constant per prober).
+// UDPParis varies its destination port with global probe history, so only
+// statistical equivalence holds there.
+func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, error) {
+	c := prepare(in, cfg)
+	shards := c.buildShards(pcfg.ShardBy)
+	hdnAddr := c.hdnByAddr()
+
+	workers := pcfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c.Workers = workers
+
+	results := make([]*shardResult, len(shards))
+	work := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			replica, err := in.Clone()
+			if err != nil {
+				errs[w] = fmt.Errorf("campaign: worker %d replica: %w", w, err)
+				for range work {
+					// Drain so the feeder never blocks on a dead worker.
+				}
+				return
+			}
+			// The replica is driven by this goroutine only, from here on.
+			replica.Net.BindOwner()
+			for i, vp := range replica.VPs {
+				mirrorProber(vp, in.VPs[i])
+			}
+			for i := range work {
+				sh := shards[i]
+				res := c.runShard(sh, replica.VPs[sh.team%len(replica.VPs)], c.vpForTeam(sh.team), hdnAddr)
+				res.stats.Worker = w
+				results[i] = res
+			}
+		}(w)
+	}
+	for i := range shards {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.merge(results)
+	return c, nil
+}
+
+// mirrorProber copies the campaign-relevant prober tunables from a main
+// vantage point onto its replica twin (counters and sequence state stay
+// private to the replica).
+func mirrorProber(dst, src *gen.VP) {
+	dst.Prober.Method = src.Prober.Method
+	dst.Prober.FirstTTL = src.Prober.FirstTTL
+	dst.Prober.MaxTTL = src.Prober.MaxTTL
+	dst.Prober.GapLimit = src.Prober.GapLimit
+	dst.Prober.Attempts = src.Prober.Attempts
+	dst.Prober.FlowID = src.Prober.FlowID
+}

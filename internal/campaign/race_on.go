@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// raceEnabled reports whether this build runs under the race detector;
+// the concurrency stress tier scales its iteration count with it.
+const raceEnabled = true

@@ -1,0 +1,236 @@
+package campaign
+
+import (
+	"time"
+
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/gen"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/reveal"
+	"wormhole/internal/topo"
+)
+
+// ShardBy selects how the target set is partitioned into independently
+// probeable shards. Whatever the partitioning (and whatever worker count
+// executes it), the merged campaign output is identical: shards carry
+// private state and the merge canonicalizes in shard order.
+type ShardBy uint8
+
+const (
+	// ShardByTeam makes one shard per vantage-point team — the paper's
+	// 5-team split. Fingerprint and revelation de-duplication then work at
+	// team granularity, so this is also the cheapest partitioning.
+	ShardByTeam ShardBy = iota
+	// ShardByTarget makes one shard per target for fine-grained load
+	// balancing. Per-shard de-duplication degenerates to per-target, so
+	// more duplicate fingerprint/revelation probes are spent; the merged
+	// output is still identical to ShardByTeam.
+	ShardByTarget
+)
+
+func (s ShardBy) String() string {
+	if s == ShardByTarget {
+		return "target"
+	}
+	return "team"
+}
+
+// ShardStats is the per-shard measurement accounting surfaced to the CLI
+// and benchmarks.
+type ShardStats struct {
+	// Shard is the canonical shard index; Team the owning team.
+	Shard, Team int
+	// Worker is the pool slot that executed the shard. Scheduling-
+	// dependent in parallel runs — everything else in the campaign output
+	// is not.
+	Worker int
+	// Targets is the number of destinations probed.
+	Targets int
+	// Probes and Replies count probe packets sent and matched replies
+	// (traceroutes, fingerprinting, pings, and revelation re-traces).
+	Probes, Replies uint64
+	// Candidates counts revelation triggers among the shard's traces;
+	// Revelations the distinct pairs that revealed at least one hop.
+	Candidates, Revelations int
+	// MaxRevealDepth is the deepest revelation recursion (re-trace steps
+	// of the longest backward walk).
+	MaxRevealDepth int
+	// Elapsed is the wall-clock time the shard took; VirtualElapsed the
+	// fabric time its probes consumed.
+	Elapsed, VirtualElapsed time.Duration
+}
+
+// shard is one unit of probing work: a team's targets (or a single
+// target), probed from that team's vantage point.
+type shard struct {
+	idx     int // canonical order
+	team    int
+	targets []netaddr.Addr
+}
+
+// revealPair keys revelation de-duplication by candidate endpoints.
+type revealPair struct{ x, y netaddr.Addr }
+
+// shardResult is a shard's private output, merged later in canonical
+// order. Nothing in it aliases campaign-level state, so shards can be
+// produced concurrently.
+type shardResult struct {
+	sh      shard
+	records []*Record
+	fps     map[netaddr.Addr]fingerprint.Result
+	stats   ShardStats
+}
+
+// buildShards partitions the (sorted) target set. Shard order — and
+// therefore merged record order — is (team, target), independent of the
+// partitioning mode and of any worker count.
+func (c *Campaign) buildShards(by ShardBy) []shard {
+	if len(c.In.VPs) == 0 {
+		return nil
+	}
+	teams := c.Cfg.Teams
+	if teams < 1 {
+		teams = 1
+	}
+	var shards []shard
+	for team := 0; team < teams; team++ {
+		var targets []netaddr.Addr
+		for _, dst := range c.Targets { // already sorted
+			if c.teamOf[dst] == team {
+				targets = append(targets, dst)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		switch by {
+		case ShardByTarget:
+			for _, dst := range targets {
+				shards = append(shards, shard{idx: len(shards), team: team, targets: []netaddr.Addr{dst}})
+			}
+		default:
+			shards = append(shards, shard{idx: len(shards), team: team, targets: targets})
+		}
+	}
+	return shards
+}
+
+// runShard probes one shard: traceroute every target, fingerprint new
+// hops, detect candidates, ping candidate egresses, then run the
+// recursive revelation for each distinct candidate pair. probeVP supplies
+// the prober (a worker's replica VP in parallel runs); recordVP is the
+// campaign-level VP the records reference (always the main Internet's, so
+// analyses see one coherent VP set). All written state is shard-private.
+func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[netaddr.Addr]*topo.Node) *shardResult {
+	res := &shardResult{
+		sh:  sh,
+		fps: make(map[netaddr.Addr]fingerprint.Result),
+		stats: ShardStats{
+			Shard:   sh.idx,
+			Team:    sh.team,
+			Targets: len(sh.targets),
+		},
+	}
+	prober := probeVP.Prober
+	sent0, recv0 := prober.Sent, prober.Recv
+	clock0 := prober.Net.Now()
+	start := time.Now()
+
+	fp := fingerprint.New(prober)
+	for _, dst := range sh.targets {
+		tr := prober.Traceroute(dst)
+		rec := &Record{VP: recordVP, Trace: tr}
+		res.records = append(res.records, rec)
+
+		for _, h := range tr.Hops {
+			if h.Anonymous() {
+				continue
+			}
+			if _, done := res.fps[h.Addr]; done {
+				continue
+			}
+			if r, ok := fp.FromHop(h); ok {
+				res.fps[h.Addr] = r
+			}
+		}
+
+		cand, ok := reveal.CandidateFromTrace(tr)
+		if !ok {
+			continue
+		}
+		// Both endpoints must be HDN routers of the same AS (Sec. 4's
+		// post-processing filter).
+		iNode, iOK := hdnAddr[cand.Ingress.Addr]
+		eNode, eOK := hdnAddr[cand.Egress.Addr]
+		if !iOK || !eOK || iNode.ASN != eNode.ASN || iNode.ID == eNode.ID {
+			continue
+		}
+		rec.Candidate = &cand
+		rec.CandidateAS = iNode.ASN
+		res.stats.Candidates++
+		if reply, ok := prober.Ping(cand.Egress.Addr, 64); ok {
+			rec.EgressEchoTTL = reply.ReplyTTL
+		}
+	}
+
+	// Recursive revelation, de-duplicated per distinct pair within the
+	// shard (the merge canonicalizes across shards).
+	done := make(map[revealPair]*reveal.Revelation)
+	for _, rec := range res.records {
+		if rec.Candidate == nil {
+			continue
+		}
+		k := revealPair{rec.Candidate.Ingress.Addr, rec.Candidate.Egress.Addr}
+		rev, ok := done[k]
+		if !ok {
+			rev = reveal.Reveal(prober, k.x, k.y)
+			done[k] = rev
+			if len(rev.Hops) > 0 {
+				res.stats.Revelations++
+			}
+			if d := len(rev.Steps); d > res.stats.MaxRevealDepth {
+				res.stats.MaxRevealDepth = d
+			}
+		}
+		rec.Revelation = rev
+	}
+
+	res.stats.Probes = prober.Sent - sent0
+	res.stats.Replies = prober.Recv - recv0
+	res.stats.Elapsed = time.Since(start)
+	res.stats.VirtualElapsed = prober.Net.Now() - clock0
+	return res
+}
+
+// merge folds shard results back into the campaign in canonical shard
+// order: records concatenate to (team, target) order, the first shard to
+// fingerprint an address wins, and revelations are canonicalized so every
+// record of a candidate pair shares the pair's first revelation object —
+// exactly what a serial pass over the same shards produces.
+func (c *Campaign) merge(results []*shardResult) {
+	canonical := make(map[revealPair]*reveal.Revelation)
+	for _, res := range results {
+		vp := c.vpForTeam(res.sh.team)
+		c.Records = append(c.Records, res.records...)
+		for a, r := range res.fps {
+			if _, done := c.Fingerprints[a]; !done {
+				c.Fingerprints[a] = r
+				c.FingerprintVP[a] = vp
+			}
+		}
+		for _, rec := range res.records {
+			if rec.Revelation == nil || rec.Candidate == nil {
+				continue
+			}
+			k := revealPair{rec.Candidate.Ingress.Addr, rec.Candidate.Egress.Addr}
+			if canon, ok := canonical[k]; ok {
+				rec.Revelation = canon
+			} else {
+				canonical[k] = rec.Revelation
+			}
+		}
+		c.Shards = append(c.Shards, res.stats)
+		c.Probes += res.stats.Probes
+	}
+	c.Probes += c.bootProbes
+}

@@ -177,6 +177,7 @@ func cmdCampaign(args []string) error {
 	scaleName := fs.String("scale", "small", "internet scale")
 	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
+	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,7 +188,7 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := experiments.NewWorld(*seed, scale)
+	w, err := experiments.NewWorldParallel(*seed, scale, *workers)
 	if err != nil {
 		return err
 	}
@@ -206,6 +207,7 @@ func cmdCampaign(args []string) error {
 	printf("revelations: DPR=%d BRPR=%d either=%d hybrid=%d failed=%d, hidden hops found=%d\n",
 		byTech[reveal.TechDPR], byTech[reveal.TechBRPR], byTech[reveal.TechEither],
 		byTech[reveal.TechHybrid], byTech[reveal.TechNone], hidden)
+	printShardStats(c)
 	if *out != "" {
 		ds := tracefile.FromCampaign(c, fmt.Sprintf("seed=%d scale=%s", *seed, *scaleName))
 		if err := tracefile.Save(*out, ds); err != nil {
@@ -214,6 +216,25 @@ func cmdCampaign(args []string) error {
 		printf("dataset saved to %s (%d records, %d fingerprints)\n", *out, len(ds.Records), len(ds.Fingerprints))
 	}
 	return nil
+}
+
+// printShardStats reports the probing phase's per-shard breakdown and the
+// worker-pool balance chart.
+func printShardStats(c *campaign.Campaign) {
+	if len(c.Shards) == 0 {
+		return
+	}
+	printf("\nprobing phase: %d shards on %d workers\n", len(c.Shards), c.Workers)
+	printf("%-6s %-5s %-7s %-8s %-8s %-8s %-7s %-10s %-10s\n",
+		"shard", "team", "worker", "targets", "probes", "replies", "reveal", "maxdepth", "probes/s")
+	var tm stats.Timings
+	for _, sh := range c.Shards {
+		printf("%-6d %-5d %-7d %-8d %-8d %-8d %-7d %-10d %-10.0f\n",
+			sh.Shard, sh.Team, sh.Worker, sh.Targets, sh.Probes, sh.Replies,
+			sh.Revelations, sh.MaxRevealDepth, stats.Rate(sh.Probes, sh.Elapsed))
+		tm.Add(fmt.Sprintf("shard %d", sh.Shard), sh.Elapsed)
+	}
+	printstr(tm.Render("shard wall-clock", 40))
 }
 
 // multiSeedCampaign pools statistics across parallel worlds.

@@ -69,14 +69,26 @@ type World struct {
 	C  *campaign.Campaign
 }
 
-// NewWorld generates an Internet at the given scale and runs the campaign.
+// NewWorld generates an Internet at the given scale and runs the campaign
+// with the default worker pool (one worker per CPU).
 func NewWorld(seed int64, scale Scale) (*World, error) {
+	return NewWorldParallel(seed, scale, 0)
+}
+
+// NewWorldParallel is NewWorld with an explicit worker-pool size for the
+// campaign's probing phase (0 means GOMAXPROCS). Results are identical at
+// every worker count; only wall-clock changes.
+func NewWorldParallel(seed int64, scale Scale, workers int) (*World, error) {
 	in, err := gen.Build(scale.Params(seed))
 	if err != nil {
 		return nil, err
 	}
 	cfg := campaign.DefaultConfig() // adaptive HDN threshold
-	return &World{In: in, C: campaign.Run(in, cfg)}, nil
+	c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &World{In: in, C: c}, nil
 }
 
 // Runner regenerates one paper item. Campaign-based runners share the

@@ -195,8 +195,24 @@ type Internet struct {
 	// addrInfo is the ground truth: interface address to (router, AS).
 	addrInfo map[netaddr.Addr]AddrInfo
 
+	// params is the exact Build input, kept so Clone can replay it.
+	params Params
+
 	rng *rand.Rand
 }
+
+// Params returns the parameters the Internet was built from.
+func (in *Internet) Params() Params { return in.params }
+
+// Clone builds an independent replica of this Internet by replaying the
+// generator with the original parameters. Build is fully deterministic in
+// its seed, so the replica's topology, addressing, control planes, and
+// vantage points are identical to the original's — but every router, link,
+// and fabric object is fresh, so the replica can be driven from its own
+// goroutine with no sharing. Post-Build mutations to the original (router
+// reconfiguration, link failures) are NOT carried over: Clone replays the
+// build, it does not copy state.
+func (in *Internet) Clone() (*Internet, error) { return Build(in.params) }
 
 // AddrInfo is the ground-truth owner of an interface address.
 type AddrInfo struct {
@@ -257,6 +273,7 @@ func Build(p Params) (*Internet, error) {
 	in := &Internet{
 		Net:      netsim.New(p.Seed ^ 0x5eed),
 		addrInfo: make(map[netaddr.Addr]AddrInfo),
+		params:   p,
 		rng:      rng,
 	}
 

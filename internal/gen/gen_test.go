@@ -110,6 +110,49 @@ func TestDeterministicGeneration(t *testing.T) {
 	}
 }
 
+func TestCloneReplaysBuild(t *testing.T) {
+	in, err := Build(smallParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := in.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica == in || replica.Net == in.Net {
+		t.Fatal("Clone returned a shared world, want an independent replica")
+	}
+	if in.Params() != smallParams(3) {
+		t.Fatal("Params() does not round-trip the build parameters")
+	}
+	aa, bb := in.RouterAddrs(), replica.RouterAddrs()
+	if len(aa) != len(bb) {
+		t.Fatalf("addr counts differ: %d vs %d", len(aa), len(bb))
+	}
+	for i := range aa {
+		if aa[i] != bb[i] {
+			t.Fatalf("addr %d differs: %s vs %s", i, aa[i], bb[i])
+		}
+	}
+	if len(replica.VPs) != len(in.VPs) {
+		t.Fatalf("VP counts differ: %d vs %d", len(replica.VPs), len(in.VPs))
+	}
+	for i := range in.VPs {
+		if in.VPs[i].Host.Addr() != replica.VPs[i].Host.Addr() {
+			t.Fatalf("VP %d address differs", i)
+		}
+	}
+	// Independent fabrics: probing the replica advances only its clock.
+	before := in.Net.Now()
+	replica.VPs[0].Prober.Traceroute(replica.VPs[1].Host.Addr())
+	if in.Net.Now() != before {
+		t.Fatal("probing the replica advanced the original fabric's clock")
+	}
+	if replica.Net.Now() == 0 {
+		t.Fatal("replica fabric did not run")
+	}
+}
+
 func TestProfilesFollowSurveyShares(t *testing.T) {
 	p := DefaultParams(17)
 	p.NumTier1 = 3

@@ -8,12 +8,31 @@
 // validation depends on) and makes millions of probes cheap. Concurrency
 // belongs to the layers above (the prober rate-limits and parallelizes
 // whole probes, never individual hops).
+//
+// # Shard ownership
+//
+// Parallel campaign drivers scale out by building one independent fabric
+// replica per worker (gen.Internet.Clone) and driving each replica from
+// exactly one goroutine — shard-per-worker, no shared fabric. Two
+// invariants make that safe:
+//
+//  1. a Network and everything attached to it (nodes, links, probers) is
+//     driven by at most one goroutine at a time, and
+//  2. once a worker adopts a replica with BindOwner, only that goroutine
+//     ever drives it again.
+//
+// Both are enforced here as cheap debug assertions: Run always detects
+// concurrent drives (an atomic busy flag), and a bound network also
+// verifies the caller's goroutine identity on every drain. Violations are
+// programming errors in the driver, so they panic.
 package netsim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"wormhole/internal/netaddr"
@@ -98,6 +117,11 @@ type Network struct {
 	seq    uint64 // tiebreaker for deterministic ordering
 	rng    *rand.Rand
 	budget int // remaining deliveries for the current drain (loop guard)
+
+	// owner is the goroutine bound via BindOwner (0 = unbound); driving
+	// flags an in-progress drain for concurrent-drive detection.
+	owner   uint64
+	driving int32
 
 	// Trace, when non-nil, observes every delivery (pcap-ish hook).
 	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
@@ -215,9 +239,49 @@ func (n *Network) Inject(out *Iface, pkt *packet.Packet) time.Duration {
 	return n.clock - start
 }
 
+// BindOwner adopts the fabric for the calling goroutine: every subsequent
+// Run (and therefore Inject) must come from this goroutine. Parallel
+// campaign workers call it right after cloning their replica; the serial
+// engine never binds and only the concurrent-drive check applies.
+func (n *Network) BindOwner() { n.owner = gid() }
+
+// ReleaseOwner clears the ownership binding (handing a replica to another
+// worker requires the old owner to release it first).
+func (n *Network) ReleaseOwner() { n.owner = 0 }
+
+// assertDriver panics when the fabric is driven from a goroutine other
+// than its bound owner, or from two goroutines at once.
+func (n *Network) assertDriver() {
+	if n.owner != 0 {
+		if g := gid(); g != n.owner {
+			panic(fmt.Sprintf("netsim: fabric owned by goroutine %d driven from goroutine %d", n.owner, g))
+		}
+	}
+	if !atomic.CompareAndSwapInt32(&n.driving, 0, 1) {
+		panic("netsim: fabric driven concurrently (one replica per worker, no shared fabric)")
+	}
+}
+
+// gid returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]:"). Debug-assertion use only.
+func gid() uint64 {
+	var buf [32]byte
+	m := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[len("goroutine "):m] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
 // Run drains the event queue until idle (or until the event budget is
 // exhausted, which indicates a forwarding loop).
 func (n *Network) Run() {
+	n.assertDriver()
+	defer atomic.StoreInt32(&n.driving, 0)
 	n.budget = DefaultEventBudget
 	for n.queue.Len() > 0 {
 		if n.budget == 0 {

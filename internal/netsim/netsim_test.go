@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -204,6 +205,118 @@ func TestEventBudgetBreaksForwardingLoops(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("forwarding loop was not broken by the event budget")
 	}
+}
+
+// TestOwnerAssertionAllowsOwningGoroutine: a bound fabric driven only by
+// its owner never trips the assertion.
+func TestOwnerAssertionAllowsOwningGoroutine(t *testing.T) {
+	net, h1, h2 := pairedHosts(t, 1, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("owner drive panicked: %v", r)
+				return
+			}
+			done <- nil
+		}()
+		net.BindOwner()
+		for i := 0; i < 3; i++ {
+			probe := &packet.Packet{
+				IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h1.Addr(), Dst: h2.Addr()},
+				ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 9, Seq: uint16(i)},
+			}
+			net.Inject(h1.If, probe)
+		}
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOwnerAssertionPanicsCrossGoroutine: driving a fabric from a
+// goroutine other than its bound owner is a driver bug and must panic.
+func TestOwnerAssertionPanicsCrossGoroutine(t *testing.T) {
+	net, h1, h2 := pairedHosts(t, 1, time.Millisecond)
+	net.BindOwner() // owner: the test goroutine
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		probe := &packet.Packet{
+			IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h1.Addr(), Dst: h2.Addr()},
+			ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest},
+		}
+		net.Inject(h1.If, probe)
+	}()
+	if !<-panicked {
+		t.Fatal("cross-goroutine drive of a bound fabric did not panic")
+	}
+
+	// ReleaseOwner hands the fabric over: a foreign goroutine may then
+	// adopt and drive it.
+	net.ReleaseOwner()
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		net.BindOwner()
+		probe := &packet.Packet{
+			IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h1.Addr(), Dst: h2.Addr()},
+			ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 1, Seq: 1},
+		}
+		net.Inject(h1.If, probe)
+	}()
+	if <-panicked {
+		t.Fatal("drive after ReleaseOwner+BindOwner panicked")
+	}
+}
+
+// blockingNode parks in Receive until released, so the test can hold one
+// drain open while a second goroutine attempts another.
+type blockingNode struct {
+	name    string
+	ifc     *Iface
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingNode) Name() string { return b.name }
+func (b *blockingNode) Receive(net *Network, in *Iface, pkt *packet.Packet) {
+	close(b.entered)
+	<-b.release
+}
+
+// TestConcurrentDrivePanics: even an unbound fabric detects two
+// goroutines draining at once (the no-shared-fabric invariant).
+func TestConcurrentDrivePanics(t *testing.T) {
+	net := New(1)
+	p := netaddr.MustParsePrefix("10.0.0.0/30")
+	h := NewHost("h", p.Nth(1), p)
+	b := &blockingNode{name: "b", entered: make(chan struct{}), release: make(chan struct{})}
+	b.ifc = &Iface{Owner: b, Name: "x", Addr: p.Nth(2), Prefix: p}
+	net.AddNode(h)
+	net.AddNode(b)
+	net.Connect(h.If, b.ifc, time.Millisecond)
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		net.Inject(h.If, &packet.Packet{
+			IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h.Addr(), Dst: p.Nth(2)},
+			ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest},
+		})
+	}()
+	<-b.entered // first drain is now parked inside Receive
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		net.Run()
+	}()
+	if !<-panicked {
+		t.Error("concurrent drive did not panic")
+	}
+	close(b.release)
+	<-firstDone
 }
 
 func TestIfaceRemoteAndString(t *testing.T) {

@@ -104,6 +104,8 @@ type Prober struct {
 
 	// Sent counts probe packets for campaign accounting.
 	Sent uint64
+	// Recv counts matched replies (anonymous hops are the difference).
+	Recv uint64
 }
 
 type await struct {
@@ -129,6 +131,7 @@ func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
 	case m.Type == packet.ICMPEchoReply:
 		if m.ID == p.pending.id && m.Seq == p.pending.seq {
 			p.pending.reply = pkt
+			p.Recv++
 		}
 	case m.IsError():
 		// ICMP probes are matched by quoted echo ID/Seq; UDP probes by
@@ -136,6 +139,7 @@ func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
 		// pair the probe carried).
 		if m.Quote != nil && m.Quote.ID == p.pending.id && m.Quote.Seq == p.pending.seq {
 			p.pending.reply = pkt
+			p.Recv++
 		}
 	}
 }

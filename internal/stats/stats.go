@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Histogram counts integer-valued observations (hop counts, TTL deltas).
@@ -183,6 +184,85 @@ func (h *Histogram) PDFSeries(name string) Series {
 		s.Y = append(s.Y, h.PDF(v))
 	}
 	return s
+}
+
+// Rate converts a count over a duration into a per-second rate (0 for a
+// non-positive duration). The campaign engine reports probes/sec with it.
+func Rate(n uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// Timings aggregates named duration samples — one per worker shard in the
+// parallel campaign engine — and summarizes pool balance.
+type Timings struct {
+	names []string
+	ds    []time.Duration
+}
+
+// Add records one sample.
+func (t *Timings) Add(name string, d time.Duration) {
+	t.names = append(t.names, name)
+	t.ds = append(t.ds, d)
+}
+
+// N returns the number of samples.
+func (t *Timings) N() int { return len(t.ds) }
+
+// Total returns the summed duration (the serial cost of the samples).
+func (t *Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.ds {
+		sum += d
+	}
+	return sum
+}
+
+// Max returns the longest sample (the critical path of a perfectly
+// scheduled pool).
+func (t *Timings) Max() time.Duration {
+	var m time.Duration
+	for _, d := range t.ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Imbalance returns max/mean: 1.0 means perfectly even shards, higher
+// means the pool idles behind a straggler.
+func (t *Timings) Imbalance() float64 {
+	if len(t.ds) == 0 {
+		return 0
+	}
+	mean := float64(t.Total()) / float64(len(t.ds))
+	if mean == 0 {
+		return 0
+	}
+	return float64(t.Max()) / mean
+}
+
+// Render prints one bar per sample scaled to the maximum, with the
+// balance summary on the header line.
+func (t *Timings) Render(label string, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, total=%v, max=%v, imbalance=%.2f)\n",
+		label, t.N(), t.Total().Round(time.Microsecond), t.Max().Round(time.Microsecond), t.Imbalance())
+	maxD := t.Max()
+	for i, d := range t.ds {
+		bar := 0
+		if maxD > 0 {
+			bar = int(math.Round(float64(d) / float64(maxD) * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%12s | %-*s %v\n", t.names[i], width, strings.Repeat("#", bar), d.Round(time.Microsecond))
+	}
+	return sb.String()
 }
 
 // Float64s summarizes a float sample (RTTs, densities).

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestHistogramBasics(t *testing.T) {
@@ -163,6 +164,55 @@ func TestFloat64s(t *testing.T) {
 	var empty Float64s
 	if empty.Mean() != 0 || empty.Median() != 0 {
 		t.Error("empty Float64s not zero")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, 2*time.Second); math.Abs(got-50) > 1e-12 {
+		t.Errorf("Rate = %f, want 50", got)
+	}
+	if Rate(100, 0) != 0 || Rate(100, -time.Second) != 0 {
+		t.Error("non-positive duration should yield 0")
+	}
+}
+
+func TestTimings(t *testing.T) {
+	var tm Timings
+	if tm.N() != 0 || tm.Total() != 0 || tm.Max() != 0 || tm.Imbalance() != 0 {
+		t.Error("empty Timings not all-zero")
+	}
+	tm.Add("w0", 10*time.Millisecond)
+	tm.Add("w1", 30*time.Millisecond)
+	tm.Add("w2", 20*time.Millisecond)
+	if tm.N() != 3 {
+		t.Errorf("N = %d", tm.N())
+	}
+	if tm.Total() != 60*time.Millisecond {
+		t.Errorf("Total = %v", tm.Total())
+	}
+	if tm.Max() != 30*time.Millisecond {
+		t.Errorf("Max = %v", tm.Max())
+	}
+	// mean = 20ms, max = 30ms -> imbalance 1.5
+	if got := tm.Imbalance(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Imbalance = %f, want 1.5", got)
+	}
+	out := tm.Render("shards", 20)
+	if !strings.Contains(out, "shards") || !strings.Contains(out, "w1") {
+		t.Errorf("render missing label or sample name:\n%s", out)
+	}
+	// The longest sample gets the full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar missing:\n%s", out)
+	}
+}
+
+func TestTimingsBalanced(t *testing.T) {
+	var tm Timings
+	tm.Add("a", time.Second)
+	tm.Add("b", time.Second)
+	if got := tm.Imbalance(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("balanced Imbalance = %f, want 1.0", got)
 	}
 }
 

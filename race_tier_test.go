@@ -1,0 +1,45 @@
+// Race tier: the concurrency-sensitive packages (the parallel campaign
+// engine and the netsim fabric it drives) must pass under the race
+// detector. This test shells out to `go test -race` so the tier runs as
+// part of the default `go test ./...` sweep without requiring every
+// package to build instrumented.
+//
+// Guarded by -short (race builds are slow) and by an env var so the
+// child invocation cannot recurse into itself.
+package wormhole
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// raceTierEnv marks a test process as the race-tier child. The child only
+// tests internal packages (this test lives in the root package), but the
+// env guard makes the non-recursion explicit rather than an accident of
+// package selection.
+const raceTierEnv = "WORMHOLE_RACE_TIER"
+
+func TestRaceTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race tier skipped in -short mode")
+	}
+	if os.Getenv(raceTierEnv) != "" {
+		t.Skip("already inside the race tier")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	// No -short in the child: the 10x-iteration stress test
+	// (TestParallelStress with the race build tag) is the tier's main
+	// payload.
+	cmd := exec.Command(goBin, "test", "-race", "-count=1",
+		"./internal/campaign/...", "./internal/netsim/...")
+	cmd.Env = append(os.Environ(), raceTierEnv+"=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("race tier failed: %v\n%s", err, out)
+	}
+	t.Logf("race tier:\n%s", out)
+}
