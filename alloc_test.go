@@ -1,0 +1,69 @@
+// Allocation-regression tier: the fabric's forwarding fast path must stay
+// allocation-free once the packet pool and route caches are warm. These
+// tests pin the optimisation down with testing.AllocsPerRun so a future
+// change that reintroduces per-hop boxing or cloning through the heap
+// fails CI rather than silently eating the speedup.
+package wormhole
+
+import (
+	"testing"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/packet"
+)
+
+// warmInject drives the same probe through the fabric until free lists,
+// route caches, and the event queue have reached steady state.
+func warmInject(l *lab.Lab, p *packet.Packet) {
+	for i := 0; i < 32; i++ {
+		l.Net.Inject(l.VP.If, p)
+	}
+}
+
+// TestForwardPathAllocFree checks the end-to-end echo path: seven hops of
+// IP/MPLS forwarding plus the router-built echo reply, all through pooled
+// packets. The injected probe is caller-owned and reused, so a run's only
+// allocations would come from the fabric itself.
+func TestForwardPathAllocFree(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	probe := &packet.Packet{
+		IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: l.VPAddr, Dst: l.CE2Left},
+		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 7, Seq: 1},
+	}
+	warmInject(l, probe)
+	allocs := testing.AllocsPerRun(200, func() { l.Net.Inject(l.VP.If, probe) })
+	if allocs > 0 {
+		t.Errorf("warm echo round-trip allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestTimeExceededPathAllocFree checks the expensive ICMP error path: TTL
+// expiry inside the LSP, where the LSR builds a time-exceeded carrying an
+// RFC 4884 extension with the RFC 4950 label-stack object.
+func TestTimeExceededPathAllocFree(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	probe := &packet.Packet{
+		IP:   packet.IPv4{TTL: 4, Protocol: packet.ProtoICMP, Src: l.VPAddr, Dst: l.CE2Left},
+		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 7, Seq: 2},
+	}
+	warmInject(l, probe)
+	allocs := testing.AllocsPerRun(200, func() { l.Net.Inject(l.VP.If, probe) })
+	if allocs > 0 {
+		t.Errorf("warm time-exceeded round-trip allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestUDPUnreachablePathAllocFree covers the UDP probe leg: delivery to
+// the destination router and the port-unreachable reply with its quote.
+func TestUDPUnreachablePathAllocFree(t *testing.T) {
+	l := lab.MustBuild(lab.Options{Scenario: lab.Default})
+	probe := &packet.Packet{
+		IP:  packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: l.VPAddr, Dst: l.CE2Left},
+		UDP: &packet.UDP{SrcPort: 33000, DstPort: 33434},
+	}
+	warmInject(l, probe)
+	allocs := testing.AllocsPerRun(200, func() { l.Net.Inject(l.VP.If, probe) })
+	if allocs > 0 {
+		t.Errorf("warm port-unreachable round-trip allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -7,12 +7,16 @@
 package wormhole
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
+	"wormhole/internal/benchrun"
 	"wormhole/internal/campaign"
 	"wormhole/internal/experiments"
 	"wormhole/internal/gen"
@@ -157,6 +161,82 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(totalProbes)/b.Elapsed().Seconds(), "probes/s")
 		})
+	}
+}
+
+// BenchmarkClone compares the two worker-replica paths on the same built
+// Internet: the structural snapshot (deep-copy of routers, tables, links,
+// hosts) against the generator rebuild (full topology + IGP + LDP + BGP
+// replay). The snapshot is what makes parallel campaign spin-up cheap.
+func BenchmarkClone(b *testing.B) {
+	in, err := gen.Build(experiments.Small.Params(2024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("structural", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Rebuild(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestBenchSmoke is the tier-1-safe benchmark smoke: one benchrun
+// iteration at small scale, validating the report shape and its JSON
+// round-trip. The full run (wormhole bench) regenerates
+// BENCH_campaign.json with meaningful iteration counts.
+func TestBenchSmoke(t *testing.T) {
+	rep, err := benchrun.Run(benchrun.Config{
+		Scale:      experiments.Small,
+		Seed:       2024,
+		Runs:       1,
+		CloneIters: 1,
+		Workers:    []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != "small" || rep.Seed != 2024 || rep.GoMaxProcs < 1 {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
+		t.Fatalf("bad clone report: %+v", rep.Clone)
+	}
+	if len(rep.Campaign) != 2 {
+		t.Fatalf("want 2 campaign entries, got %d", len(rep.Campaign))
+	}
+	for i, cr := range rep.Campaign {
+		if cr.Workers != []int{1, 2}[i] || cr.Runs != 1 {
+			t.Errorf("entry %d: workers=%d runs=%d", i, cr.Workers, cr.Runs)
+		}
+		if cr.ProbesPerRun == 0 || cr.NsPerProbe <= 0 || cr.ProbesPerSec <= 0 || cr.WallMSPerRun <= 0 {
+			t.Errorf("entry %d has empty measurements: %+v", i, cr)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := benchrun.WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchrun.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[1].Workers != 2 {
+		t.Fatalf("JSON round-trip mangled the report: %+v", back)
 	}
 }
 

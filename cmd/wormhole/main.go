@@ -5,12 +5,13 @@
 // Usage:
 //
 //	wormhole emulate  [-scenario default|backward-recursive|explicit-route|totally-invisible] [-target addr] [-pcap file]
-//	wormhole campaign [-seed N] [-scale small|medium|large] [-out dataset.jsonl] [-seeds N]
+//	wormhole campaign [-seed N] [-scale small|medium|large] [-out dataset.jsonl] [-seeds N] [-workers N] [-pprof prefix]
 //	wormhole experiments [-seed N] [-scale small|medium|large] [ids...]
 //	wormhole fingerprint [-scenario S]
 //	wormhole analyze <dataset.jsonl>
 //	wormhole tnt [-scenario S] [-target addr]
 //	wormhole graph [-seed N] [-scale S] [-before b.dot] [-after a.dot]
+//	wormhole bench [-seed N] [-scale S] [-runs N] [-workers 1,4,8] [-out BENCH_campaign.json]
 package main
 
 import (

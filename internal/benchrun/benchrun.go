@@ -1,0 +1,191 @@
+// Package benchrun measures the fast-path fabric end to end — replica
+// construction (structural snapshot vs generator rebuild) and campaign
+// throughput at several worker-pool sizes — and renders the results as a
+// stable JSON report (BENCH_campaign.json in the repo root). The CLI's
+// `bench` subcommand and the TestBenchSmoke tier drive it; EXPERIMENTS.md
+// quotes its numbers.
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wormhole/internal/campaign"
+	"wormhole/internal/experiments"
+	"wormhole/internal/gen"
+)
+
+// Config selects what to measure.
+type Config struct {
+	Scale experiments.Scale
+	Seed  int64
+	// Runs is how many campaign iterations each worker count averages
+	// over (default 1).
+	Runs int
+	// CloneIters is how many replica constructions each clone path
+	// averages over (default 3).
+	CloneIters int
+	// Workers lists the worker-pool sizes to measure (default 1, 4,
+	// NumCPU, deduplicated).
+	Workers []int
+}
+
+// CloneReport compares the two replica paths.
+type CloneReport struct {
+	Iters        int     `json:"iters"`
+	StructuralMS float64 `json:"structural_ms"`
+	RebuildMS    float64 `json:"rebuild_ms"`
+	// Speedup is RebuildMS / StructuralMS.
+	Speedup float64 `json:"speedup"`
+}
+
+// CampaignReport is the throughput measurement at one worker-pool size.
+type CampaignReport struct {
+	Workers        int     `json:"workers"`
+	Runs           int     `json:"runs"`
+	ProbesPerRun   uint64  `json:"probes_per_run"`
+	NsPerProbe     float64 `json:"ns_per_probe"`
+	ProbesPerSec   float64 `json:"probes_per_sec"`
+	AllocsPerProbe float64 `json:"allocs_per_probe"`
+	BytesPerProbe  float64 `json:"bytes_per_probe"`
+	WallMSPerRun   float64 `json:"wall_ms_per_run"`
+}
+
+// Report is the full benchmark output.
+type Report struct {
+	Scale      string           `json:"scale"`
+	Seed       int64            `json:"seed"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Clone      CloneReport      `json:"clone"`
+	Campaign   []CampaignReport `json:"campaign"`
+}
+
+// Run executes the benchmark suite on a freshly built Internet.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	if cfg.CloneIters < 1 {
+		cfg.CloneIters = 3
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4, runtime.NumCPU()}
+	}
+	seen := map[int]bool{}
+	var workers []int
+	for _, w := range cfg.Workers {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("benchrun: no valid worker counts in %v", cfg.Workers)
+	}
+
+	in, err := gen.Build(cfg.Scale.Params(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scale:      cfg.Scale.String(),
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	rep.Clone, err = measureClone(in, cfg.CloneIters)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range workers {
+		cr, err := measureCampaign(in, w, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Campaign = append(rep.Campaign, cr)
+	}
+	return rep, nil
+}
+
+func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
+	rep := CloneReport{Iters: iters}
+	// One untimed round of each path first: the initial replica pays for
+	// growing the heap from its post-build size, which would otherwise be
+	// billed entirely to the structural path measured first.
+	if _, err := in.Snapshot(); err != nil {
+		return rep, fmt.Errorf("benchrun: snapshot: %w", err)
+	}
+	if _, err := in.Rebuild(); err != nil {
+		return rep, fmt.Errorf("benchrun: rebuild: %w", err)
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := in.Snapshot(); err != nil {
+			return rep, fmt.Errorf("benchrun: snapshot: %w", err)
+		}
+	}
+	rep.StructuralMS = msPer(time.Since(start), iters)
+	runtime.GC()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := in.Rebuild(); err != nil {
+			return rep, fmt.Errorf("benchrun: rebuild: %w", err)
+		}
+	}
+	rep.RebuildMS = msPer(time.Since(start), iters)
+	if rep.StructuralMS > 0 {
+		rep.Speedup = rep.RebuildMS / rep.StructuralMS
+	}
+	return rep, nil
+}
+
+func measureCampaign(in *gen.Internet, workers, runs int) (CampaignReport, error) {
+	rep := CampaignReport{Workers: workers, Runs: runs}
+	cfg := campaign.DefaultConfig()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var probes uint64
+	for i := 0; i < runs; i++ {
+		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
+		if err != nil {
+			return rep, err
+		}
+		if len(c.Records) == 0 {
+			return rep, fmt.Errorf("benchrun: empty campaign at workers=%d", workers)
+		}
+		probes += c.Probes
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	rep.ProbesPerRun = probes / uint64(runs)
+	rep.WallMSPerRun = msPer(wall, runs)
+	if probes > 0 {
+		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)
+		rep.ProbesPerSec = float64(probes) / wall.Seconds()
+		rep.AllocsPerProbe = float64(ms1.Mallocs-ms0.Mallocs) / float64(probes)
+		rep.BytesPerProbe = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(probes)
+	}
+	return rep, nil
+}
+
+func msPer(d time.Duration, n int) float64 {
+	return float64(d.Nanoseconds()) / float64(n) / 1e6
+}
+
+// WriteJSON renders the report with stable field order and a trailing
+// newline, so committed reports diff cleanly.
+func WriteJSON(path string, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

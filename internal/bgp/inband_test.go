@@ -128,7 +128,7 @@ func TestInBandBGPBasicPropagation(t *testing.T) {
 	}
 	// End to end: ping host to host through the transit.
 	var got *packet.Packet
-	w.ha.Handler = func(_ *netsim.Network, pkt *packet.Packet) { got = pkt }
+	w.ha.Handler = func(net *netsim.Network, pkt *packet.Packet) { net.AdoptPacket(pkt); got = pkt }
 	w.net.Inject(w.ha.If, &packet.Packet{
 		IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: w.ha.Addr(), Dst: w.hb.Addr()},
 		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 3, Seq: 1},
@@ -194,7 +194,7 @@ func TestWithdrawalReconverges(t *testing.T) {
 	sess.AIf.Link.Up = true
 	mesh.ConvergeAll()
 	var got *packet.Packet
-	w.ha.Handler = func(_ *netsim.Network, pkt *packet.Packet) { got = pkt }
+	w.ha.Handler = func(net *netsim.Network, pkt *packet.Packet) { net.AdoptPacket(pkt); got = pkt }
 	w.net.Inject(w.ha.If, &packet.Packet{
 		IP:   packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: w.ha.Addr(), Dst: w.hb.Addr()},
 		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: 4, Seq: 1},

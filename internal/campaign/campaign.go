@@ -99,6 +99,13 @@ type Campaign struct {
 	FingerprintVP map[netaddr.Addr]*gen.VP
 	// Probes counts every probe packet sent (campaign accounting).
 	Probes uint64
+	// BudgetHits counts fabric drains that exhausted their event budget
+	// anywhere in the campaign (bootstrap included); LoopDrops the queued
+	// events discarded when that happened. Non-zero totals mean some
+	// probes died inside the fabric instead of being answered or timing
+	// out — surfaced in the post-mortem so silent discards are never
+	// mistaken for clean '*' hops.
+	BudgetHits, LoopDrops uint64
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
@@ -144,9 +151,13 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
 	}
 	sent0 := sentByVPs(in.VPs)
+	fab0 := in.Net.FabricStats()
 	c.bootstrap()
 	c.selectTargets()
 	c.bootProbes = sentByVPs(in.VPs) - sent0
+	fab1 := in.Net.FabricStats()
+	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
+	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	// Campaign-wide prober configuration happens once, here: FirstTTL is
 	// shared per-VP state, so mutating it inside the per-target probe loop
 	// (as an earlier version did) is exactly the kind of latent coupling a

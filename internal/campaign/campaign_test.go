@@ -109,7 +109,7 @@ func TestRevealedHopsMatchIGPPath(t *testing.T) {
 				break
 			}
 			if cur.Router != prev.Router {
-				d, ok := cur.AS.SPF.Dist[prev.Router][cur.Router]
+				d, ok := cur.AS.SPF().Dist[prev.Router][cur.Router]
 				if !ok || d > 2 {
 					t.Errorf("revealed hops %s -> %s are %d IGP hops apart", prev.Router.Name(), cur.Router.Name(), d)
 				}

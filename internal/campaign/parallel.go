@@ -8,6 +8,29 @@ import (
 	"wormhole/internal/gen"
 )
 
+// ReplicaMode selects how each worker obtains its private fabric replica.
+type ReplicaMode uint8
+
+const (
+	// ReplicaSnapshot structurally deep-copies the built Internet
+	// (gen.Internet.Clone) — O(state) per worker, the fast path. Worlds
+	// converged with an in-band control plane fall back to a rebuild
+	// automatically.
+	ReplicaSnapshot ReplicaMode = iota
+	// ReplicaRebuild replays the generator with the original parameters
+	// (gen.Internet.Rebuild) — O(convergence) per worker. Kept as the
+	// validation oracle for the snapshot path: campaign output must be
+	// byte-identical under either mode.
+	ReplicaRebuild
+)
+
+func (m ReplicaMode) String() string {
+	if m == ReplicaRebuild {
+		return "rebuild"
+	}
+	return "snapshot"
+}
+
 // ParallelConfig tunes the parallel campaign engine.
 type ParallelConfig struct {
 	// Workers sizes the worker pool; <= 0 selects GOMAXPROCS. The pool is
@@ -15,6 +38,8 @@ type ParallelConfig struct {
 	Workers int
 	// ShardBy selects the target partitioning (default ShardByTeam).
 	ShardBy ShardBy
+	// Replica selects the worker replica path (default ReplicaSnapshot).
+	Replica ReplicaMode
 }
 
 // RunParallel executes the campaign with per-team worker shards.
@@ -61,7 +86,13 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			replica, err := in.Clone()
+			var replica *gen.Internet
+			var err error
+			if pcfg.Replica == ReplicaRebuild {
+				replica, err = in.Rebuild()
+			} else {
+				replica, err = in.Clone()
+			}
 			if err != nil {
 				errs[w] = fmt.Errorf("campaign: worker %d replica: %w", w, err)
 				for range work {

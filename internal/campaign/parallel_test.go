@@ -56,7 +56,10 @@ func dumpCampaign(t *testing.T, c *Campaign) string {
 // TestParallelDeterminismGolden is the headline test for the parallel
 // engine: the same seeded campaign run serially and with Workers=1,2,8
 // (and with per-target sharding) produces byte-identical Records,
-// Revelations, Fingerprints, and CorrectedGraph output.
+// Revelations, Fingerprints, and CorrectedGraph output. Both replica
+// paths are exercised — the structural snapshot (the fast path) and the
+// generator rebuild (its validation oracle) must agree with the serial
+// engine and therefore with each other.
 func TestParallelDeterminismGolden(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HDNThreshold = 6
@@ -72,9 +75,12 @@ func TestParallelDeterminismGolden(t *testing.T) {
 		{Workers: 1},
 		{Workers: 2},
 		{Workers: 8},
+		{Workers: 1, Replica: ReplicaRebuild},
+		{Workers: 2, Replica: ReplicaRebuild},
+		{Workers: 8, Replica: ReplicaRebuild},
 		{Workers: 4, ShardBy: ShardByTarget},
 	} {
-		name := fmt.Sprintf("workers=%d shardBy=%s", pcfg.Workers, pcfg.ShardBy)
+		name := fmt.Sprintf("workers=%d shardBy=%s replica=%s", pcfg.Workers, pcfg.ShardBy, pcfg.Replica)
 		par, err := RunParallel(testInternet(t, 101), cfg, pcfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -55,6 +55,11 @@ type ShardStats struct {
 	// MaxRevealDepth is the deepest revelation recursion (re-trace steps
 	// of the longest backward walk).
 	MaxRevealDepth int
+	// BudgetHits counts fabric drains that exhausted their event budget
+	// during the shard; LoopDrops the queued events silently discarded
+	// when that happened. Non-zero values mean probes died inside the
+	// fabric (a forwarding loop or runaway flood) rather than timing out.
+	BudgetHits, LoopDrops uint64
 	// Elapsed is the wall-clock time the shard took; VirtualElapsed the
 	// fabric time its probes consumed.
 	Elapsed, VirtualElapsed time.Duration
@@ -134,6 +139,7 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	prober := probeVP.Prober
 	sent0, recv0 := prober.Sent, prober.Recv
 	clock0 := prober.Net.Now()
+	fab0 := prober.Net.FabricStats()
 	start := time.Now()
 
 	fp := fingerprint.New(prober)
@@ -199,6 +205,9 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	res.stats.Replies = prober.Recv - recv0
 	res.stats.Elapsed = time.Since(start)
 	res.stats.VirtualElapsed = prober.Net.Now() - clock0
+	fab1 := prober.Net.FabricStats()
+	res.stats.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
+	res.stats.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	return res
 }
 
@@ -231,6 +240,8 @@ func (c *Campaign) merge(results []*shardResult) {
 		}
 		c.Shards = append(c.Shards, res.stats)
 		c.Probes += res.stats.Probes
+		c.BudgetHits += res.stats.BudgetHits
+		c.LoopDrops += res.stats.LoopDrops
 	}
 	c.Probes += c.bootProbes
 }

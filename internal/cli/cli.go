@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"wormhole/internal/benchrun"
 	"wormhole/internal/campaign"
 	"wormhole/internal/experiments"
 	"wormhole/internal/fingerprint"
@@ -45,6 +48,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdTNT(args[1:])
 	case "graph":
 		err = cmdGraph(args[1:])
+	case "bench":
+		err = cmdBench(args[1:])
 	case "-h", "--help", "help":
 		usage(stdout)
 	default:
@@ -78,6 +83,7 @@ commands:
   analyze      offline analysis of a saved campaign dataset
   tnt          trigger-driven traceroute with inline tunnel revelation
   graph        export campaign graphs (before/after revelation) as DOT
+  bench        measure replica construction and campaign throughput (JSON report)
 `)
 }
 
@@ -178,8 +184,16 @@ func cmdCampaign(args []string) error {
 	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
+	pprofPrefix := fs.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pb.gz and <prefix>.heap.pb.gz")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofPrefix != "" {
+		stop, err := startProfiles(*pprofPrefix)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	if *seeds > 1 {
 		return multiSeedCampaign(*seed, *seeds, *scaleName)
@@ -235,6 +249,80 @@ func printShardStats(c *campaign.Campaign) {
 		tm.Add(fmt.Sprintf("shard %d", sh.Shard), sh.Elapsed)
 	}
 	printstr(tm.Render("shard wall-clock", 40))
+	if c.LoopDrops > 0 {
+		printf("WARNING: %d fabric events dropped on %d event-budget exhaustions — "+
+			"probes died in a forwarding loop and were recorded as '*' hops\n",
+			c.LoopDrops, c.BudgetHits)
+	}
+}
+
+// startProfiles begins a CPU profile and arranges a heap profile at stop.
+func startProfiles(prefix string) (stop func(), err error) {
+	cpu, err := os.Create(prefix + ".cpu.pb.gz")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(prefix + ".heap.pb.gz")
+		if err != nil {
+			printf("pprof: %v\n", err)
+			return
+		}
+		defer heap.Close()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			printf("pprof: %v\n", err)
+			return
+		}
+		printf("profiles written to %s.cpu.pb.gz and %s.heap.pb.gz\n", prefix, prefix)
+	}, nil
+}
+
+// cmdBench runs the benchrun suite and writes the JSON report.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	seed := fs.Int64("seed", 2024, "generator seed")
+	scaleName := fs.String("scale", "small", "internet scale")
+	runs := fs.Int("runs", 3, "campaign iterations per worker count")
+	workersCSV := fs.String("workers", "", "comma-separated worker counts (default 1,4,NumCPU)")
+	outPath := fs.String("out", "BENCH_campaign.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	cfg := benchrun.Config{Scale: scale, Seed: *seed, Runs: *runs}
+	if *workersCSV != "" {
+		for _, part := range strings.Split(*workersCSV, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bench: bad worker count %q", part)
+			}
+			cfg.Workers = append(cfg.Workers, w)
+		}
+	}
+	rep, err := benchrun.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printf("clone: structural %.2fms, rebuild %.2fms, speedup %.1fx\n",
+		rep.Clone.StructuralMS, rep.Clone.RebuildMS, rep.Clone.Speedup)
+	for _, cr := range rep.Campaign {
+		printf("campaign workers=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.0fms/run\n",
+			cr.Workers, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe, cr.WallMSPerRun)
+	}
+	if err := benchrun.WriteJSON(*outPath, rep); err != nil {
+		return err
+	}
+	printf("report written to %s\n", *outPath)
+	return nil
 }
 
 // multiSeedCampaign pools statistics across parallel worlds.

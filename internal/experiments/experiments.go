@@ -50,6 +50,19 @@ const (
 	Large
 )
 
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("scale-%d", int(s))
+	}
+}
+
 // Params returns generator parameters for a scale.
 func (s Scale) Params(seed int64) gen.Params {
 	p := gen.DefaultParams(seed)

@@ -164,12 +164,28 @@ type ASInfo struct {
 	X, Y float64
 	Core []*router.Router
 	Edge []*router.Router
-	SPF  *igp.Result
 	// Aggregate is the announced address block.
 	Aggregate netaddr.Prefix
 
+	// spf is the AS's computed IGP state. On a structural snapshot it is
+	// materialized lazily from spfThunk: campaign workers never read SPF
+	// state, and remapping it eagerly costs as much as cloning all the
+	// router tables of the AS.
+	spf      *igp.Result
+	spfThunk func() *igp.Result
+
 	nextSubnet uint32
 	nextLo     uint32
+}
+
+// SPF returns the AS's computed IGP state (nil if the AS has none). On
+// snapshot replicas the first call materializes the remapped copy.
+func (as *ASInfo) SPF() *igp.Result {
+	if as.spf == nil && as.spfThunk != nil {
+		as.spf = as.spfThunk()
+		as.spfThunk = nil
+	}
+	return as.spf
 }
 
 // Routers returns all routers of the AS.
@@ -192,10 +208,18 @@ type Internet struct {
 	ASes []*ASInfo
 	VPs  []*VP
 
-	// addrInfo is the ground truth: interface address to (router, AS).
-	addrInfo map[netaddr.Addr]AddrInfo
+	// addrInfo is the ground truth: interface address to (router, AS). On
+	// a structural snapshot it is materialized lazily from addrThunk:
+	// campaign workers resolve addresses against the source world, so
+	// copying the index eagerly would tax every worker spin-up for a map
+	// that is usually never read.
+	addrInfo  map[netaddr.Addr]AddrInfo
+	addrThunk func() map[netaddr.Addr]AddrInfo
 
-	// params is the exact Build input, kept so Clone can replay it.
+	// asByNum indexes ASes by number for constant-time ASByNum.
+	asByNum map[uint32]*ASInfo
+
+	// params is the exact Build input, kept so Rebuild can replay it.
 	params Params
 
 	rng *rand.Rand
@@ -204,15 +228,18 @@ type Internet struct {
 // Params returns the parameters the Internet was built from.
 func (in *Internet) Params() Params { return in.params }
 
-// Clone builds an independent replica of this Internet by replaying the
-// generator with the original parameters. Build is fully deterministic in
-// its seed, so the replica's topology, addressing, control planes, and
-// vantage points are identical to the original's — but every router, link,
-// and fabric object is fresh, so the replica can be driven from its own
-// goroutine with no sharing. Post-Build mutations to the original (router
-// reconfiguration, link failures) are NOT carried over: Clone replays the
-// build, it does not copy state.
-func (in *Internet) Clone() (*Internet, error) { return Build(in.params) }
+// Clone builds an independent replica of this Internet: every router,
+// link, and fabric object is fresh, so the replica can be driven from its
+// own goroutine with no sharing. It takes the fast path — a structural
+// Snapshot of the built state — except for in-band-converged worlds, which
+// fall back to Rebuild (a full generator replay) because their routers
+// carry control-plane closures that cannot be copied.
+func (in *Internet) Clone() (*Internet, error) {
+	if in.params.InBandControlPlane {
+		return in.Rebuild()
+	}
+	return in.Snapshot()
+}
 
 // AddrInfo is the ground-truth owner of an interface address.
 type AddrInfo struct {
@@ -220,10 +247,20 @@ type AddrInfo struct {
 	AS     *ASInfo
 }
 
+// addrs returns the address index, materializing a snapshot replica's
+// lazy copy on first use.
+func (in *Internet) addrs() map[netaddr.Addr]AddrInfo {
+	if in.addrInfo == nil && in.addrThunk != nil {
+		in.addrInfo = in.addrThunk()
+		in.addrThunk = nil
+	}
+	return in.addrInfo
+}
+
 // Resolve is the ground-truth resolver handed to topo.Graph (the ITDK
 // alias/AS mapping substitute).
 func (in *Internet) Resolve(a netaddr.Addr) (string, uint32, bool) {
-	info, ok := in.addrInfo[a]
+	info, ok := in.addrs()[a]
 	if !ok {
 		return "", 0, false
 	}
@@ -232,18 +269,14 @@ func (in *Internet) Resolve(a netaddr.Addr) (string, uint32, bool) {
 
 // Owner returns ground-truth info for an address.
 func (in *Internet) Owner(a netaddr.Addr) (AddrInfo, bool) {
-	info, ok := in.addrInfo[a]
+	info, ok := in.addrs()[a]
 	return info, ok
 }
 
-// ASByNum returns the AS with the given number.
+// ASByNum returns the AS with the given number. Lookup paths call this per
+// reply, so it goes through the Build-time index rather than scanning.
 func (in *Internet) ASByNum(num uint32) *ASInfo {
-	for _, as := range in.ASes {
-		if as.Num == num {
-			return as
-		}
-	}
-	return nil
+	return in.asByNum[num]
 }
 
 // RouterAddrs returns every registered router interface address (loopbacks
@@ -273,6 +306,7 @@ func Build(p Params) (*Internet, error) {
 	in := &Internet{
 		Net:      netsim.New(p.Seed ^ 0x5eed),
 		addrInfo: make(map[netaddr.Addr]AddrInfo),
+		asByNum:  make(map[uint32]*ASInfo),
 		params:   p,
 		rng:      rng,
 	}
@@ -299,6 +333,7 @@ func Build(p Params) (*Internet, error) {
 			num++
 			out = append(out, as)
 			in.ASes = append(in.ASes, as)
+			in.asByNum[as.Num] = as
 		}
 		return out
 	}
@@ -365,7 +400,7 @@ func Build(p Params) (*Internet, error) {
 				return nil, fmt.Errorf("gen: AS%d SPF: %w", as.Num, err)
 			}
 		}
-		as.SPF = spf
+		as.spf = spf
 		if as.Profile.MPLS {
 			if p.InBandControlPlane {
 				ldp.EnableInBand(in.Net, as.Routers()).Converge()
@@ -732,7 +767,7 @@ func (in *Internet) walk(as *ASInfo, a, b *router.Router) []*router.Router {
 	path := []*router.Router{a}
 	cur := a
 	for steps := 0; steps < 64; steps++ {
-		hops := as.SPF.NextHops[cur][lo.Prefix]
+		hops := as.SPF().NextHops[cur][lo.Prefix]
 		if len(hops) == 0 || hops[0].Via == nil {
 			return nil
 		}

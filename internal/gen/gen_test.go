@@ -32,7 +32,7 @@ func TestBuildSmallInternet(t *testing.T) {
 		if len(as.Routers()) == 0 {
 			t.Errorf("%s has no routers", as.Name)
 		}
-		if as.SPF == nil {
+		if as.SPF() == nil {
 			t.Errorf("%s has no SPF", as.Name)
 		}
 		if as.Profile.Tier == Stub && as.Profile.MPLS {

@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wormhole/internal/igp"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+)
+
+// Snapshot builds an independent replica of this Internet by structurally
+// deep-copying the built state: every router (FIB, LFIB, bindings,
+// personality, config, counters), link, host, SPF result, and the
+// ground-truth address index. No control-plane computation is replayed, so
+// a snapshot costs O(state) rather than O(convergence) — the fast path for
+// parallel campaign workers.
+//
+// Probers are created fresh on the replica (counters zeroed), matching what
+// a generator replay would produce; campaign workers reconfigure them from
+// the campaign config anyway.
+//
+// Worlds converged with InBandControlPlane cannot be snapshot: their
+// routers hold ControlHandler closures over source-side protocol state.
+// Use Rebuild (or Clone, which falls back automatically) for those.
+func (in *Internet) Snapshot() (*Internet, error) {
+	for _, n := range in.Net.Nodes() {
+		if r, ok := n.(*router.Router); ok && r.ControlHandler != nil {
+			return nil, fmt.Errorf("gen: cannot snapshot %s: in-band control plane attached (use Rebuild)", r.Name())
+		}
+	}
+	c, err := in.Net.BeginSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	srcRouters := make([]*router.Router, 0, len(in.Net.Nodes()))
+	for _, n := range in.Net.Nodes() {
+		if r, ok := n.(*router.Router); ok {
+			srcRouters = append(srcRouters, r)
+		}
+	}
+	// One arena serves every router: table data for the whole replica
+	// lands in a handful of contiguous slabs.
+	arena := router.NewCloneArena(srcRouters)
+	routers := make(map[*router.Router]*router.Router, len(srcRouters))
+	for _, n := range in.Net.Nodes() {
+		switch v := n.(type) {
+		case *router.Router:
+			routers[v] = v.SnapshotInto(c, arena)
+		case *netsim.Host:
+			v.Snapshot(c)
+		default:
+			return nil, fmt.Errorf("gen: cannot snapshot node %q of type %T", n.Name(), n)
+		}
+	}
+	if err := c.Finish(); err != nil {
+		return nil, err
+	}
+
+	out := &Internet{
+		Net:     c.Net(),
+		asByNum: make(map[uint32]*ASInfo, len(in.ASes)),
+		params:  in.params,
+		rng:     rand.New(rand.NewSource(in.params.Seed)),
+	}
+	rmap := func(r *router.Router) *router.Router { return routers[r] }
+	for _, as := range in.ASes {
+		na := &ASInfo{
+			Num:        as.Num,
+			Name:       as.Name,
+			Profile:    as.Profile,
+			X:          as.X,
+			Y:          as.Y,
+			Aggregate:  as.Aggregate,
+			nextSubnet: as.nextSubnet,
+			nextLo:     as.nextLo,
+		}
+		na.Core = make([]*router.Router, len(as.Core))
+		for i, r := range as.Core {
+			na.Core[i] = routers[r]
+		}
+		na.Edge = make([]*router.Router, len(as.Edge))
+		for i, r := range as.Edge {
+			na.Edge[i] = routers[r]
+		}
+		if spf := as.SPF(); spf != nil {
+			// Deferred: campaign workers never read SPF state, and an eager
+			// Remap would cost as much as cloning the AS's router tables.
+			// The closure keeps the source result and mapping tables alive,
+			// which the replica's lifetime bounds anyway.
+			na.spfThunk = func() *igp.Result { return spf.Remap(rmap, c.Iface) }
+		}
+		out.ASes = append(out.ASes, na)
+		out.asByNum[na.Num] = na
+	}
+	// Deferred like the SPF results: workers resolve addresses against the
+	// source world, so the remapped index is materialized only if read.
+	out.addrThunk = func() map[netaddr.Addr]AddrInfo {
+		m := make(map[netaddr.Addr]AddrInfo, len(in.addrs()))
+		for a, info := range in.addrs() {
+			m[a] = AddrInfo{Router: routers[info.Router], AS: out.asByNum[info.AS.Num]}
+		}
+		return m
+	}
+	for _, vp := range in.VPs {
+		host, ok := c.NodeOf(vp.Host).(*netsim.Host)
+		if !ok {
+			return nil, fmt.Errorf("gen: VP host %q missing from snapshot", vp.Host.Name())
+		}
+		pr := probe.New(out.Net, host)
+		pr.Method = vp.Prober.Method
+		pr.FirstTTL = vp.Prober.FirstTTL
+		pr.MaxTTL = vp.Prober.MaxTTL
+		pr.GapLimit = vp.Prober.GapLimit
+		pr.Attempts = vp.Prober.Attempts
+		pr.FlowID = vp.Prober.FlowID
+		out.VPs = append(out.VPs, &VP{Host: host, Prober: pr, AS: out.asByNum[vp.AS.Num]})
+	}
+	return out, nil
+}
+
+// Rebuild builds an independent replica by replaying the generator with
+// the original parameters — the validation oracle for Snapshot, and the
+// only replication path for in-band-converged worlds. Post-build mutations
+// to the original are NOT carried over.
+func (in *Internet) Rebuild() (*Internet, error) { return Build(in.params) }

@@ -3,126 +3,206 @@ package netaddr
 // Trie is a binary (unibit) longest-prefix-match trie mapping prefixes to
 // arbitrary values. It is the FIB structure used by every simulated router.
 //
+// Nodes live in one contiguous slice and reference each other by index, not
+// by pointer. That layout is what makes fabric snapshots cheap: Clone is a
+// single slice copy plus a linear pass over stored values, with no
+// pointer-chasing traversal and no per-node allocation. It also means
+// Insert never hits the allocator except to grow the backing slice.
+//
 // The zero Trie is ready to use. Trie is not safe for concurrent mutation;
 // lookups are safe concurrently with each other.
 type Trie[V any] struct {
-	root *trieNode[V]
-	size int
+	// nodes[0] is the root when non-empty. Child index 0 means "no child"
+	// (the root is never anyone's child, so 0 is free as a sentinel).
+	nodes []trieNode[V]
+	size  int
 }
 
 type trieNode[V any] struct {
-	child [2]*trieNode[V]
+	child [2]int32
 	val   V
 	set   bool
 }
 
 // Insert adds or replaces the value for an exact prefix.
 func (t *Trie[V]) Insert(p Prefix, v V) {
-	if t.root == nil {
-		t.root = &trieNode[V]{}
+	if len(t.nodes) == 0 {
+		t.nodes = append(t.nodes, trieNode[V]{})
 	}
-	n := t.root
+	n := int32(0)
 	a := uint32(p.Addr())
 	for i := 0; i < p.Bits(); i++ {
 		b := (a >> (31 - uint(i))) & 1
-		if n.child[b] == nil {
-			n.child[b] = &trieNode[V]{}
+		if t.nodes[n].child[b] == 0 {
+			t.nodes = append(t.nodes, trieNode[V]{})
+			t.nodes[n].child[b] = int32(len(t.nodes) - 1)
 		}
-		n = n.child[b]
+		n = t.nodes[n].child[b]
 	}
-	if !n.set {
+	nd := &t.nodes[n]
+	if !nd.set {
 		t.size++
 	}
-	n.val, n.set = v, true
+	nd.val, nd.set = v, true
 }
 
 // Delete removes the value for an exact prefix, reporting whether it existed.
 // Interior nodes are left in place; the trie is used for long-lived FIBs
 // where deletions are rare, so compaction is not worth the complexity.
 func (t *Trie[V]) Delete(p Prefix) bool {
-	n := t.root
-	a := uint32(p.Addr())
-	for i := 0; i < p.Bits() && n != nil; i++ {
-		n = n.child[(a>>(31-uint(i)))&1]
+	if len(t.nodes) == 0 {
+		return false
 	}
-	if n == nil || !n.set {
+	n := int32(0)
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		n = t.nodes[n].child[(a>>(31-uint(i)))&1]
+		if n == 0 {
+			return false
+		}
+	}
+	nd := &t.nodes[n]
+	if !nd.set {
 		return false
 	}
 	var zero V
-	n.val, n.set = zero, false
+	nd.val, nd.set = zero, false
 	t.size--
 	return true
 }
 
 // Lookup returns the value of the longest prefix covering a.
 func (t *Trie[V]) Lookup(a Addr) (v V, ok bool) {
-	n := t.root
+	if len(t.nodes) == 0 {
+		return v, false
+	}
 	u := uint32(a)
-	for i := 0; n != nil; i++ {
-		if n.set {
-			v, ok = n.val, true
+	n := int32(0)
+	for i := 0; ; i++ {
+		nd := &t.nodes[n]
+		if nd.set {
+			v, ok = nd.val, true
 		}
 		if i == 32 {
 			break
 		}
-		n = n.child[(u>>(31-uint(i)))&1]
+		n = nd.child[(u>>(31-uint(i)))&1]
+		if n == 0 {
+			break
+		}
 	}
 	return v, ok
 }
 
 // LookupPrefix returns both the matched prefix and its value.
 func (t *Trie[V]) LookupPrefix(a Addr) (p Prefix, v V, ok bool) {
-	n := t.root
+	if len(t.nodes) == 0 {
+		return p, v, false
+	}
 	u := uint32(a)
-	for i := 0; n != nil; i++ {
-		if n.set {
+	n := int32(0)
+	for i := 0; ; i++ {
+		nd := &t.nodes[n]
+		if nd.set {
 			p = Prefix{addr: Addr(u) & maskOf(i), bits: uint8(i)}
-			v, ok = n.val, true
+			v, ok = nd.val, true
 		}
 		if i == 32 {
 			break
 		}
-		n = n.child[(u>>(31-uint(i)))&1]
+		n = nd.child[(u>>(31-uint(i)))&1]
+		if n == 0 {
+			break
+		}
 	}
 	return p, v, ok
 }
 
 // Get returns the value stored for an exact prefix (no LPM semantics).
 func (t *Trie[V]) Get(p Prefix) (v V, ok bool) {
-	n := t.root
-	a := uint32(p.Addr())
-	for i := 0; i < p.Bits() && n != nil; i++ {
-		n = n.child[(a>>(31-uint(i)))&1]
-	}
-	if n == nil || !n.set {
+	if len(t.nodes) == 0 {
 		return v, false
 	}
-	return n.val, true
+	n := int32(0)
+	a := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		n = t.nodes[n].child[(a>>(31-uint(i)))&1]
+		if n == 0 {
+			return v, false
+		}
+	}
+	nd := &t.nodes[n]
+	if !nd.set {
+		return v, false
+	}
+	return nd.val, true
 }
 
 // Len returns the number of prefixes stored.
 func (t *Trie[V]) Len() int { return t.size }
 
+// Clone returns a structurally independent copy of the trie. Each stored
+// value is passed through fn, which lets callers rewrite pointer values
+// (e.g. remap routes onto a snapshot's interfaces) during the copy; a nil
+// fn copies values as-is, which for pointer-free V makes Clone a pure
+// memcpy.
+//
+// Because nodes reference each other by slice index, the copy is one
+// allocation, one memcpy, and (with fn) a linear sweep — no traversal.
+func (t *Trie[V]) Clone(fn func(V) V) Trie[V] {
+	nt := Trie[V]{size: t.size}
+	if len(t.nodes) == 0 {
+		return nt
+	}
+	nt.nodes = make([]trieNode[V], len(t.nodes))
+	copy(nt.nodes, t.nodes)
+	if fn != nil {
+		for i := range nt.nodes {
+			if nt.nodes[i].set {
+				nt.nodes[i].val = fn(nt.nodes[i].val)
+			}
+		}
+	}
+	return nt
+}
+
+// Each visits every stored value in unspecified order. It is a linear
+// sweep of the node slice — much cheaper than an ordered Walk — for
+// callers that only aggregate over values (e.g. snapshot arena sizing).
+func (t *Trie[V]) Each(fn func(V)) {
+	for i := range t.nodes {
+		if t.nodes[i].set {
+			fn(t.nodes[i].val)
+		}
+	}
+}
+
 // Walk visits every stored prefix in lexicographic (address, length) order.
 // Returning false from fn stops the walk.
 func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
-	walk(t.root, 0, 0, fn)
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.walk(0, 0, 0, fn)
 }
 
-func walk[V any](n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
-	if n == nil {
-		return true
-	}
-	if n.set {
-		if !fn(Prefix{addr: Addr(addr), bits: uint8(depth)}, n.val) {
+func (t *Trie[V]) walk(n int32, addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	nd := &t.nodes[n]
+	if nd.set {
+		if !fn(Prefix{addr: Addr(addr), bits: uint8(depth)}, nd.val) {
 			return false
 		}
 	}
 	if depth == 32 {
 		return true
 	}
-	if !walk(n.child[0], addr, depth+1, fn) {
-		return false
+	if c := nd.child[0]; c != 0 {
+		if !t.walk(c, addr, depth+1, fn) {
+			return false
+		}
 	}
-	return walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+	if c := nd.child[1]; c != 0 {
+		return t.walk(c, addr|1<<(31-uint(depth)), depth+1, fn)
+	}
+	return true
 }

@@ -217,3 +217,38 @@ func BenchmarkTrieLookup(b *testing.B) {
 		tr.Lookup(addrs[i&1023])
 	}
 }
+
+func TestTrieClone(t *testing.T) {
+	var tr Trie[*int]
+	mk := func(v int) *int { return &v }
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), mk(0))
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), mk(1))
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), mk(2))
+	tr.Insert(HostPrefix(MustParseAddr("10.1.2.3")), mk(3))
+
+	cl := tr.Clone(func(p *int) *int { v := *p; return &v })
+	if cl.Len() != tr.Len() {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), tr.Len())
+	}
+	// Same lookups, different value pointers (fn was applied).
+	for _, addr := range []string{"10.1.2.3", "10.1.9.9", "10.9.9.9", "192.0.2.1"} {
+		a := MustParseAddr(addr)
+		pw, vw, okw := tr.LookupPrefix(a)
+		pg, vg, okg := cl.LookupPrefix(a)
+		if okw != okg || pw != pg || *vw != *vg {
+			t.Fatalf("%s: clone lookup (%v,%v,%v), want (%v,%v,%v)", addr, pg, vg, okg, pw, vw, okw)
+		}
+		if vw == vg {
+			t.Fatalf("%s: clone shares the value pointer", addr)
+		}
+	}
+	// Structural independence: mutating the clone leaves the original alone.
+	cl.Insert(MustParsePrefix("172.16.0.0/12"), mk(9))
+	cl.Delete(MustParsePrefix("10.0.0.0/8"))
+	if _, ok := tr.Get(MustParsePrefix("172.16.0.0/12")); ok {
+		t.Fatal("insert into clone leaked into original")
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/8")); !ok {
+		t.Fatal("delete from clone removed the original's entry")
+	}
+}

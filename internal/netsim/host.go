@@ -40,40 +40,41 @@ func (h *Host) Receive(net *Network, in *Iface, pkt *packet.Packet) {
 	if pkt.IP.Dst != h.If.Addr {
 		return // hosts do not forward
 	}
+	pool := net.PacketPool()
 	switch {
 	case pkt.IP.Protocol == packet.ProtoICMP && pkt.ICMP != nil && pkt.ICMP.Type == packet.ICMPEchoRequest:
-		reply := &packet.Packet{
-			IP: packet.IPv4{
-				TTL:      h.InitTTL,
-				Protocol: packet.ProtoICMP,
-				Src:      h.If.Addr,
-				Dst:      pkt.IP.Src,
-			},
-			ICMP:       &packet.ICMP{Type: packet.ICMPEchoReply, ID: pkt.ICMP.ID, Seq: pkt.ICMP.Seq},
-			PayloadLen: pkt.PayloadLen,
+		reply := pool.Packet()
+		reply.IP = packet.IPv4{
+			TTL:      h.InitTTL,
+			Protocol: packet.ProtoICMP,
+			Src:      h.If.Addr,
+			Dst:      pkt.IP.Src,
 		}
+		icmp := pool.ICMP()
+		icmp.Type, icmp.ID, icmp.Seq = packet.ICMPEchoReply, pkt.ICMP.ID, pkt.ICMP.Seq
+		reply.ICMP = icmp
+		reply.PayloadLen = pkt.PayloadLen
 		net.Transmit(h.If, reply)
 	case pkt.IP.Protocol == packet.ProtoUDP && pkt.UDP != nil:
-		reply := &packet.Packet{
-			IP: packet.IPv4{
-				TTL:      h.InitTTL,
-				Protocol: packet.ProtoICMP,
-				Src:      h.If.Addr,
-				Dst:      pkt.IP.Src,
-			},
-			ICMP: &packet.ICMP{
-				Type: packet.ICMPDestUnreach,
-				Code: packet.CodePortUnreach,
-				Quote: &packet.Quote{
-					IP:  pkt.IP,
-					ID:  pkt.UDP.SrcPort,
-					Seq: pkt.UDP.DstPort,
-				},
-			},
+		reply := pool.Packet()
+		reply.IP = packet.IPv4{
+			TTL:      h.InitTTL,
+			Protocol: packet.ProtoICMP,
+			Src:      h.If.Addr,
+			Dst:      pkt.IP.Src,
 		}
+		icmp := pool.ICMP()
+		icmp.Type, icmp.Code = packet.ICMPDestUnreach, packet.CodePortUnreach
+		q := pool.Quote()
+		q.IP, q.ID, q.Seq = pkt.IP, pkt.UDP.SrcPort, pkt.UDP.DstPort
+		icmp.Quote = q
+		reply.ICMP = icmp
 		net.Transmit(h.If, reply)
 	default:
 		if h.Handler != nil {
+			// The packet is recycled when Receive returns; a handler that
+			// retains it (the prober stores matched replies) must call
+			// net.AdoptPacket first.
 			h.Handler(net, pkt)
 		}
 	}

@@ -28,7 +28,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -115,8 +114,15 @@ type Network struct {
 	clock  time.Duration
 	queue  eventQueue
 	seq    uint64 // tiebreaker for deterministic ordering
+	seed   int64
 	rng    *rand.Rand
 	budget int // remaining deliveries for the current drain (loop guard)
+	stats  FabricStats
+
+	// pool recycles the fabric's per-hop packet clones; single-goroutine
+	// use is guaranteed by the same ownership discipline as the fabric
+	// itself.
+	pool packet.Pool
 
 	// owner is the goroutine bound via BindOwner (0 = unbound); driving
 	// flags an in-progress drain for concurrent-drive detection.
@@ -136,9 +142,36 @@ const DefaultEventBudget = 1 << 20
 func New(seed int64) *Network {
 	return &Network{
 		ifaces: make(map[netaddr.Addr]*Iface),
+		seed:   seed,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
+
+// FabricStats counts event-loop occurrences that individual nodes cannot
+// see. All counters are cumulative over the network's lifetime.
+type FabricStats struct {
+	// Deliveries is the number of events handed to Node.Receive.
+	Deliveries uint64
+	// BudgetExhausted counts Run calls that hit the event budget — each one
+	// is a detected forwarding loop.
+	BudgetExhausted uint64
+	// DroppedEvents is the number of queued events discarded by those
+	// budget-exhausted drains. A healthy fabric keeps this at zero.
+	DroppedEvents uint64
+}
+
+// FabricStats returns the event-loop counters.
+func (n *Network) FabricStats() FabricStats { return n.stats }
+
+// PacketPool returns the fabric's packet free-list. Nodes use it for
+// per-hop clones and generated replies; everything obtained from it is
+// recycled after the receiving node returns, unless adopted.
+func (n *Network) PacketPool() *packet.Pool { return &n.pool }
+
+// AdoptPacket removes a delivered packet from pool ownership so the caller
+// may retain it past Receive (the prober stores matched replies). Safe on
+// packets that were never pooled.
+func (n *Network) AdoptPacket(p *packet.Packet) { n.pool.Adopt(p) }
 
 // AddNode registers a node with the fabric.
 func (n *Network) AddNode(node Node) { n.nodes = append(n.nodes, node) }
@@ -185,9 +218,11 @@ func (n *Network) Now() time.Duration { return n.clock }
 func (n *Network) Transmit(out *Iface, pkt *packet.Packet) {
 	l := out.Link
 	if l == nil || !l.Up {
+		n.pool.Release(pkt)
 		return
 	}
 	if l.LossProb > 0 && n.rng.Float64() < l.LossProb {
+		n.pool.Release(pkt) // ownership transferred to the wire; recycle drops
 		return
 	}
 	depart := n.clock
@@ -205,7 +240,7 @@ func (n *Network) Transmit(out *Iface, pkt *packet.Packet) {
 		depart = l.busyUntil[dir]
 	}
 	n.seq++
-	heap.Push(&n.queue, &event{
+	n.queue.push(event{
 		at:  depart + l.Delay,
 		seq: n.seq,
 		to:  l.other(out),
@@ -278,27 +313,37 @@ func gid() uint64 {
 }
 
 // Run drains the event queue until idle (or until the event budget is
-// exhausted, which indicates a forwarding loop).
+// exhausted, which indicates a forwarding loop; the discarded events are
+// counted in FabricStats so campaigns can surface the loop post-mortem).
 func (n *Network) Run() {
 	n.assertDriver()
 	defer atomic.StoreInt32(&n.driving, 0)
 	n.budget = DefaultEventBudget
-	for n.queue.Len() > 0 {
+	for n.queue.len() > 0 {
 		if n.budget == 0 {
-			// Drop the remaining events: a loop was detected. The queue is
-			// cleared so the next Run starts clean.
-			n.queue = n.queue[:0]
+			// A loop was detected: account for and drop the remaining
+			// events so the next Run starts clean.
+			n.stats.BudgetExhausted++
+			n.stats.DroppedEvents += uint64(n.queue.len())
+			for _, ev := range n.queue.ev {
+				n.pool.Release(ev.pkt)
+			}
+			n.queue.clear()
 			return
 		}
 		n.budget--
-		ev := heap.Pop(&n.queue).(*event)
+		ev := n.queue.pop()
 		if ev.at > n.clock {
 			n.clock = ev.at
 		}
 		if n.Trace != nil {
 			n.Trace(n.clock, ev.to, ev.pkt)
 		}
+		n.stats.Deliveries++
 		ev.to.Owner.Receive(n, ev.to, ev.pkt)
+		// Receive must not retain pkt (nodes that do — the prober — adopt
+		// it first), so the clone can go straight back to the free list.
+		n.pool.Release(ev.pkt)
 	}
 }
 
@@ -309,22 +354,66 @@ type event struct {
 	pkt *packet.Packet
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a binary min-heap of events ordered by (at, seq). Events
+// are stored by value and the sift routines are hand-rolled: pushing and
+// popping touches no allocator, unlike container/heap whose interface
+// methods box every element. Because (at, seq) is a strict total order,
+// pop order — and therefore simulation output — is identical to any other
+// correct heap over the same inserts.
+type eventQueue struct {
+	ev []event
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) clear() {
+	for i := range q.ev {
+		q.ev[i] = event{} // drop pkt references
+	}
+	q.ev = q.ev[:0]
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.ev[i].at != q.ev[j].at {
+		return q.ev[i].at < q.ev[j].at
+	}
+	return q.ev[i].seq < q.ev[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	last := len(q.ev) - 1
+	q.ev[0] = q.ev[last]
+	q.ev[last] = event{} // drop pkt reference
+	q.ev = q.ev[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.ev[i], q.ev[smallest] = q.ev[smallest], q.ev[i]
+		i = smallest
+	}
+	return top
 }

@@ -102,6 +102,36 @@ func (s LabelStack) Pop() (top LSE, rest LabelStack, ok bool) {
 	return s[0], rest, true
 }
 
+// PushInPlace is Push without the copy: it shifts the stack right within
+// its own backing array (growing it only when capacity runs out) and
+// normalizes Bottom flags. For use on packets the caller exclusively owns,
+// e.g. pooled per-hop clones.
+func (s *LabelStack) PushInPlace(e LSE) {
+	*s = append(*s, LSE{})
+	copy((*s)[1:], *s)
+	(*s)[0] = e
+	s.normalizeInPlace()
+}
+
+// PopInPlace is Pop without the copy: it shifts the remaining entries left
+// within the same backing array. ok is false when the stack is empty.
+func (s *LabelStack) PopInPlace() (top LSE, ok bool) {
+	if len(*s) == 0 {
+		return LSE{}, false
+	}
+	top = (*s)[0]
+	copy(*s, (*s)[1:])
+	*s = (*s)[:len(*s)-1]
+	s.normalizeInPlace()
+	return top, true
+}
+
+func (s *LabelStack) normalizeInPlace() {
+	for i := range *s {
+		(*s)[i].Bottom = i == len(*s)-1
+	}
+}
+
 // Top returns the top entry without removing it.
 func (s LabelStack) Top() (LSE, bool) {
 	if len(s) == 0 {

@@ -21,6 +21,10 @@ type Packet struct {
 	// PayloadLen is opaque application payload carried beyond the modeled
 	// headers; it only affects serialized length.
 	PayloadLen int
+
+	// pooled marks a packet owned by a Pool; Pool.Release recycles it and
+	// Pool.Adopt clears the mark so retained packets escape recycling.
+	pooled bool
 }
 
 // Labeled reports whether the packet currently carries a label stack.
@@ -30,6 +34,7 @@ func (p *Packet) Labeled() bool { return !p.MPLS.Empty() }
 // code retains the packet it sent.
 func (p *Packet) Clone() *Packet {
 	out := *p
+	out.pooled = false // plain clones are never pool-owned
 	out.MPLS = p.MPLS.Clone()
 	out.ICMP = p.ICMP.Clone()
 	if p.UDP != nil {

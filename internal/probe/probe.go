@@ -122,7 +122,7 @@ func New(net *netsim.Network, host *netsim.Host) *Prober {
 	return p
 }
 
-func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
+func (p *Prober) handle(net *netsim.Network, pkt *packet.Packet) {
 	if p.pending == nil || pkt.ICMP == nil {
 		return
 	}
@@ -130,6 +130,10 @@ func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
 	switch {
 	case m.Type == packet.ICMPEchoReply:
 		if m.ID == p.pending.id && m.Seq == p.pending.seq {
+			// The reply outlives Receive (Traceroute reads it after the
+			// drain and aliases its label stack into Hop.MPLS), so take it
+			// off the fabric's free list.
+			net.AdoptPacket(pkt)
 			p.pending.reply = pkt
 			p.Recv++
 		}
@@ -138,6 +142,7 @@ func (p *Prober) handle(_ *netsim.Network, pkt *packet.Packet) {
 		// quoted source/destination ports (the await fields hold whichever
 		// pair the probe carried).
 		if m.Quote != nil && m.Quote.ID == p.pending.id && m.Quote.Seq == p.pending.seq {
+			net.AdoptPacket(pkt)
 			p.pending.reply = pkt
 			p.Recv++
 		}

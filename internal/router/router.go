@@ -21,13 +21,28 @@ type Router struct {
 	ifaces   []*netsim.Iface
 	local    map[netaddr.Addr]bool
 
-	fib      netaddr.Trie[*Route]
-	bindings netaddr.Trie[*Binding]
+	// The FIB and binding tables store their entries in per-router arenas
+	// (routes, binds) with the tries mapping prefix → arena index. The
+	// index tries are pointer-free, so a structural snapshot clones them
+	// with a memcpy and copies the arenas with one sequential sweep.
+	// Pointers returned by lookups point into the arenas and stay valid
+	// until the next Install/Delete on the same table.
+	fib      netaddr.Trie[int32]
+	routes   []Route
+	bindings netaddr.Trie[int32]
+	binds    []Binding
 	lfib     map[uint32]*LFIBEntry
 
 	nextLabel uint32
 	lastICMP  time.Duration
 	icmpSent  bool
+
+	// routeCache is a small direct-mapped cache over forward()'s FIB
+	// lookup and binding resolution, keyed on destination address.
+	// Campaign probes hit the same handful of destinations (the probe dst
+	// and each VP's reply dst) per drain, so even four entries absorb
+	// nearly every lookup. Any FIB/binding/config mutation invalidates it.
+	routeCache [routeCacheSize]routeCacheEntry
 
 	// Stats counts data-plane events; tests and the campaign post-mortem
 	// read them.
@@ -52,6 +67,26 @@ type Stats struct {
 
 // firstLabel is the first non-reserved MPLS label (RFC 3032 reserves 0-15).
 const firstLabel = 16
+
+// routeCacheSize must stay a power of two (the index is a bit mask).
+const (
+	routeCacheSize = 4
+	routeCacheMask = routeCacheSize - 1
+)
+
+type routeCacheEntry struct {
+	valid   bool
+	dst     netaddr.Addr
+	prefix  netaddr.Prefix
+	rt      *Route
+	binding *Binding // resolved imposition entry; nil for plain IP forwarding
+}
+
+// invalidateRouteCache drops every cached forwarding decision. Called on
+// any mutation that could change a lookup result.
+func (r *Router) invalidateRouteCache() {
+	r.routeCache = [routeCacheSize]routeCacheEntry{}
+}
 
 // New creates a router with the given OS personality and configuration.
 func New(name string, os Personality, cfg Config) *Router {
@@ -80,7 +115,10 @@ func (r *Router) Config() Config { return r.cfg }
 
 // SetConfig replaces the configuration (emulation scenarios reconfigure
 // routers between runs).
-func (r *Router) SetConfig(cfg Config) { r.cfg = cfg }
+func (r *Router) SetConfig(cfg Config) {
+	r.cfg = cfg
+	r.invalidateRouteCache()
+}
 
 // ASN returns the router's autonomous system number.
 func (r *Router) ASN() uint32 { return r.asn }
@@ -114,44 +152,77 @@ func (r *Router) Ifaces() []*netsim.Iface { return r.ifaces }
 // IsLocal reports whether addr is one of the router's own addresses.
 func (r *Router) IsLocal(addr netaddr.Addr) bool { return r.local[addr] }
 
-// InstallRoute adds or replaces a FIB entry.
+// InstallRoute adds or replaces a FIB entry. The route is copied into the
+// router's arena; the caller's struct is not retained.
 func (r *Router) InstallRoute(p netaddr.Prefix, rt *Route) {
 	if len(rt.NextHops) == 0 {
 		panic(fmt.Sprintf("router %s: route for %s with no next hops", r.name, p))
 	}
-	r.fib.Insert(p, rt)
+	r.invalidateRouteCache()
+	if idx, ok := r.fib.Get(p); ok {
+		r.routes[idx] = *rt
+		return
+	}
+	r.routes = append(r.routes, *rt)
+	r.fib.Insert(p, int32(len(r.routes)-1))
 }
 
 // LookupRoute resolves dst through the FIB (tests and control-plane
-// builders use it).
+// builders use it). The returned pointer is valid until the next FIB
+// mutation.
 func (r *Router) LookupRoute(dst netaddr.Addr) (netaddr.Prefix, *Route, bool) {
-	return r.fib.LookupPrefix(dst)
+	p, idx, ok := r.fib.LookupPrefix(dst)
+	if !ok {
+		return p, nil, false
+	}
+	return p, &r.routes[idx], true
 }
 
 // GetRoute returns the FIB entry for exactly p, without LPM semantics.
+// The returned pointer is valid until the next FIB mutation.
 func (r *Router) GetRoute(p netaddr.Prefix) (*Route, bool) {
-	return r.fib.Get(p)
+	idx, ok := r.fib.Get(p)
+	if !ok {
+		return nil, false
+	}
+	return &r.routes[idx], true
 }
 
-// DeleteRoute removes the FIB entry for exactly p (BGP withdrawals).
+// DeleteRoute removes the FIB entry for exactly p (BGP withdrawals). The
+// arena slot goes dead; withdrawals are far too rare to compact for.
 func (r *Router) DeleteRoute(p netaddr.Prefix) bool {
+	r.invalidateRouteCache()
 	return r.fib.Delete(p)
 }
 
 // WalkRoutes visits every FIB entry.
-func (r *Router) WalkRoutes(fn func(netaddr.Prefix, *Route) bool) { r.fib.Walk(fn) }
+func (r *Router) WalkRoutes(fn func(netaddr.Prefix, *Route) bool) {
+	r.fib.Walk(func(p netaddr.Prefix, idx int32) bool { return fn(p, &r.routes[idx]) })
+}
 
-// InstallBinding adds a label-imposition entry for a FEC.
-func (r *Router) InstallBinding(b *Binding) { r.bindings.Insert(b.FEC, b) }
+// InstallBinding adds or replaces a label-imposition entry for a FEC. The
+// binding is copied into the router's arena; the caller's struct is not
+// retained.
+func (r *Router) InstallBinding(b *Binding) {
+	r.invalidateRouteCache()
+	if idx, ok := r.bindings.Get(b.FEC); ok {
+		r.binds[idx] = *b
+		return
+	}
+	r.binds = append(r.binds, *b)
+	r.bindings.Insert(b.FEC, int32(len(r.binds)-1))
+}
 
 // InstallLFIB adds an incoming-label entry.
 func (r *Router) InstallLFIB(e *LFIBEntry) { r.lfib[e.InLabel] = e }
 
 // ClearMPLS removes all label state (scenario reconfiguration).
 func (r *Router) ClearMPLS() {
-	r.bindings = netaddr.Trie[*Binding]{}
+	r.bindings = netaddr.Trie[int32]{}
+	r.binds = nil
 	r.lfib = make(map[uint32]*LFIBEntry)
 	r.nextLabel = firstLabel
+	r.invalidateRouteCache()
 }
 
 // AllocLabel returns a fresh label from the router's platform-wide space.
@@ -184,6 +255,9 @@ func (r *Router) receiveIP(net *netsim.Network, in *netsim.Iface, pkt *packet.Pa
 		// 646 in reality) are modeled as Raw TCP datagrams between
 		// adjacent routers. Never forwarded as data.
 		if r.ControlHandler != nil {
+			// Protocol handlers may keep decoded state referencing the
+			// packet; off the hot path, so escape the free list.
+			net.AdoptPacket(pkt)
 			r.ControlHandler(net, in, pkt)
 		}
 		return
@@ -196,7 +270,7 @@ func (r *Router) receiveIP(net *netsim.Network, in *netsim.Iface, pkt *packet.Pa
 		r.sendTimeExceeded(net, in, pkt)
 		return
 	}
-	fwd := pkt.Clone()
+	fwd := net.PacketPool().Clone(pkt)
 	fwd.IP.TTL--
 	r.forward(net, fwd)
 }
@@ -208,20 +282,33 @@ func (r *Router) Originate(net *netsim.Network, pkt *packet.Packet) {
 
 // forward performs the FIB lookup, label imposition when a binding covers
 // the packet's FEC, and transmission. TTL adjustments have already been
-// made by the caller.
+// made by the caller. Lookup and binding resolution go through the
+// per-destination route cache; both are pure functions of (FIB, bindings,
+// config, dst), which is exactly what invalidateRouteCache guards.
 func (r *Router) forward(net *netsim.Network, pkt *packet.Packet) {
-	matched, rt, ok := r.fib.LookupPrefix(pkt.IP.Dst)
-	if !ok {
-		r.Stats.Dropped++
-		return
-	}
-	if r.cfg.MPLSEnabled {
-		if b := r.lookupBinding(matched, rt, pkt.IP.Dst); b != nil {
-			r.impose(net, pkt, b)
+	dst := pkt.IP.Dst
+	e := &r.routeCache[uint32(dst)&routeCacheMask]
+	if !e.valid || e.dst != dst {
+		matched, idx, ok := r.fib.LookupPrefix(dst)
+		if !ok {
+			r.Stats.Dropped++
+			if net != nil { // Originate permits a nil fabric
+				net.PacketPool().Release(pkt)
+			}
 			return
 		}
+		rt := &r.routes[idx]
+		var b *Binding
+		if r.cfg.MPLSEnabled {
+			b = r.lookupBinding(matched, rt, dst)
+		}
+		*e = routeCacheEntry{valid: true, dst: dst, prefix: matched, rt: rt, binding: b}
 	}
-	nh := pickNextHop(rt.NextHops, pkt)
+	if e.binding != nil {
+		r.impose(net, pkt, e.binding)
+		return
+	}
+	nh := pickNextHop(e.rt.NextHops, pkt)
 	r.Stats.Forwarded++
 	net.Transmit(nh.Out, pkt)
 }
@@ -239,22 +326,22 @@ func (r *Router) lookupBinding(matched netaddr.Prefix, rt *Route, dst netaddr.Ad
 		if rt.BGPNextHop.IsUnspecified() {
 			return nil
 		}
-		fec, b, ok := r.bindings.LookupPrefix(rt.BGPNextHop)
+		fec, idx, ok := r.bindings.LookupPrefix(rt.BGPNextHop)
 		if ok && fec.IsHost() {
-			return b
+			return &r.binds[idx]
 		}
 		// Fall back to a covering binding for the next hop (all-prefix
 		// LDP may have bound the loopback's containing prefix).
 		if ok {
-			return b
+			return &r.binds[idx]
 		}
 		return nil
 	default:
-		b, ok := r.bindings.Get(matched)
+		idx, ok := r.bindings.Get(matched)
 		if !ok {
 			return nil
 		}
-		return b
+		return &r.binds[idx]
 	}
 }
 
@@ -267,16 +354,22 @@ func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
 	if r.cfg.TTLPropagate {
 		lseTTL = pkt.IP.TTL
 	}
-	// Deeper labels first (segment lists), then the top label.
+	// Deeper labels first (segment lists), then the top label. The pushes
+	// mutate in place: the packet is exclusively ours here (a pooled clone
+	// or a locally originated reply). Growing through the pool keeps the
+	// common impose-on-unlabeled-clone case allocation-free.
+	if need := len(pkt.MPLS) + len(hop.Under) + 1; net != nil && cap(pkt.MPLS) < need {
+		pkt.MPLS = net.PacketPool().GrowStack(pkt.MPLS, need)
+	}
 	for i := len(hop.Under) - 1; i >= 0; i-- {
-		pkt.MPLS = pkt.MPLS.Push(packet.LSE{Label: hop.Under[i], TTL: lseTTL})
+		pkt.MPLS.PushInPlace(packet.LSE{Label: hop.Under[i], TTL: lseTTL})
 	}
 	switch hop.Label {
 	case OutLabelImplicitNull:
 		// PHP pre-applied: nothing more on the wire for the top segment.
 		net.Transmit(hop.Out, pkt)
 	default:
-		pkt.MPLS = pkt.MPLS.Push(packet.LSE{Label: hop.Label, TTL: lseTTL})
+		pkt.MPLS.PushInPlace(packet.LSE{Label: hop.Label, TTL: lseTTL})
 		net.Transmit(hop.Out, pkt)
 	}
 }
@@ -316,20 +409,19 @@ func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 	}
 
 	hop := pickLabelHop(entry.NextHops, pkt)
-	fwd := pkt.Clone()
+	fwd := net.PacketPool().Clone(pkt)
 	switch hop.Label {
 	case OutLabelImplicitNull:
 		// Penultimate-hop pop. The min(IP, LSE) loop guard is applied
 		// here, statelessly, whatever the ingress propagation setting —
 		// this is the leak FRPLA and RTLA measure.
-		_, rest, _ := fwd.MPLS.Pop()
-		fwd.MPLS = rest
-		if rest.Empty() {
+		fwd.MPLS.PopInPlace()
+		if fwd.MPLS.Empty() {
 			if r.os.MinOnPop && newTTL < fwd.IP.TTL {
 				fwd.IP.TTL = newTTL
 			}
-		} else if r.os.MinOnPop && newTTL < rest[0].TTL {
-			rest[0].TTL = newTTL
+		} else if r.os.MinOnPop && newTTL < fwd.MPLS[0].TTL {
+			fwd.MPLS[0].TTL = newTTL
 		}
 		// PHP forwards to the LFIB next hop directly; no IP lookup and no
 		// IP TTL decrement happen at the popping LSR.
@@ -347,16 +439,18 @@ func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 // no expiry check and no min copy: the TTL check already happened at the
 // MPLS layer, so the tunnel *and the egress* stay invisible (Fig. 4d).
 func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, lseTTL uint8) {
-	fwd := pkt.Clone()
-	_, rest, _ := fwd.MPLS.Pop()
-	fwd.MPLS = rest
-	if !rest.Empty() {
+	fwd := net.PacketPool().Clone(pkt)
+	fwd.MPLS.PopInPlace()
+	if !fwd.MPLS.Empty() {
 		// Nested tunnels: propagate the TTL downward and keep switching —
 		// without a second decrement at this router.
-		if r.os.MinOnPop && lseTTL < rest[0].TTL {
-			rest[0].TTL = lseTTL
+		if r.os.MinOnPop && lseTTL < fwd.MPLS[0].TTL {
+			fwd.MPLS[0].TTL = lseTTL
 		}
 		r.switchMPLS(net, in, fwd, false)
+		// switchMPLS clones again before transmitting; this intermediate
+		// copy is done.
+		net.PacketPool().Release(fwd)
 		return
 	}
 	if r.cfg.TTLPropagate {
@@ -365,10 +459,12 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 		}
 		if r.local[fwd.IP.Dst] {
 			r.deliverLocal(net, in, fwd)
+			net.PacketPool().Release(fwd)
 			return
 		}
 		if fwd.IP.TTL == 0 {
 			r.sendTimeExceeded(net, in, fwd)
+			net.PacketPool().Release(fwd)
 			return
 		}
 		r.forward(net, fwd)
@@ -376,6 +472,7 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 	}
 	if r.local[fwd.IP.Dst] {
 		r.deliverLocal(net, in, fwd)
+		net.PacketPool().Release(fwd)
 		return
 	}
 	if fwd.IP.TTL > 0 {
@@ -395,9 +492,12 @@ func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.
 		r.Stats.Dropped++
 		return
 	}
-	te := r.buildTimeExceeded(in, pkt)
+	pool := net.PacketPool()
+	te := r.buildTimeExceeded(net, in, pkt)
 	if r.os.RFC4950 {
-		te.ICMP.Ext = &packet.Extension{LabelStack: pkt.MPLS.Clone()}
+		ext := pool.Extension()
+		ext.LabelStack = pool.CloneStack(pkt.MPLS)
+		te.ICMP.Ext = ext
 	}
 	r.Stats.TimeExceeded++
 
@@ -410,7 +510,7 @@ func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.
 	case OutLabelImplicitNull:
 		if len(pkt.MPLS) > 1 {
 			// Still labeled below the popped entry: ride the rest of the LSP.
-			te.MPLS = pkt.MPLS[1:].Clone()
+			te.MPLS = pool.CloneStack(pkt.MPLS[1:])
 			for i := range te.MPLS {
 				te.MPLS[i].TTL = r.os.TimeExceededTTL
 			}
@@ -420,28 +520,30 @@ func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.
 		// Pop exposes plain IP: route the reply from here.
 		r.Originate(net, te)
 	default:
-		te.MPLS = packet.LabelStack{{Label: hop.Label, TTL: r.os.TimeExceededTTL, Bottom: true}}
+		stack := pool.Stack(1)
+		stack[0] = packet.LSE{Label: hop.Label, TTL: r.os.TimeExceededTTL, Bottom: true}
+		te.MPLS = stack
 		net.Transmit(hop.Out, te)
 	}
 }
 
 // ---- ICMP generation ----
 
-func (r *Router) buildTimeExceeded(in *netsim.Iface, pkt *packet.Packet) *packet.Packet {
-	src := in.Addr
-	return &packet.Packet{
-		IP: packet.IPv4{
-			TTL:      r.os.TimeExceededTTL,
-			Protocol: packet.ProtoICMP,
-			Src:      src,
-			Dst:      pkt.IP.Src,
-		},
-		ICMP: &packet.ICMP{
-			Type:  packet.ICMPTimeExceeded,
-			Code:  packet.CodeTTLExpired,
-			Quote: quoteOf(pkt),
-		},
+func (r *Router) buildTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) *packet.Packet {
+	pool := net.PacketPool()
+	te := pool.Packet()
+	te.IP = packet.IPv4{
+		TTL:      r.os.TimeExceededTTL,
+		Protocol: packet.ProtoICMP,
+		Src:      in.Addr,
+		Dst:      pkt.IP.Src,
 	}
+	icmp := pool.ICMP()
+	icmp.Type = packet.ICMPTimeExceeded
+	icmp.Code = packet.CodeTTLExpired
+	icmp.Quote = quoteOf(pool, pkt)
+	te.ICMP = icmp
+	return te
 }
 
 func (r *Router) sendTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
@@ -450,7 +552,7 @@ func (r *Router) sendTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *pa
 		return
 	}
 	r.Stats.TimeExceeded++
-	r.Originate(net, r.buildTimeExceeded(in, pkt))
+	r.Originate(net, r.buildTimeExceeded(net, in, pkt))
 }
 
 // icmpAllowed applies the ICMPInterval rate limit against virtual time.
@@ -473,42 +575,43 @@ func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet
 		r.Stats.Dropped++
 		return
 	}
+	pool := net.PacketPool()
 	switch {
 	case pkt.IP.Protocol == packet.ProtoICMP && pkt.ICMP != nil && pkt.ICMP.Type == packet.ICMPEchoRequest:
 		r.Stats.EchoReplies++
-		reply := &packet.Packet{
-			IP: packet.IPv4{
-				TTL:      r.os.EchoReplyTTL,
-				Protocol: packet.ProtoICMP,
-				Src:      pkt.IP.Dst, // reply from the targeted address
-				Dst:      pkt.IP.Src,
-			},
-			ICMP:       &packet.ICMP{Type: packet.ICMPEchoReply, ID: pkt.ICMP.ID, Seq: pkt.ICMP.Seq},
-			PayloadLen: pkt.PayloadLen,
+		reply := pool.Packet()
+		reply.IP = packet.IPv4{
+			TTL:      r.os.EchoReplyTTL,
+			Protocol: packet.ProtoICMP,
+			Src:      pkt.IP.Dst, // reply from the targeted address
+			Dst:      pkt.IP.Src,
 		}
+		icmp := pool.ICMP()
+		icmp.Type, icmp.ID, icmp.Seq = packet.ICMPEchoReply, pkt.ICMP.ID, pkt.ICMP.Seq
+		reply.ICMP = icmp
+		reply.PayloadLen = pkt.PayloadLen
 		r.Originate(net, reply)
 	case pkt.IP.Protocol == packet.ProtoUDP && pkt.UDP != nil:
 		src := pkt.IP.Dst
 		if r.os.ReplyFromOutgoing {
 			// Source the unreachable from the interface the reply leaves
 			// through (Mercator's alias signal).
-			if _, rt, ok := r.fib.LookupPrefix(pkt.IP.Src); ok {
+			if _, rt, ok := r.LookupRoute(pkt.IP.Src); ok {
 				src = pickNextHop(rt.NextHops, pkt).Out.Addr
 			}
 		}
-		reply := &packet.Packet{
-			IP: packet.IPv4{
-				TTL:      r.os.TimeExceededTTL,
-				Protocol: packet.ProtoICMP,
-				Src:      src,
-				Dst:      pkt.IP.Src,
-			},
-			ICMP: &packet.ICMP{
-				Type:  packet.ICMPDestUnreach,
-				Code:  packet.CodePortUnreach,
-				Quote: quoteOf(pkt),
-			},
+		reply := pool.Packet()
+		reply.IP = packet.IPv4{
+			TTL:      r.os.TimeExceededTTL,
+			Protocol: packet.ProtoICMP,
+			Src:      src,
+			Dst:      pkt.IP.Src,
 		}
+		icmp := pool.ICMP()
+		icmp.Type = packet.ICMPDestUnreach
+		icmp.Code = packet.CodePortUnreach
+		icmp.Quote = quoteOf(pool, pkt)
+		reply.ICMP = icmp
 		r.Originate(net, reply)
 	case pkt.IP.Protocol == packet.ProtoOSPF,
 		pkt.IP.Protocol == packet.ProtoTCP && pkt.Raw != nil:
@@ -516,6 +619,7 @@ func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet
 		// (e.g. multi-hop iBGP across a UHP tunnel) lands here rather
 		// than in receiveIP.
 		if r.ControlHandler != nil {
+			net.AdoptPacket(pkt)
 			r.ControlHandler(net, in, pkt)
 		}
 	default:
@@ -523,8 +627,9 @@ func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet
 	}
 }
 
-func quoteOf(pkt *packet.Packet) *packet.Quote {
-	q := &packet.Quote{IP: pkt.IP}
+func quoteOf(pool *packet.Pool, pkt *packet.Packet) *packet.Quote {
+	q := pool.Quote()
+	q.IP = pkt.IP
 	switch {
 	case pkt.ICMP != nil:
 		q.ICMPType, q.ICMPCode = pkt.ICMP.Type, pkt.ICMP.Code

@@ -1,0 +1,193 @@
+package router
+
+import (
+	"maps"
+
+	"wormhole/internal/netsim"
+)
+
+// CloneArena bump-allocates the variable-length table data router
+// snapshots need — next-hop and label-hop slices — out of a few contiguous
+// slabs sized by one linear counting pass. One arena serves every router
+// of a fabric snapshot: a Small-scale fabric clones tens of thousands of
+// hops, and allocating each slice (or even each router's slab)
+// individually costs an allocator round-trip apiece, with the resulting
+// pointer spray dominating snapshot time in GC scanning.
+//
+// Appends stay within the pre-counted capacities, so sub-slices carved
+// from the slabs are stable and may be retained by the cloned tables.
+//
+// It also resolves source→replica interface pointers locally: a router's
+// tables only ever reference its own handful of interfaces (the invariant
+// that lets Snapshot clone tables before the rest of the fabric exists),
+// so a linear scan of a small array — with a last-hit cache, since routes
+// repeat the same egress — beats the Cloner's fabric-wide map on every
+// lookup.
+type CloneArena struct {
+	nhops  []NextHop
+	lhops  []LabelHop
+	unders []uint32
+	lfib   []LFIBEntry
+
+	oldIfs           []*netsim.Iface
+	newIfs           []*netsim.Iface
+	lastOld, lastNew *netsim.Iface
+}
+
+// NewCloneArena sizes an arena for snapshots of all the given routers
+// with linear passes over their table arenas.
+func NewCloneArena(rs []*Router) *CloneArena {
+	var nNH, nLH, nU, nLFIB int
+	countLabelHops := func(hops []LabelHop) {
+		nLH += len(hops)
+		for _, h := range hops {
+			nU += len(h.Under)
+		}
+	}
+	for _, r := range rs {
+		for i := range r.routes {
+			nNH += len(r.routes[i].NextHops)
+		}
+		for i := range r.binds {
+			countLabelHops(r.binds[i].NextHops)
+		}
+		for _, e := range r.lfib {
+			countLabelHops(e.NextHops)
+		}
+		nLFIB += len(r.lfib)
+	}
+	return &CloneArena{
+		nhops:  make([]NextHop, 0, nNH),
+		lhops:  make([]LabelHop, 0, nLH),
+		unders: make([]uint32, 0, nU),
+		lfib:   make([]LFIBEntry, 0, nLFIB),
+	}
+}
+
+// beginRouter loads the interface old→new pairs for the router being
+// snapshot, reusing the backing arrays across routers.
+func (ar *CloneArena) beginRouter(r, nr *Router) {
+	ar.oldIfs = ar.oldIfs[:0]
+	ar.newIfs = ar.newIfs[:0]
+	for i, ifc := range r.ifaces {
+		ar.oldIfs = append(ar.oldIfs, ifc)
+		ar.newIfs = append(ar.newIfs, nr.ifaces[i])
+	}
+	if r.loopback != nil {
+		ar.oldIfs = append(ar.oldIfs, r.loopback)
+		ar.newIfs = append(ar.newIfs, nr.loopback)
+	}
+	ar.lastOld, ar.lastNew = nil, nil
+}
+
+func (ar *CloneArena) iface(ifc *netsim.Iface) *netsim.Iface {
+	if ifc == nil {
+		return nil
+	}
+	if ifc == ar.lastOld {
+		return ar.lastNew
+	}
+	for i, o := range ar.oldIfs {
+		if o == ifc {
+			ar.lastOld, ar.lastNew = o, ar.newIfs[i]
+			return ar.lastNew
+		}
+	}
+	return nil
+}
+
+// Snapshot deep-copies the router onto a replica fabric being built by c,
+// with a private arena. Fabric-wide snapshots share one arena across all
+// routers via NewCloneArena and SnapshotInto instead.
+func (r *Router) Snapshot(c *netsim.Cloner) *Router {
+	return r.SnapshotInto(c, NewCloneArena([]*Router{r}))
+}
+
+// SnapshotInto deep-copies the router onto a replica fabric being built by
+// c, carving table data out of ar. Everything the data plane reads is
+// copied — personality, config, FIB, bindings, LFIB, counters — with
+// interface pointers remapped onto freshly created replica interfaces (a
+// router's tables only ever reference its own interfaces, so all mappings
+// exist before the tables are cloned).
+//
+// The index tries clone as memcpys (they hold arena indices, not
+// pointers); the route and binding arenas copy with one sequential sweep
+// each, remapping egress interfaces as they go.
+//
+// ControlHandler is deliberately not copied: it closes over source-side
+// protocol state. Callers that run in-band control planes must rebuild
+// replicas through the generator instead (gen.Internet.Rebuild).
+func (r *Router) SnapshotInto(c *netsim.Cloner, ar *CloneArena) *Router {
+	nr := &Router{
+		name:      r.name,
+		os:        r.os,
+		cfg:       r.cfg,
+		asn:       r.asn,
+		local:     maps.Clone(r.local),
+		lfib:      make(map[uint32]*LFIBEntry, len(r.lfib)),
+		nextLabel: r.nextLabel,
+		lastICMP:  r.lastICMP,
+		icmpSent:  r.icmpSent,
+		Stats:     r.Stats,
+	}
+	if r.loopback != nil {
+		nr.loopback = &netsim.Iface{
+			Owner: nr, Name: r.loopback.Name,
+			Addr: r.loopback.Addr, Prefix: r.loopback.Prefix,
+		}
+		c.MapIface(r.loopback, nr.loopback)
+	}
+	nr.ifaces = make([]*netsim.Iface, len(r.ifaces))
+	for i, ifc := range r.ifaces {
+		ni := &netsim.Iface{Owner: nr, Name: ifc.Name, Addr: ifc.Addr, Prefix: ifc.Prefix}
+		nr.ifaces[i] = ni
+		c.MapIface(ifc, ni)
+	}
+	ar.beginRouter(r, nr)
+	nr.fib = r.fib.Clone(nil)
+	nr.routes = make([]Route, len(r.routes))
+	for i := range r.routes {
+		rt := &r.routes[i]
+		start := len(ar.nhops)
+		for _, nh := range rt.NextHops {
+			ar.nhops = append(ar.nhops, NextHop{Out: ar.iface(nh.Out), Gateway: nh.Gateway})
+		}
+		nr.routes[i] = Route{
+			Origin:     rt.Origin,
+			BGPNextHop: rt.BGPNextHop,
+			NextHops:   ar.nhops[start:len(ar.nhops):len(ar.nhops)],
+		}
+	}
+	nr.bindings = r.bindings.Clone(nil)
+	nr.binds = make([]Binding, len(r.binds))
+	for i := range r.binds {
+		b := &r.binds[i]
+		nr.binds[i] = Binding{FEC: b.FEC, NextHops: ar.remapLabelHops(b.NextHops)}
+	}
+	for in, e := range r.lfib {
+		nr.lfib[in] = ar.remapLFIB(e)
+	}
+	c.PutNode(r, nr)
+	return nr
+}
+
+func (ar *CloneArena) remapLabelHops(hops []LabelHop) []LabelHop {
+	start := len(ar.lhops)
+	for _, h := range hops {
+		nh := LabelHop{Out: ar.iface(h.Out), Label: h.Label}
+		if h.Under != nil {
+			u := len(ar.unders)
+			ar.unders = append(ar.unders, h.Under...)
+			nh.Under = ar.unders[u:len(ar.unders):len(ar.unders)]
+		}
+		ar.lhops = append(ar.lhops, nh)
+	}
+	return ar.lhops[start:len(ar.lhops):len(ar.lhops)]
+}
+
+func (ar *CloneArena) remapLFIB(e *LFIBEntry) *LFIBEntry {
+	ar.lfib = append(ar.lfib, LFIBEntry{InLabel: e.InLabel, PopLocal: e.PopLocal})
+	out := &ar.lfib[len(ar.lfib)-1]
+	out.NextHops = ar.remapLabelHops(e.NextHops)
+	return out
+}

@@ -1,8 +1,6 @@
 package router
 
 import (
-	"hash/fnv"
-
 	"wormhole/internal/netaddr"
 	"wormhole/internal/netsim"
 	"wormhole/internal/packet"
@@ -93,11 +91,18 @@ type LFIBEntry struct {
 	PopLocal bool
 }
 
+// FNV-1a parameters (hash/fnv), inlined so the per-hop ECMP hash does not
+// allocate a hash.Hash32. The digest is bit-identical to fnv.New32a over
+// the same bytes — paths, and therefore campaign output, are unchanged.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // flowHash computes the per-flow ECMP hash over the fields Paris
 // traceroute keeps constant: addresses, protocol, and the first 4 bytes of
 // the transport header (ICMP checksum/id or ports).
 func flowHash(pkt *packet.Packet) uint32 {
-	h := fnv.New32a()
 	var b [13]byte
 	src, dst := uint32(pkt.IP.Src), uint32(pkt.IP.Dst)
 	b[0], b[1], b[2], b[3] = byte(src>>24), byte(src>>16), byte(src>>8), byte(src)
@@ -114,8 +119,11 @@ func flowHash(pkt *packet.Packet) uint32 {
 		b[9], b[10] = byte(pkt.UDP.SrcPort>>8), byte(pkt.UDP.SrcPort)
 		b[11], b[12] = byte(pkt.UDP.DstPort>>8), byte(pkt.UDP.DstPort)
 	}
-	h.Write(b[:])
-	return mix32(h.Sum32())
+	h := uint32(fnvOffset32)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * fnvPrime32
+	}
+	return mix32(h)
 }
 
 // mix32 is a murmur3-style finalizer. FNV alone is a poor ECMP hash: its
