@@ -212,15 +212,31 @@ func TestBenchSmoke(t *testing.T) {
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
 	}
-	if len(rep.Campaign) != 2 {
-		t.Fatalf("want 2 campaign entries, got %d", len(rep.Campaign))
+	// Two worker counts × (cache off, cache on).
+	if len(rep.Campaign) != 4 {
+		t.Fatalf("want 4 campaign entries, got %d", len(rep.Campaign))
 	}
+	wantWorkers := []int{1, 1, 2, 2}
+	wantCache := []bool{false, true, false, true}
 	for i, cr := range rep.Campaign {
-		if cr.Workers != []int{1, 2}[i] || cr.Runs != 1 {
-			t.Errorf("entry %d: workers=%d runs=%d", i, cr.Workers, cr.Runs)
+		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Runs != 1 {
+			t.Errorf("entry %d: workers=%d cache=%v runs=%d", i, cr.Workers, cr.FlowCache, cr.Runs)
 		}
 		if cr.ProbesPerRun == 0 || cr.NsPerProbe <= 0 || cr.ProbesPerSec <= 0 || cr.WallMSPerRun <= 0 {
 			t.Errorf("entry %d has empty measurements: %+v", i, cr)
+		}
+		if cr.GoMaxProcs < cr.Workers {
+			t.Errorf("entry %d ran with GOMAXPROCS %d < %d workers", i, cr.GoMaxProcs, cr.Workers)
+		}
+		if cr.BootstrapProbesPerRun == 0 || cr.BootstrapProbesPerRun+cr.CampaignProbesPerRun != cr.ProbesPerRun {
+			t.Errorf("entry %d probe split does not add up: %+v", i, cr)
+		}
+		if cr.FlowCache {
+			if cr.CacheHitsPerRun == 0 || cr.CacheMissesPerRun == 0 {
+				t.Errorf("entry %d: cache enabled but counters empty: %+v", i, cr)
+			}
+		} else if cr.CacheHitsPerRun != 0 || cr.CacheMissesPerRun != 0 || cr.CacheFFPerRun != 0 {
+			t.Errorf("entry %d: cache disabled but counters nonzero: %+v", i, cr)
 		}
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -235,7 +251,8 @@ func TestBenchSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[1].Workers != 2 {
+	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[2].Workers != 2 ||
+		!back.Campaign[1].FlowCache || back.Campaign[1].CacheHitsPerRun != rep.Campaign[1].CacheHitsPerRun {
 		t.Fatalf("JSON round-trip mangled the report: %+v", back)
 	}
 }

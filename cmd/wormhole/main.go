@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wormhole emulate  [-scenario default|backward-recursive|explicit-route|totally-invisible] [-target addr] [-pcap file]
-//	wormhole campaign [-seed N] [-scale small|medium|large] [-out dataset.jsonl] [-seeds N] [-workers N] [-pprof prefix]
+//	wormhole campaign [-seed N] [-scale small|medium|large] [-out dataset.jsonl] [-seeds N] [-workers N] [-no-flow-cache] [-pprof prefix]
 //	wormhole experiments [-seed N] [-scale small|medium|large] [ids...]
 //	wormhole fingerprint [-scenario S]
 //	wormhole analyze <dataset.jsonl>

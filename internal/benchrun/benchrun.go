@@ -42,22 +42,42 @@ type CloneReport struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// CampaignReport is the throughput measurement at one worker-pool size.
+// CampaignReport is the throughput measurement at one (worker-pool size,
+// flow-cache setting) point. Probe counts are split into the bootstrap
+// phase (every vantage point traces the router population once, serially,
+// before teams form) and the campaign phase proper (team probing on the
+// worker pool), so the per-run totals are comparable across worker counts
+// and cache settings by construction.
 type CampaignReport struct {
-	Workers        int     `json:"workers"`
-	Runs           int     `json:"runs"`
-	ProbesPerRun   uint64  `json:"probes_per_run"`
-	NsPerProbe     float64 `json:"ns_per_probe"`
-	ProbesPerSec   float64 `json:"probes_per_sec"`
-	AllocsPerProbe float64 `json:"allocs_per_probe"`
-	BytesPerProbe  float64 `json:"bytes_per_probe"`
-	WallMSPerRun   float64 `json:"wall_ms_per_run"`
+	Workers int `json:"workers"`
+	// GoMaxProcs is the runtime parallelism this row actually ran with —
+	// raised to at least Workers for the measurement, so multi-worker rows
+	// measure real parallelism rather than time-sliced goroutines.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// FlowCache reports whether the flow-trajectory cache was enabled.
+	FlowCache bool `json:"flow_cache"`
+	Runs      int  `json:"runs"`
+	// ProbesPerRun = BootstrapProbesPerRun + CampaignProbesPerRun.
+	ProbesPerRun          uint64  `json:"probes_per_run"`
+	BootstrapProbesPerRun uint64  `json:"bootstrap_probes_per_run"`
+	CampaignProbesPerRun  uint64  `json:"campaign_probes_per_run"`
+	NsPerProbe            float64 `json:"ns_per_probe"`
+	ProbesPerSec          float64 `json:"probes_per_sec"`
+	AllocsPerProbe        float64 `json:"allocs_per_probe"`
+	BytesPerProbe         float64 `json:"bytes_per_probe"`
+	WallMSPerRun          float64 `json:"wall_ms_per_run"`
+	// Cache counters, averaged per run (zero when FlowCache is false).
+	CacheHitsPerRun   uint64 `json:"cache_hits_per_run"`
+	CacheMissesPerRun uint64 `json:"cache_misses_per_run"`
+	CacheFFPerRun     uint64 `json:"cache_fast_forwards_per_run"`
 }
 
 // Report is the full benchmark output.
 type Report struct {
-	Scale      string           `json:"scale"`
-	Seed       int64            `json:"seed"`
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+	// GoMaxProcs is the ambient setting outside the campaign rows; each
+	// row records the (possibly raised) value it ran with.
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Clone      CloneReport      `json:"clone"`
 	Campaign   []CampaignReport `json:"campaign"`
@@ -102,11 +122,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	for _, w := range workers {
-		cr, err := measureCampaign(in, w, cfg.Runs)
-		if err != nil {
-			return nil, err
+		for _, cache := range []bool{false, true} {
+			cr, err := measureCampaign(in, w, cfg.Runs, cache)
+			if err != nil {
+				return nil, err
+			}
+			rep.Campaign = append(rep.Campaign, cr)
 		}
-		rep.Campaign = append(rep.Campaign, cr)
 	}
 	return rep, nil
 }
@@ -144,14 +166,36 @@ func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	return rep, nil
 }
 
-func measureCampaign(in *gen.Internet, workers, runs int) (CampaignReport, error) {
-	rep := CampaignReport{Workers: workers, Runs: runs}
+func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (CampaignReport, error) {
+	rep := CampaignReport{Workers: workers, Runs: runs, FlowCache: flowCache}
 	cfg := campaign.DefaultConfig()
+	cfg.DisableFlowCache = !flowCache
+
+	// Measure real parallelism: time-slicing w workers over fewer OS
+	// threads measures the scheduler, not the engine. Restored afterwards.
+	prev := runtime.GOMAXPROCS(0)
+	if workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	// One untimed run first: it pays the allocator growth both settings
+	// would otherwise bill to their first run, and for the cached setting
+	// it warms the flow cache, so the timed runs measure the steady state
+	// the campaign loop actually operates in.
+	var bootstrap uint64
+	if c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers}); err != nil {
+		return rep, err
+	} else {
+		bootstrap = c.BootstrapProbes()
+	}
+
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	var probes uint64
+	var probes, hits, misses, ffs uint64
 	for i := 0; i < runs; i++ {
 		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
 		if err != nil {
@@ -161,12 +205,20 @@ func measureCampaign(in *gen.Internet, workers, runs int) (CampaignReport, error
 			return rep, fmt.Errorf("benchrun: empty campaign at workers=%d", workers)
 		}
 		probes += c.Probes
+		hits += c.FlowCache.Hits
+		misses += c.FlowCache.Misses
+		ffs += c.FlowCache.FastForwards
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
 	rep.ProbesPerRun = probes / uint64(runs)
+	rep.BootstrapProbesPerRun = bootstrap
+	rep.CampaignProbesPerRun = rep.ProbesPerRun - bootstrap
 	rep.WallMSPerRun = msPer(wall, runs)
+	rep.CacheHitsPerRun = hits / uint64(runs)
+	rep.CacheMissesPerRun = misses / uint64(runs)
+	rep.CacheFFPerRun = ffs / uint64(runs)
 	if probes > 0 {
 		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)
 		rep.ProbesPerSec = float64(probes) / wall.Seconds()

@@ -22,6 +22,7 @@ import (
 	"wormhole/internal/fingerprint"
 	"wormhole/internal/gen"
 	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
 	"wormhole/internal/probe"
 	"wormhole/internal/reveal"
 	"wormhole/internal/topo"
@@ -52,6 +53,11 @@ type Config struct {
 	// nodes. AS numbers still come from the (possibly noisy) IP-to-AS
 	// mapping, as in the paper.
 	MeasuredAliases bool
+	// DisableFlowCache turns the fabric's flow-trajectory cache off, so
+	// every probe is simulated live. The default (cache on) is pinned
+	// byte-identical to this oracle by the equivalence tests; the switch
+	// exists for those tests and for benchmarking the speedup.
+	DisableFlowCache bool
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -106,6 +112,10 @@ type Campaign struct {
 	// out — surfaced in the post-mortem so silent discards are never
 	// mistaken for clean '*' hops.
 	BudgetHits, LoopDrops uint64
+	// FlowCache aggregates the fabric flow-trajectory cache counters over
+	// the whole campaign (bootstrap plus every shard). All-zero when the
+	// cache is disabled or inert.
+	FlowCache netsim.FlowCacheStats
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
@@ -121,7 +131,16 @@ type Campaign struct {
 	// bootProbes counts the probes spent on bootstrap (and, with
 	// MeasuredAliases, alias resolution) before the shard phase.
 	bootProbes uint64
+	// bootFlow is the flow-cache activity of the bootstrap phase.
+	bootFlow netsim.FlowCacheStats
 }
+
+// BootstrapProbes returns the probes spent on the bootstrap sweep (and
+// alias resolution, when enabled) before the shard phase; Probes -
+// BootstrapProbes is the shard-phase probe count. Benchmarks report the
+// two populations separately so serial and parallel runs are compared on
+// the same footing.
+func (c *Campaign) BootstrapProbes() uint64 { return c.bootProbes }
 
 // Run executes the full campaign serially on the Internet's own fabric:
 // the same shard pipeline the parallel engine uses, with the shards
@@ -150,14 +169,25 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 		Fingerprints:  make(map[netaddr.Addr]fingerprint.Result),
 		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
 	}
+	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	// The bootstrap sweep always probes from TTL 1: it maps the whole
+	// path, gateway included, and — unlike the prober's last-configured
+	// FirstTTL, which a previous campaign on the same Internet may have
+	// left at cfg.FirstTTL — it makes the probe count invariant across
+	// repeated runs.
+	for _, vp := range in.VPs {
+		vp.Prober.FirstTTL = 1
+	}
 	sent0 := sentByVPs(in.VPs)
 	fab0 := in.Net.FabricStats()
+	flow0 := in.Net.FlowCacheStats()
 	c.bootstrap()
 	c.selectTargets()
 	c.bootProbes = sentByVPs(in.VPs) - sent0
 	fab1 := in.Net.FabricStats()
 	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
+	c.bootFlow = flowDelta(in.Net.FlowCacheStats(), flow0)
 	// Campaign-wide prober configuration happens once, here: FirstTTL is
 	// shared per-VP state, so mutating it inside the per-target probe loop
 	// (as an earlier version did) is exactly the kind of latent coupling a
@@ -177,6 +207,24 @@ func sentByVPs(vps []*gen.VP) uint64 {
 		n += vp.Prober.Sent
 	}
 	return n
+}
+
+// flowDelta subtracts two flow-cache counter snapshots.
+func flowDelta(a, b netsim.FlowCacheStats) netsim.FlowCacheStats {
+	return netsim.FlowCacheStats{
+		Hits:          a.Hits - b.Hits,
+		Misses:        a.Misses - b.Misses,
+		FastForwards:  a.FastForwards - b.FastForwards,
+		Invalidations: a.Invalidations - b.Invalidations,
+	}
+}
+
+// addFlow accumulates flow-cache counters.
+func addFlow(dst *netsim.FlowCacheStats, d netsim.FlowCacheStats) {
+	dst.Hits += d.Hits
+	dst.Misses += d.Misses
+	dst.FastForwards += d.FastForwards
+	dst.Invalidations += d.Invalidations
 }
 
 // vpForTeam maps a team index to its vantage point (the paper's 5-team

@@ -105,6 +105,14 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 			for i, vp := range replica.VPs {
 				mirrorProber(vp, in.VPs[i])
 			}
+			if !cfg.DisableFlowCache {
+				// Replicas start with an empty cache; seed it with the
+				// memoized replies the bootstrap sweep collected on the
+				// main fabric (trajectories stay fabric-local), so shard
+				// probes that repeat bootstrap flows replay in O(1).
+				replica.Net.SetFlowCacheEnabled(true)
+				replica.Net.SeedFlowCacheFrom(in.Net)
+			}
 			for i := range work {
 				sh := shards[i]
 				res := c.runShard(sh, replica.VPs[sh.team%len(replica.VPs)], c.vpForTeam(sh.team), hdnAddr)

@@ -6,6 +6,7 @@ import (
 	"wormhole/internal/fingerprint"
 	"wormhole/internal/gen"
 	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
 	"wormhole/internal/reveal"
 	"wormhole/internal/topo"
 )
@@ -60,6 +61,11 @@ type ShardStats struct {
 	// when that happened. Non-zero values mean probes died inside the
 	// fabric (a forwarding loop or runaway flood) rather than timing out.
 	BudgetHits, LoopDrops uint64
+	// FlowCache is the shard's flow-trajectory cache activity. Like
+	// Worker and Elapsed it is an execution detail: hit/miss splits vary
+	// with worker count (each replica warms its own trajectories), while
+	// the measured records do not.
+	FlowCache netsim.FlowCacheStats
 	// Elapsed is the wall-clock time the shard took; VirtualElapsed the
 	// fabric time its probes consumed.
 	Elapsed, VirtualElapsed time.Duration
@@ -140,6 +146,7 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	sent0, recv0 := prober.Sent, prober.Recv
 	clock0 := prober.Net.Now()
 	fab0 := prober.Net.FabricStats()
+	flow0 := prober.Net.FlowCacheStats()
 	start := time.Now()
 
 	fp := fingerprint.New(prober)
@@ -208,6 +215,7 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	fab1 := prober.Net.FabricStats()
 	res.stats.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	res.stats.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
+	res.stats.FlowCache = flowDelta(prober.Net.FlowCacheStats(), flow0)
 	return res
 }
 
@@ -242,6 +250,8 @@ func (c *Campaign) merge(results []*shardResult) {
 		c.Probes += res.stats.Probes
 		c.BudgetHits += res.stats.BudgetHits
 		c.LoopDrops += res.stats.LoopDrops
+		addFlow(&c.FlowCache, res.stats.FlowCache)
 	}
 	c.Probes += c.bootProbes
+	addFlow(&c.FlowCache, c.bootFlow)
 }

@@ -15,6 +15,7 @@ import (
 	"wormhole/internal/campaign"
 	"wormhole/internal/experiments"
 	"wormhole/internal/fingerprint"
+	"wormhole/internal/gen"
 	"wormhole/internal/lab"
 	"wormhole/internal/netaddr"
 	"wormhole/internal/pcap"
@@ -184,6 +185,7 @@ func cmdCampaign(args []string) error {
 	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
+	noFlowCache := fs.Bool("no-flow-cache", false, "disable the flow-trajectory probe cache (results are identical either way)")
 	pprofPrefix := fs.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pb.gz and <prefix>.heap.pb.gz")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -202,16 +204,26 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := experiments.NewWorldParallel(*seed, scale, *workers)
+	in, err := gen.Build(scale.Params(*seed))
 	if err != nil {
 		return err
 	}
-	c := w.C
-	printf("internet: %d ASes, %d VPs\n", len(w.In.ASes), len(w.In.VPs))
+	ccfg := campaign.DefaultConfig()
+	ccfg.DisableFlowCache = *noFlowCache
+	c, err := campaign.RunParallel(in, ccfg, campaign.ParallelConfig{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	printf("internet: %d ASes, %d VPs\n", len(in.ASes), len(in.VPs))
 	printf("observed graph: %d nodes, %d edges, density %.4f\n",
 		c.ITDK.NumNodes(), c.ITDK.NumEdges(), c.ITDK.Density())
 	printf("HDNs (threshold %d): %d\n", c.Cfg.HDNThreshold, len(c.HDNs))
 	printf("targets probed: %d, probes sent: %d\n", len(c.Targets), c.Probes)
+	if !*noFlowCache {
+		fc := c.FlowCache
+		printf("flow cache: %d hits, %d misses, %d fast-forwards, %d invalidations\n",
+			fc.Hits, fc.Misses, fc.FastForwards, fc.Invalidations)
+	}
 	byTech := map[reveal.Technique]int{}
 	hidden := 0
 	for _, rev := range c.Revelations() {
@@ -315,8 +327,16 @@ func cmdBench(args []string) error {
 	printf("clone: structural %.2fms, rebuild %.2fms, speedup %.1fx\n",
 		rep.Clone.StructuralMS, rep.Clone.RebuildMS, rep.Clone.Speedup)
 	for _, cr := range rep.Campaign {
-		printf("campaign workers=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.0fms/run\n",
-			cr.Workers, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe, cr.WallMSPerRun)
+		cache := "off"
+		if cr.FlowCache {
+			cache = "on"
+		}
+		printf("campaign workers=%d cache=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.0fms/run",
+			cr.Workers, cache, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe, cr.WallMSPerRun)
+		if cr.FlowCache {
+			printf(" (%d hits, %d misses, %d ff)", cr.CacheHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)
+		}
+		printf("\n")
 	}
 	if err := benchrun.WriteJSON(*outPath, rep); err != nil {
 		return err

@@ -1,0 +1,434 @@
+package netsim
+
+import (
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/packet"
+)
+
+// This file implements the fabric's flow-trajectory cache. Forwarding in
+// the simulated data plane is a pure function of the flow key (src, dst,
+// protocol, transport flow fields) while the control plane is static, so
+// the first probe on a flow records its trajectory — the ordered
+// (ingress iface, arrival offset, packet-header snapshot) steps — and
+// later probes either replay a memoized (flow, TTL) → reply observation in
+// O(1) or fast-forward to the recorded frontier and resume live simulation
+// there, turning an L-hop traceroute from O(L²) into O(L) router visits.
+//
+// Correctness rests on three pillars:
+//
+//   - Purity. The cache only engages when every node is deterministic
+//     (hosts, or routers reporting FlowCacheable) and no link injects loss
+//     or models bandwidth; down links are fine (they drop
+//     deterministically). A Trace hook also disables it, since tracing
+//     must observe every delivery.
+//
+//   - TTL lineage. Every TTL field in flight is either an affine function
+//     of the probe's initial TTL (propagated) or a constant seeded from
+//     255 / an OS personality value. Routers label each field via
+//     packet.Lineage, so a recorded snapshot can be patched for a probe
+//     with a different initial TTL by adding the delta to propagated
+//     fields only. Branches that compare a propagated against a constant
+//     TTL (min-on-pop and RFC 3443 propagation) are the one place where a
+//     larger initial TTL could diverge from the recording; routers report
+//     them through NoteTTLMin, which turns each comparison into an
+//     absolute upper bound on the initial TTLs the trajectory stays valid
+//     for. Monotone checks (expiry, >0 guards) need no bound: a larger
+//     initial TTL only raises propagated values, so a check that passed
+//     during recording passes for every fast-forwarded probe.
+//
+//   - Invalidation. Any control-plane mutation (FIB/LFIB/bindings/OS
+//     personality) flushes the cache through InvalidateFlowCache — the
+//     same hooks that flush the per-router route caches — and poisons an
+//     in-flight recording, so a mutation mid-drain can never leak a stale
+//     step into the cache.
+//
+// Timing is exact, not approximate: step offsets are virtual-time deltas
+// from injection, link delays are TTL-independent, and a memoized reply
+// advances the clock by precisely the drain time the live run consumed,
+// so RTTs, virtual-elapsed accounting, and Sent/Recv counters are
+// byte-identical with the uncached path.
+
+// FlowCacheable gates the flow cache on node determinism: a node that is
+// not a Host must implement it and return true for the cache to engage.
+// Routers return false when rate-limited ICMP generation makes their
+// replies time-dependent.
+type FlowCacheable interface {
+	FlowCacheable() bool
+}
+
+// FlowKey identifies a forwarding equivalence class: all packets sharing
+// it follow the same trajectory. A and B carry the transport flow fields
+// the routers hash (ICMP: identifier, 0; UDP: source port, destination
+// port).
+type FlowKey struct {
+	Src, Dst netaddr.Addr
+	Proto    packet.Protocol
+	A, B     uint16
+}
+
+// ProbeObs is a memoized probe outcome: everything the prober derives
+// from a reply (or its absence), plus the virtual time the drain consumed
+// so a replay advances the clock exactly as the live run did. The MPLS
+// stack aliases the adopted reply's RFC 4950 extension stack and is
+// shared read-only by every replay.
+type ProbeObs struct {
+	Answered bool
+	From     netaddr.Addr
+	ReplyTTL uint8
+	ICMPType uint8
+	ICMPCode uint8
+	MPLS     packet.LabelStack
+	Advance  time.Duration
+}
+
+// FlowCacheStats counts cache outcomes. Hits are memoized replies served
+// without touching the event loop; FastForwards are probes resumed at a
+// recorded frontier; Misses ran fully live (and recorded).
+type FlowCacheStats struct {
+	Hits         uint64
+	Misses       uint64
+	FastForwards uint64
+	// Invalidations counts control-plane mutations that flushed the cache.
+	Invalidations uint64
+}
+
+// trajStep is one recorded delivery of the (marked) forward packet: the
+// ingress interface, the virtual-time offset from injection, and the
+// packet headers as delivered, with their TTL lineage.
+type trajStep struct {
+	to      *Iface
+	offset  time.Duration
+	ip      packet.IPv4
+	mpls    packet.LabelStack
+	lineage uint32
+}
+
+// flowEntry holds one flow's state: the trajectory recorded by the most
+// recent live (or resumed) probe, normalized to that probe's initial TTL
+// t0, plus the per-TTL reply memo. maxTTL is the largest initial TTL the
+// recorded prefix is proven valid for (accumulated from NoteTTLMin
+// bounds). Only the last step — the frontier, where the t0 probe expired
+// or was answered — is ever reconstructed; earlier steps exist for
+// inspection and debugging.
+type flowEntry struct {
+	t0     uint8
+	maxTTL uint8
+	steps  []trajStep
+
+	// valid is a 256-bit presence set over replies, indexed by probe TTL.
+	valid   [4]uint64
+	replies []ProbeObs
+}
+
+// flowRec is the in-flight recording state for the probe currently being
+// drained. bad poisons the recording (budget exhaustion or a mid-drain
+// invalidation); a poisoned probe is neither recorded nor memoized.
+type flowRec struct {
+	active bool
+	bad    bool
+	entry  *flowEntry
+	start  time.Duration
+}
+
+// FlowCache is the per-fabric cache state, embedded by value in Network
+// so snapshot replicas start with it disabled and empty.
+type FlowCache struct {
+	enabled  bool
+	pure     bool
+	needScan bool
+	entries  map[FlowKey]*flowEntry
+	stats    FlowCacheStats
+	rec      flowRec
+
+	// hotKey/hotE memoize the last FlowLookup so the FlowProbe that
+	// follows a miss reuses the entry without re-hashing the key. hotE may
+	// be nil (flow never seen); hotOK distinguishes that from "no lookup
+	// cached". Cleared on invalidation.
+	hotKey FlowKey
+	hotE   *flowEntry
+	hotOK  bool
+}
+
+// SetFlowCacheEnabled turns the flow-trajectory cache on or off. Enabling
+// schedules a purity scan (performed lazily on the next probe); disabling
+// drops all cached state.
+func (n *Network) SetFlowCacheEnabled(on bool) {
+	f := &n.flows
+	f.enabled = on
+	f.needScan = on
+	if !on {
+		f.entries = nil
+		f.rec = flowRec{}
+		f.hotE, f.hotOK = nil, false
+	}
+}
+
+// FlowCacheEnabled reports whether the cache has been requested (it may
+// still be inert on an impure fabric).
+func (n *Network) FlowCacheEnabled() bool { return n.flows.enabled }
+
+// FlowCacheStats returns the cache counters.
+func (n *Network) FlowCacheStats() FlowCacheStats { return n.flows.stats }
+
+// InvalidateFlowCache flushes every memoized trajectory and reply, poisons
+// any in-flight recording, and schedules a purity re-scan. Routers call it
+// from the same mutation hooks that flush their route caches.
+func (n *Network) InvalidateFlowCache() {
+	f := &n.flows
+	if !f.enabled {
+		return
+	}
+	f.entries = nil
+	f.hotE, f.hotOK = nil, false
+	f.stats.Invalidations++
+	f.needScan = true
+	if f.rec.active {
+		f.rec.bad = true
+	}
+}
+
+// flowActive reports whether the cache may serve or record this probe,
+// running the deferred purity scan if one is pending.
+func (n *Network) flowActive() bool {
+	f := &n.flows
+	if !f.enabled || n.Trace != nil {
+		return false
+	}
+	if f.needScan {
+		f.pure = n.flowPure()
+		f.needScan = false
+	}
+	return f.pure
+}
+
+// flowPure verifies the fabric is deterministic per flow key: no lossy or
+// bandwidth-modeled links, and every node either a Host or a node that
+// reports itself cacheable.
+func (n *Network) flowPure() bool {
+	for _, l := range n.links {
+		if l.LossProb > 0 || l.BytesPerSec > 0 {
+			return false
+		}
+	}
+	for _, nd := range n.nodes {
+		if _, ok := nd.(*Host); ok {
+			continue
+		}
+		fc, ok := nd.(FlowCacheable)
+		if !ok || !fc.FlowCacheable() {
+			return false
+		}
+	}
+	return true
+}
+
+// FlowLookup serves a memoized reply for (key, ttl) if one exists. On a
+// hit the caller replays it: advance the clock by obs.Advance and account
+// the probe exactly as the live path would.
+func (n *Network) FlowLookup(key FlowKey, ttl uint8) (ProbeObs, bool) {
+	if !n.flowActive() {
+		return ProbeObs{}, false
+	}
+	f := &n.flows
+	e := f.entries[key]
+	f.hotKey, f.hotE, f.hotOK = key, e, true
+	if e == nil || e.valid[ttl>>6]&(1<<(ttl&63)) == 0 {
+		f.stats.Misses++
+		return ProbeObs{}, false
+	}
+	f.stats.Hits++
+	return e.replies[ttl], true
+}
+
+// AdvanceClock moves virtual time forward by d: the memo-replay
+// counterpart of the drain a live probe would have performed.
+func (n *Network) AdvanceClock(d time.Duration) { n.clock += d }
+
+// FlowProbe injects a marked probe through the cache: when the flow has a
+// recorded trajectory valid for this initial TTL, the probe fast-forwards
+// to the frontier and resumes live simulation there; otherwise it runs
+// fully live. Either way the trajectory is (re)recorded and the caller
+// must complete the probe with FlowFinish. Returns the virtual time
+// consumed, exactly as Inject would. The packet must be unlabeled with
+// IP.TTL == ttl, as built by the prober.
+func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uint8) time.Duration {
+	if !n.flowActive() {
+		return n.Inject(out, pkt)
+	}
+	f := &n.flows
+	var e *flowEntry
+	if f.hotOK && f.hotKey == key {
+		e = f.hotE
+	} else {
+		e = f.entries[key]
+	}
+	if e == nil {
+		if f.entries == nil {
+			f.entries = make(map[FlowKey]*flowEntry)
+		}
+		e = &flowEntry{}
+		f.entries[key] = e
+	}
+	start := n.clock
+	pkt.Mark = 1
+	if len(e.steps) > 0 && ttl > e.t0 && ttl <= e.maxTTL {
+		// Fast-forward: reconstruct the packet as it was delivered at the
+		// frontier, patched for this probe's larger initial TTL, carrying
+		// the current probe's transport layer and IP identifier (constant
+		// along the path, and the source of the reply-match token).
+		f.stats.FastForwards++
+		fr := &e.steps[len(e.steps)-1]
+		delta := ttl - e.t0
+		id := pkt.IP.ID
+		pkt.IP = fr.ip
+		pkt.IP.ID = id
+		pkt.Lineage = fr.lineage
+		if pkt.LineageIP() {
+			pkt.IP.TTL += delta
+		}
+		if len(fr.mpls) > 0 {
+			// A plain copy, not pooled storage: the probe packet is the
+			// prober's (never pool-released), so a pooled stack would leak
+			// out of the free list.
+			pkt.MPLS = append(pkt.MPLS[:0], fr.mpls...)
+			for i := range pkt.MPLS {
+				if pkt.Lineage&(1<<uint(i)) != 0 {
+					pkt.MPLS[i].TTL += delta
+				}
+			}
+		}
+		// The frontier is re-recorded by the resumed run (rebased to this
+		// probe's t0); the prefix keeps its offsets and ifaces, which are
+		// TTL-independent.
+		e.steps = e.steps[:len(e.steps)-1]
+		e.t0 = ttl
+		f.rec = flowRec{active: true, entry: e, start: start}
+		n.seq++
+		n.queue.push(event{at: start + fr.offset, seq: n.seq, to: fr.to, pkt: pkt})
+		n.Run()
+		return n.clock - start
+	}
+	// Full live run, recorded from scratch. (The miss was already counted
+	// by the FlowLookup that preceded this call.)
+	e.steps = e.steps[:0]
+	e.t0 = ttl
+	e.maxTTL = 255
+	pkt.SetLineageIP(true)
+	f.rec = flowRec{active: true, entry: e, start: start}
+	return n.Inject(out, pkt)
+}
+
+// FlowFinish completes the probe begun by FlowProbe, memoizing its
+// outcome for (the recording's) TTL unless the recording was poisoned by
+// a budget-exhausted drain or a mid-drain invalidation.
+func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
+	f := &n.flows
+	if !f.rec.active {
+		return
+	}
+	e := f.rec.entry
+	bad := f.rec.bad
+	f.rec = flowRec{}
+	if bad {
+		// Poisoned: the steps may reflect pre-mutation state (or a loop
+		// hit the budget); discard so every later probe re-runs live.
+		e.steps = e.steps[:0]
+		return
+	}
+	e.valid[ttl>>6] |= 1 << (ttl & 63)
+	if int(ttl) >= len(e.replies) {
+		if int(ttl) < cap(e.replies) {
+			// Grow within capacity; the backing array was zeroed at
+			// allocation and replies never shrinks, so the exposed tail is
+			// clean.
+			e.replies = e.replies[:ttl+1]
+		} else {
+			grown := make([]ProbeObs, ttl+1, 2*int(ttl)+2)
+			copy(grown, e.replies)
+			e.replies = grown
+		}
+	}
+	e.replies[ttl] = obs
+}
+
+// record captures one delivery of the marked forward packet, reusing the
+// step slot (and its label-stack capacity) left by previous recordings so
+// steady-state recording allocates nothing.
+func (f *FlowCache) record(to *Iface, at time.Duration, pkt *packet.Packet) {
+	e := f.rec.entry
+	if len(e.steps) < cap(e.steps) {
+		e.steps = e.steps[:len(e.steps)+1]
+	} else {
+		e.steps = append(e.steps, trajStep{})
+	}
+	st := &e.steps[len(e.steps)-1]
+	st.to = to
+	st.offset = at - f.rec.start
+	st.ip = pkt.IP
+	st.lineage = pkt.Lineage
+	st.mpls = append(st.mpls[:0], pkt.MPLS...)
+}
+
+// NoteTTLMin bounds the current recording's validity across a min(a, b)
+// comparison of TTLs with the given lineages. Mixed comparisons are the
+// only sites where a larger initial TTL can flip a branch the recording
+// took: a propagated value grows one-for-one with the initial TTL while a
+// constant stays put, so each comparison yields an absolute upper bound
+// on initial TTLs for which the recorded branch (and therefore the
+// trajectory) remains valid. Same-lineage comparisons and monotone checks
+// are unaffected and need no call.
+func (n *Network) NoteTTLMin(a, b uint8, aProp, bProp bool) {
+	f := &n.flows
+	if !f.rec.active {
+		return
+	}
+	t0 := int(f.rec.entry.t0)
+	var maxT int
+	switch {
+	case aProp && !bProp && a < b:
+		// a (propagated) won; it keeps winning while t0+Δ+(a-t0) < b.
+		maxT = t0 + int(b) - int(a) - 1
+	case bProp && !aProp && a >= b:
+		// b (propagated) won; it keeps winning while its grown value ≤ a.
+		maxT = t0 + int(a) - int(b)
+	default:
+		return
+	}
+	if maxT > 255 {
+		return
+	}
+	if maxT < 0 {
+		maxT = 0
+	}
+	if uint8(maxT) < f.rec.entry.maxTTL {
+		f.rec.entry.maxTTL = uint8(maxT)
+	}
+}
+
+// SeedFlowCacheFrom copies src's memoized replies into this fabric's
+// cache. Trajectories are not copied — their steps hold interface
+// pointers local to src's fabric — so the first unseen TTL on each flow
+// records afresh. Reply stacks are shared read-only with src and with
+// sibling replicas; the reply slices themselves are copied so concurrent
+// growth never touches shared backing. Callers seed replicas before
+// driving them; src must be idle.
+func (n *Network) SeedFlowCacheFrom(src *Network) {
+	sf := &src.flows
+	if len(sf.entries) == 0 {
+		return
+	}
+	f := &n.flows
+	if f.entries == nil {
+		f.entries = make(map[FlowKey]*flowEntry, len(sf.entries))
+	}
+	for k, e := range sf.entries {
+		if e.valid == ([4]uint64{}) {
+			continue
+		}
+		ne := &flowEntry{valid: e.valid}
+		ne.replies = append([]ProbeObs(nil), e.replies...)
+		f.entries[k] = ne
+	}
+}

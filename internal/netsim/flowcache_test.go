@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/packet"
+)
+
+// opaqueNode is a Node that does not implement FlowCacheable: its presence
+// must keep the flow cache inert.
+type opaqueNode struct{ ifc *Iface }
+
+func (o *opaqueNode) Name() string                                      { return "opaque" }
+func (o *opaqueNode) Receive(net *Network, in *Iface, p *packet.Packet) {}
+
+// cacheableNode opts in (or out) explicitly.
+type cacheableNode struct {
+	ifc *Iface
+	ok  bool
+}
+
+func (c *cacheableNode) Name() string                                      { return "cacheable" }
+func (c *cacheableNode) Receive(net *Network, in *Iface, p *packet.Packet) {}
+func (c *cacheableNode) FlowCacheable() bool                               { return c.ok }
+
+func testKey(n byte) FlowKey {
+	return FlowKey{
+		Src:   netaddr.AddrFrom4(10, 0, 0, 1),
+		Dst:   netaddr.AddrFrom4(10, 0, 0, n),
+		Proto: packet.ProtoICMP,
+		A:     0x1234,
+	}
+}
+
+// TestFlowCachePurityGating checks that the cache only engages on a
+// deterministic fabric: host-only fabrics are pure; a lossy or
+// bandwidth-modeled link, a node that does not report FlowCacheable, a
+// node that reports false, or an installed Trace hook each keep it inert.
+func TestFlowCachePurityGating(t *testing.T) {
+	net, _, _ := pairedHosts(t, 1, time.Millisecond)
+	net.SetFlowCacheEnabled(true)
+	if !net.flowActive() {
+		t.Fatal("host-only fabric should be pure")
+	}
+
+	// A Trace hook must disable serving and recording.
+	net.Trace = func(at time.Duration, to *Iface, pkt *packet.Packet) {}
+	if net.flowActive() {
+		t.Error("cache active with a Trace hook installed")
+	}
+	net.Trace = nil
+	if !net.flowActive() {
+		t.Error("cache should re-engage once the Trace hook is gone")
+	}
+
+	// Loss injection breaks per-flow determinism.
+	net.links[0].LossProb = 0.5
+	net.InvalidateFlowCache() // force a purity re-scan
+	if net.flowActive() {
+		t.Error("cache active on a lossy link")
+	}
+	net.links[0].LossProb = 0
+
+	// Bandwidth modeling makes timing occupancy-dependent.
+	net.links[0].BytesPerSec = 1e6
+	net.InvalidateFlowCache()
+	if net.flowActive() {
+		t.Error("cache active on a bandwidth-modeled link")
+	}
+	net.links[0].BytesPerSec = 0
+	net.InvalidateFlowCache()
+	if !net.flowActive() {
+		t.Error("cache should re-engage once links are clean")
+	}
+
+	// A node without the FlowCacheable interface is opaque: inert.
+	op := &opaqueNode{}
+	net.AddNode(op)
+	net.InvalidateFlowCache()
+	if net.flowActive() {
+		t.Error("cache active with an opaque node")
+	}
+}
+
+// TestFlowCacheableOptOut checks the node-level opt-out: a node reporting
+// FlowCacheable() == false (a rate-limiting router, say) keeps the cache
+// inert; flipping it back on re-engages after a re-scan.
+func TestFlowCacheableOptOut(t *testing.T) {
+	net, _, _ := pairedHosts(t, 1, time.Millisecond)
+	cn := &cacheableNode{ok: false}
+	net.AddNode(cn)
+	net.SetFlowCacheEnabled(true)
+	if net.flowActive() {
+		t.Error("cache active with a node opting out")
+	}
+	cn.ok = true
+	net.InvalidateFlowCache()
+	if !net.flowActive() {
+		t.Error("cache inert after the node opted back in")
+	}
+}
+
+// TestFlowCacheDisabledIsInert checks the disabled state: lookups never
+// hit, probes fall through to plain injection, and no counters move.
+func TestFlowCacheDisabledIsInert(t *testing.T) {
+	net, _, h2 := pairedHosts(t, 1, time.Millisecond)
+	if _, ok := net.FlowLookup(testKey(2), 3); ok {
+		t.Fatal("lookup hit on a disabled cache")
+	}
+	if got := net.FlowCacheStats(); got != (FlowCacheStats{}) {
+		t.Fatalf("disabled cache counted: %+v", got)
+	}
+	_ = h2
+}
+
+// TestSeedFlowCacheFrom checks replica seeding: memoized replies transfer
+// (with copied slices, so growth is replica-local), trajectories do not,
+// and entries with no valid replies are skipped.
+func TestSeedFlowCacheFrom(t *testing.T) {
+	src, _, _ := pairedHosts(t, 1, time.Millisecond)
+	src.SetFlowCacheEnabled(true)
+
+	obs := ProbeObs{Answered: true, From: netaddr.AddrFrom4(10, 0, 0, 2), ReplyTTL: 63, Advance: time.Millisecond}
+	eA := &flowEntry{replies: make([]ProbeObs, 4)}
+	eA.valid[0] = 1 << 3
+	eA.replies[3] = obs
+	eA.steps = []trajStep{{offset: time.Millisecond}} // must NOT transfer
+	eEmpty := &flowEntry{}                            // no valid replies: skipped
+	src.flows.entries = map[FlowKey]*flowEntry{
+		testKey(2): eA,
+		testKey(3): eEmpty,
+	}
+
+	dst, _, _ := pairedHosts(t, 1, time.Millisecond)
+	dst.SetFlowCacheEnabled(true)
+	dst.SeedFlowCacheFrom(src)
+
+	if got, ok := dst.FlowLookup(testKey(2), 3); !ok || got.From != obs.From ||
+		got.ReplyTTL != obs.ReplyTTL || got.Advance != obs.Advance || !got.Answered {
+		t.Fatalf("seeded lookup = %+v, %v", got, ok)
+	}
+	ne := dst.flows.entries[testKey(2)]
+	if len(ne.steps) != 0 {
+		t.Error("trajectory steps leaked across fabrics")
+	}
+	if &ne.replies[0] == &eA.replies[0] {
+		t.Error("reply slice shares backing with the source")
+	}
+	if _, ok := dst.flows.entries[testKey(3)]; ok {
+		t.Error("entry with no valid replies was seeded")
+	}
+}

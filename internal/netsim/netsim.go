@@ -125,9 +125,19 @@ type Network struct {
 	pool packet.Pool
 
 	// owner is the goroutine bound via BindOwner (0 = unbound); driving
-	// flags an in-progress drain for concurrent-drive detection.
-	owner   uint64
-	driving int32
+	// flags an in-progress drain for concurrent-drive detection. checkTick
+	// amortizes the goroutine-identity assertion: resolving the caller's id
+	// walks the runtime stack, which at campaign call depths costs more
+	// than a short drain, so the id is verified on the first drive after a
+	// bind and every ownerCheckInterval drives after that. The concurrent-
+	// drive CAS below stays on every drain.
+	owner     uint64
+	driving   int32
+	checkTick int32
+
+	// flows is the flow-trajectory cache (see flowcache.go). By-value so
+	// fresh replicas start with it disabled and empty.
+	flows FlowCache
 
 	// Trace, when non-nil, observes every delivery (pcap-ish hook).
 	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
@@ -278,18 +288,30 @@ func (n *Network) Inject(out *Iface, pkt *packet.Packet) time.Duration {
 // Run (and therefore Inject) must come from this goroutine. Parallel
 // campaign workers call it right after cloning their replica; the serial
 // engine never binds and only the concurrent-drive check applies.
-func (n *Network) BindOwner() { n.owner = gid() }
+func (n *Network) BindOwner() { n.owner, n.checkTick = gid(), 0 }
 
 // ReleaseOwner clears the ownership binding (handing a replica to another
 // worker requires the old owner to release it first).
 func (n *Network) ReleaseOwner() { n.owner = 0 }
 
+// ownerCheckInterval is how many drives may pass between goroutine-identity
+// verifications of a bound fabric. The first drive after BindOwner is always
+// verified, so handing a bound replica to the wrong goroutine trips the
+// assertion immediately; a long-lived foreign driver is caught within one
+// interval.
+const ownerCheckInterval = 64
+
 // assertDriver panics when the fabric is driven from a goroutine other
-// than its bound owner, or from two goroutines at once.
+// than its bound owner (verified on a sampled schedule — see checkTick),
+// or from two goroutines at once.
 func (n *Network) assertDriver() {
 	if n.owner != 0 {
-		if g := gid(); g != n.owner {
-			panic(fmt.Sprintf("netsim: fabric owned by goroutine %d driven from goroutine %d", n.owner, g))
+		n.checkTick--
+		if n.checkTick < 0 {
+			n.checkTick = ownerCheckInterval - 1
+			if g := gid(); g != n.owner {
+				panic(fmt.Sprintf("netsim: fabric owned by goroutine %d driven from goroutine %d", n.owner, g))
+			}
 		}
 	}
 	if !atomic.CompareAndSwapInt32(&n.driving, 0, 1) {
@@ -322,9 +344,14 @@ func (n *Network) Run() {
 	for n.queue.len() > 0 {
 		if n.budget == 0 {
 			// A loop was detected: account for and drop the remaining
-			// events so the next Run starts clean.
+			// events so the next Run starts clean. A trajectory recorded
+			// from a looping probe is poisoned — it must re-run live (and
+			// re-count the loop) every time.
 			n.stats.BudgetExhausted++
 			n.stats.DroppedEvents += uint64(n.queue.len())
+			if n.flows.rec.active {
+				n.flows.rec.bad = true
+			}
 			for _, ev := range n.queue.ev {
 				n.pool.Release(ev.pkt)
 			}
@@ -340,6 +367,11 @@ func (n *Network) Run() {
 			n.Trace(n.clock, ev.to, ev.pkt)
 		}
 		n.stats.Deliveries++
+		if n.flows.rec.active && ev.pkt.Mark != 0 {
+			// The marked forward packet of a recorded probe: capture it as
+			// delivered, before the node transforms it.
+			n.flows.record(ev.to, n.clock, ev.pkt)
+		}
 		ev.to.Owner.Receive(n, ev.to, ev.pkt)
 		// Receive must not retain pkt (nodes that do — the prober — adopt
 		// it first), so the clone can go straight back to the free list.

@@ -22,9 +22,75 @@ type Packet struct {
 	// headers; it only affects serialized length.
 	PayloadLen int
 
+	// Mark tags a probe whose forwarding trajectory the fabric's flow
+	// cache is recording; per-hop clones inherit it, generated replies do
+	// not. Zero (the default) means unobserved. Mark never reaches the
+	// wire form.
+	Mark uint32
+
+	// Lineage tracks, per TTL field, whether its current value is an
+	// affine function of the probe's initial TTL (bit set: the field
+	// shifts one-for-one with the initial TTL) or a constant independent
+	// of it (bit clear: seeded from 255 or an OS personality value). Bit
+	// 31 covers IP.TTL; bit i covers MPLS[i].TTL. Routers maintain it on
+	// marked packets across pushes, pops, and min-on-pop copies; the flow
+	// cache uses it to patch a memoized trajectory snapshot for a probe
+	// with a different initial TTL. Like Mark, it never reaches the wire.
+	Lineage uint32
+
 	// pooled marks a packet owned by a Pool; Pool.Release recycles it and
 	// Pool.Adopt clears the mark so retained packets escape recycling.
 	pooled bool
+}
+
+// Lineage bit layout: bit 31 is the IP TTL, bits 0..15 the label stack
+// (bit i = MPLS[i], top of stack at bit 0).
+const (
+	lineageIPBit    = uint32(1) << 31
+	lineageMPLSMask = uint32(0xFFFF)
+)
+
+// LineageIP reports whether IP.TTL is initial-TTL-propagated.
+func (p *Packet) LineageIP() bool { return p.Lineage&lineageIPBit != 0 }
+
+// SetLineageIP records whether IP.TTL is initial-TTL-propagated.
+func (p *Packet) SetLineageIP(prop bool) {
+	if prop {
+		p.Lineage |= lineageIPBit
+	} else {
+		p.Lineage &^= lineageIPBit
+	}
+}
+
+// LineageTop reports whether the top LSE's TTL is initial-TTL-propagated.
+func (p *Packet) LineageTop() bool { return p.Lineage&1 != 0 }
+
+// SetLineageTop records the top LSE's lineage.
+func (p *Packet) SetLineageTop(prop bool) {
+	if prop {
+		p.Lineage |= 1
+	} else {
+		p.Lineage &^= 1
+	}
+}
+
+// PushLineage shifts the label-stack lineage bits for a PushInPlace and
+// records the new top's lineage. Call it alongside every push on a marked
+// packet, in push order.
+func (p *Packet) PushLineage(prop bool) {
+	mpls := (p.Lineage & lineageMPLSMask) << 1 & lineageMPLSMask
+	if prop {
+		mpls |= 1
+	}
+	p.Lineage = p.Lineage&^lineageMPLSMask | mpls
+}
+
+// PopLineage shifts the label-stack lineage bits for a PopInPlace and
+// returns the popped entry's lineage.
+func (p *Packet) PopLineage() bool {
+	prop := p.Lineage&1 != 0
+	p.Lineage = p.Lineage&^lineageMPLSMask | (p.Lineage&lineageMPLSMask)>>1
+	return prop
 }
 
 // Labeled reports whether the packet currently carries a label stack.

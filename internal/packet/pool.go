@@ -143,6 +143,7 @@ func (pl *Pool) Clone(p *Packet) *Packet {
 		out.Raw = append([]byte(nil), p.Raw...)
 	}
 	out.PayloadLen = p.PayloadLen
+	out.Mark, out.Lineage = p.Mark, p.Lineage
 	return out
 }
 

@@ -77,6 +77,10 @@ const (
 	UDPParis
 )
 
+// udpBasePort is the classic traceroute destination-port base; probes
+// cycle over the 128 ports above it, one flow per port.
+const udpBasePort = 33434
+
 // Prober issues probes from a vantage-point host. It is not safe for
 // concurrent use; campaigns run one Prober per vantage point sequentially
 // over the shared fabric.
@@ -99,8 +103,14 @@ type Prober struct {
 	// FlowID is the Paris flow identifier (ICMP echo ID / UDP source port).
 	FlowID uint16
 
-	seq     uint16
-	pending *await
+	// seq numbers probes. Each probe draws a 16-bit non-zero token from it
+	// that is carried in the IP identifier and the ICMP sequence (or, mod
+	// 128, the UDP destination port), so the reply-match key is unique
+	// across any window of 65535 consecutive probes — the UDP port cycle
+	// alone repeats every 128 and would alias distinct probes.
+	seq     uint32
+	waiting bool
+	pending await
 
 	// Sent counts probe packets for campaign accounting.
 	Sent uint64
@@ -108,8 +118,12 @@ type Prober struct {
 	Recv uint64
 }
 
+// await is the match key of the probe in flight: transport identifiers
+// plus the IP-identifier token, which disambiguates probes whose
+// transport fields collide (the UDP destination-port cycle).
 type await struct {
 	id, seq uint16
+	ipid    uint16
 	reply   *packet.Packet
 	rtt     time.Duration
 }
@@ -122,8 +136,19 @@ func New(net *netsim.Network, host *netsim.Host) *Prober {
 	return p
 }
 
+// nextToken returns the next probe token: a non-zero uint16 drawn from the
+// running sequence. Zero is skipped so the token never collides with the
+// zero IP identifier of non-probe traffic.
+func (p *Prober) nextToken() uint16 {
+	p.seq++
+	if uint16(p.seq) == 0 {
+		p.seq++
+	}
+	return uint16(p.seq)
+}
+
 func (p *Prober) handle(net *netsim.Network, pkt *packet.Packet) {
-	if p.pending == nil || pkt.ICMP == nil {
+	if !p.waiting || pkt.ICMP == nil {
 		return
 	}
 	m := pkt.ICMP
@@ -138,10 +163,12 @@ func (p *Prober) handle(net *netsim.Network, pkt *packet.Packet) {
 			p.Recv++
 		}
 	case m.IsError():
-		// ICMP probes are matched by quoted echo ID/Seq; UDP probes by
-		// quoted source/destination ports (the await fields hold whichever
-		// pair the probe carried).
-		if m.Quote != nil && m.Quote.ID == p.pending.id && m.Quote.Seq == p.pending.seq {
+		// Error replies are matched on the quoted transport pair (echo
+		// ID/Seq or UDP ports) and the quoted IP identifier, which carries
+		// the full 16-bit probe token — the transport pair alone is not
+		// collision-free for UDP, whose destination port cycles mod 128.
+		if m.Quote != nil && m.Quote.ID == p.pending.id && m.Quote.Seq == p.pending.seq &&
+			m.Quote.IP.ID == p.pending.ipid {
 			net.AdoptPacket(pkt)
 			p.pending.reply = pkt
 			p.Recv++
@@ -149,40 +176,72 @@ func (p *Prober) handle(net *netsim.Network, pkt *packet.Packet) {
 	}
 }
 
-// sendAndWait injects one probe and drains the fabric, returning the
-// matching reply (nil if none arrived).
-func (p *Prober) sendAndWait(pkt *packet.Packet) (*packet.Packet, time.Duration) {
-	if pkt.UDP != nil {
-		p.pending = &await{id: pkt.UDP.SrcPort, seq: pkt.UDP.DstPort}
-	} else {
-		p.pending = &await{id: pkt.ICMP.ID, seq: pkt.ICMP.Seq}
-	}
-	p.Sent++
-	start := p.Net.Now()
-	p.Net.Inject(p.Host.If, pkt)
-	rtt := p.Net.Now() - start
-	reply := p.pending.reply
-	p.pending = nil
-	return reply, rtt
-}
-
-// buildProbe constructs one probe packet per the prober's method.
-func (p *Prober) buildProbe(dst netaddr.Addr, ttl uint8) *packet.Packet {
+// buildProbe constructs one probe packet for the given method and token.
+func (p *Prober) buildProbe(dst netaddr.Addr, ttl uint8, method Method, token uint16) *packet.Packet {
 	pkt := &packet.Packet{
 		IP: packet.IPv4{
+			ID:       token,
 			TTL:      ttl,
 			Protocol: packet.ProtoICMP,
 			Src:      p.Host.Addr(),
 			Dst:      dst,
 		},
 	}
-	if p.Method == UDPParis {
+	if method == UDPParis {
 		pkt.IP.Protocol = packet.ProtoUDP
-		pkt.UDP = &packet.UDP{SrcPort: p.FlowID, DstPort: 33434 + p.seq%128}
+		pkt.UDP = &packet.UDP{SrcPort: p.FlowID, DstPort: udpBasePort + token%128}
 	} else {
-		pkt.ICMP = &packet.ICMP{Type: packet.ICMPEchoRequest, ID: p.FlowID, Seq: p.seq}
+		pkt.ICMP = &packet.ICMP{Type: packet.ICMPEchoRequest, ID: p.FlowID, Seq: token}
 	}
 	return pkt
+}
+
+// probe issues one probe of the given method and TTL toward dst, going
+// through the fabric's flow-trajectory cache: a memoized (flow, TTL)
+// reply is replayed without touching the event loop; otherwise the probe
+// runs live (fast-forwarded past the recorded frontier when possible) and
+// its outcome is memoized. Sent/Recv and the virtual clock advance
+// identically on every path.
+func (p *Prober) probe(dst netaddr.Addr, ttl uint8, method Method) netsim.ProbeObs {
+	token := p.nextToken()
+	key := netsim.FlowKey{Src: p.Host.Addr(), Dst: dst, Proto: packet.ProtoICMP, A: p.FlowID}
+	if method == UDPParis {
+		key.Proto = packet.ProtoUDP
+		key.B = udpBasePort + token%128
+	}
+	if obs, ok := p.Net.FlowLookup(key, ttl); ok {
+		p.Sent++
+		p.Net.AdvanceClock(obs.Advance)
+		if obs.Answered {
+			p.Recv++
+		}
+		return obs
+	}
+	pkt := p.buildProbe(dst, ttl, method, token)
+	if pkt.UDP != nil {
+		p.pending = await{id: pkt.UDP.SrcPort, seq: pkt.UDP.DstPort, ipid: token}
+	} else {
+		p.pending = await{id: pkt.ICMP.ID, seq: pkt.ICMP.Seq, ipid: token}
+	}
+	p.waiting = true
+	p.Sent++
+	elapsed := p.Net.FlowProbe(p.Host.If, pkt, key, ttl)
+	reply := p.pending.reply
+	p.waiting = false
+	p.pending = await{}
+	obs := netsim.ProbeObs{Advance: elapsed}
+	if reply != nil {
+		obs.Answered = true
+		obs.From = reply.IP.Src
+		obs.ReplyTTL = reply.IP.TTL
+		obs.ICMPType = reply.ICMP.Type
+		obs.ICMPCode = reply.ICMP.Code
+		if reply.ICMP.Ext != nil {
+			obs.MPLS = reply.ICMP.Ext.LabelStack
+		}
+	}
+	p.Net.FlowFinish(ttl, obs)
+	return obs
 }
 
 // Traceroute traces toward dst.
@@ -194,22 +253,18 @@ func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
 		attempts = 1
 	}
 	for ttl := p.FirstTTL; ttl <= p.MaxTTL; ttl++ {
-		var reply *packet.Packet
-		var rtt time.Duration
-		for try := 0; try < attempts && reply == nil; try++ {
-			p.seq++
-			reply, rtt = p.sendAndWait(p.buildProbe(dst, ttl))
+		var obs netsim.ProbeObs
+		for try := 0; try < attempts && !obs.Answered; try++ {
+			obs = p.probe(dst, ttl, p.Method)
 		}
 		hop := Hop{ProbeTTL: ttl}
-		if reply != nil {
-			hop.Addr = reply.IP.Src
-			hop.RTT = rtt
-			hop.ReplyTTL = reply.IP.TTL
-			hop.ICMPType = reply.ICMP.Type
-			hop.ICMPCode = reply.ICMP.Code
-			if reply.ICMP.Ext != nil {
-				hop.MPLS = reply.ICMP.Ext.LabelStack
-			}
+		if obs.Answered {
+			hop.Addr = obs.From
+			hop.RTT = obs.Advance
+			hop.ReplyTTL = obs.ReplyTTL
+			hop.ICMPType = obs.ICMPType
+			hop.ICMPCode = obs.ICMPCode
+			hop.MPLS = obs.MPLS
 		}
 		tr.Hops = append(tr.Hops, hop)
 		if hop.Anonymous() {
@@ -229,29 +284,19 @@ func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
 }
 
 // Ping sends one echo request with the given TTL (0 means 64) and reports
-// the reply.
+// the reply. Pings are always ICMP, whatever the traceroute method.
 func (p *Prober) Ping(dst netaddr.Addr, ttl uint8) (PingReply, bool) {
 	if ttl == 0 {
 		ttl = 64
 	}
-	p.seq++
-	probe := &packet.Packet{
-		IP: packet.IPv4{
-			TTL:      ttl,
-			Protocol: packet.ProtoICMP,
-			Src:      p.Host.Addr(),
-			Dst:      dst,
-		},
-		ICMP: &packet.ICMP{Type: packet.ICMPEchoRequest, ID: p.FlowID, Seq: p.seq},
-	}
-	reply, rtt := p.sendAndWait(probe)
-	if reply == nil {
+	obs := p.probe(dst, ttl, ICMPParis)
+	if !obs.Answered {
 		return PingReply{}, false
 	}
 	return PingReply{
-		From:     reply.IP.Src,
-		RTT:      rtt,
-		ReplyTTL: reply.IP.TTL,
-		ICMPType: reply.ICMP.Type,
+		From:     obs.From,
+		RTT:      obs.Advance,
+		ReplyTTL: obs.ReplyTTL,
+		ICMPType: obs.ICMPType,
 	}, true
 }

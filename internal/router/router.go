@@ -37,6 +37,13 @@ type Router struct {
 	lastICMP  time.Duration
 	icmpSent  bool
 
+	// net is the fabric this router has been delivering on, wired lazily
+	// by Receive. Mutation hooks use it to flush the fabric-wide
+	// flow-trajectory cache; a nil net (router never traversed) is fine —
+	// a router no recorded flow has crossed cannot invalidate one.
+	// Snapshot replicas start with it nil and re-wire on their own fabric.
+	net *netsim.Network
+
 	// routeCache is a small direct-mapped cache over forward()'s FIB
 	// lookup and binding resolution, keyed on destination address.
 	// Campaign probes hit the same handful of destinations (the probe dst
@@ -88,6 +95,21 @@ func (r *Router) invalidateRouteCache() {
 	r.routeCache = [routeCacheSize]routeCacheEntry{}
 }
 
+// mutated records a control-plane change: it flushes the local route
+// cache and the fabric-wide flow-trajectory cache, which memoizes
+// forwarding decisions this router contributed to.
+func (r *Router) mutated() {
+	r.invalidateRouteCache()
+	if r.net != nil {
+		r.net.InvalidateFlowCache()
+	}
+}
+
+// FlowCacheable implements netsim.FlowCacheable: the fabric's
+// flow-trajectory cache may only memoize through routers whose reply
+// behaviour is time-independent, which excludes ICMP rate limiting.
+func (r *Router) FlowCacheable() bool { return r.cfg.ICMPInterval == 0 }
+
 // New creates a router with the given OS personality and configuration.
 func New(name string, os Personality, cfg Config) *Router {
 	return &Router{
@@ -108,7 +130,10 @@ func (r *Router) Personality() Personality { return r.os }
 
 // SetPersonality swaps the OS personality (scenario variants in
 // experiments re-type a router without rebuilding the testbed).
-func (r *Router) SetPersonality(p Personality) { r.os = p }
+func (r *Router) SetPersonality(p Personality) {
+	r.os = p
+	r.mutated()
+}
 
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
@@ -117,7 +142,7 @@ func (r *Router) Config() Config { return r.cfg }
 // routers between runs).
 func (r *Router) SetConfig(cfg Config) {
 	r.cfg = cfg
-	r.invalidateRouteCache()
+	r.mutated()
 }
 
 // ASN returns the router's autonomous system number.
@@ -158,7 +183,7 @@ func (r *Router) InstallRoute(p netaddr.Prefix, rt *Route) {
 	if len(rt.NextHops) == 0 {
 		panic(fmt.Sprintf("router %s: route for %s with no next hops", r.name, p))
 	}
-	r.invalidateRouteCache()
+	r.mutated()
 	if idx, ok := r.fib.Get(p); ok {
 		r.routes[idx] = *rt
 		return
@@ -191,7 +216,7 @@ func (r *Router) GetRoute(p netaddr.Prefix) (*Route, bool) {
 // DeleteRoute removes the FIB entry for exactly p (BGP withdrawals). The
 // arena slot goes dead; withdrawals are far too rare to compact for.
 func (r *Router) DeleteRoute(p netaddr.Prefix) bool {
-	r.invalidateRouteCache()
+	r.mutated()
 	return r.fib.Delete(p)
 }
 
@@ -204,7 +229,7 @@ func (r *Router) WalkRoutes(fn func(netaddr.Prefix, *Route) bool) {
 // binding is copied into the router's arena; the caller's struct is not
 // retained.
 func (r *Router) InstallBinding(b *Binding) {
-	r.invalidateRouteCache()
+	r.mutated()
 	if idx, ok := r.bindings.Get(b.FEC); ok {
 		r.binds[idx] = *b
 		return
@@ -214,7 +239,10 @@ func (r *Router) InstallBinding(b *Binding) {
 }
 
 // InstallLFIB adds an incoming-label entry.
-func (r *Router) InstallLFIB(e *LFIBEntry) { r.lfib[e.InLabel] = e }
+func (r *Router) InstallLFIB(e *LFIBEntry) {
+	r.lfib[e.InLabel] = e
+	r.mutated()
+}
 
 // ClearMPLS removes all label state (scenario reconfiguration).
 func (r *Router) ClearMPLS() {
@@ -222,7 +250,7 @@ func (r *Router) ClearMPLS() {
 	r.binds = nil
 	r.lfib = make(map[uint32]*LFIBEntry)
 	r.nextLabel = firstLabel
-	r.invalidateRouteCache()
+	r.mutated()
 }
 
 // AllocLabel returns a fresh label from the router's platform-wide space.
@@ -234,6 +262,9 @@ func (r *Router) AllocLabel() uint32 {
 
 // Receive implements netsim.Node.
 func (r *Router) Receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	if r.net == nil {
+		r.net = net
+	}
 	r.Stats.Received++
 	if pkt.Labeled() {
 		if !r.cfg.MPLSEnabled {
@@ -351,8 +382,10 @@ func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
 	hop := pickLabelHop(b.NextHops, pkt)
 	r.Stats.Forwarded++
 	lseTTL := uint8(255)
+	lseProp := false // lineage of the imposed TTL: 255 is a constant seed
 	if r.cfg.TTLPropagate {
 		lseTTL = pkt.IP.TTL
+		lseProp = pkt.LineageIP()
 	}
 	// Deeper labels first (segment lists), then the top label. The pushes
 	// mutate in place: the packet is exclusively ours here (a pooled clone
@@ -363,6 +396,9 @@ func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
 	}
 	for i := len(hop.Under) - 1; i >= 0; i-- {
 		pkt.MPLS.PushInPlace(packet.LSE{Label: hop.Under[i], TTL: lseTTL})
+		if pkt.Mark != 0 {
+			pkt.PushLineage(lseProp)
+		}
 	}
 	switch hop.Label {
 	case OutLabelImplicitNull:
@@ -370,6 +406,9 @@ func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
 		net.Transmit(hop.Out, pkt)
 	default:
 		pkt.MPLS.PushInPlace(packet.LSE{Label: hop.Label, TTL: lseTTL})
+		if pkt.Mark != 0 {
+			pkt.PushLineage(lseProp)
+		}
 		net.Transmit(hop.Out, pkt)
 	}
 }
@@ -415,13 +454,29 @@ func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 		// Penultimate-hop pop. The min(IP, LSE) loop guard is applied
 		// here, statelessly, whatever the ingress propagation setting —
 		// this is the leak FRPLA and RTLA measure.
+		topProp := false
+		if fwd.Mark != 0 {
+			topProp = fwd.PopLineage()
+		}
 		fwd.MPLS.PopInPlace()
 		if fwd.MPLS.Empty() {
-			if r.os.MinOnPop && newTTL < fwd.IP.TTL {
-				fwd.IP.TTL = newTTL
+			if r.os.MinOnPop {
+				if fwd.Mark != 0 {
+					net.NoteTTLMin(newTTL, fwd.IP.TTL, topProp, fwd.LineageIP())
+				}
+				if newTTL < fwd.IP.TTL {
+					fwd.IP.TTL = newTTL
+					fwd.SetLineageIP(topProp)
+				}
 			}
-		} else if r.os.MinOnPop && newTTL < fwd.MPLS[0].TTL {
-			fwd.MPLS[0].TTL = newTTL
+		} else if r.os.MinOnPop {
+			if fwd.Mark != 0 {
+				net.NoteTTLMin(newTTL, fwd.MPLS[0].TTL, topProp, fwd.LineageTop())
+			}
+			if newTTL < fwd.MPLS[0].TTL {
+				fwd.MPLS[0].TTL = newTTL
+				fwd.SetLineageTop(topProp)
+			}
 		}
 		// PHP forwards to the LFIB next hop directly; no IP lookup and no
 		// IP TTL decrement happen at the popping LSR.
@@ -440,12 +495,22 @@ func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 // MPLS layer, so the tunnel *and the egress* stay invisible (Fig. 4d).
 func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, lseTTL uint8) {
 	fwd := net.PacketPool().Clone(pkt)
+	topProp := false
+	if fwd.Mark != 0 {
+		topProp = fwd.PopLineage()
+	}
 	fwd.MPLS.PopInPlace()
 	if !fwd.MPLS.Empty() {
 		// Nested tunnels: propagate the TTL downward and keep switching —
 		// without a second decrement at this router.
-		if r.os.MinOnPop && lseTTL < fwd.MPLS[0].TTL {
-			fwd.MPLS[0].TTL = lseTTL
+		if r.os.MinOnPop {
+			if fwd.Mark != 0 {
+				net.NoteTTLMin(lseTTL, fwd.MPLS[0].TTL, topProp, fwd.LineageTop())
+			}
+			if lseTTL < fwd.MPLS[0].TTL {
+				fwd.MPLS[0].TTL = lseTTL
+				fwd.SetLineageTop(topProp)
+			}
 		}
 		r.switchMPLS(net, in, fwd, false)
 		// switchMPLS clones again before transmitting; this intermediate
@@ -454,8 +519,12 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 		return
 	}
 	if r.cfg.TTLPropagate {
+		if fwd.Mark != 0 {
+			net.NoteTTLMin(lseTTL, fwd.IP.TTL, topProp, fwd.LineageIP())
+		}
 		if lseTTL < fwd.IP.TTL {
 			fwd.IP.TTL = lseTTL
+			fwd.SetLineageIP(topProp)
 		}
 		if r.local[fwd.IP.Dst] {
 			r.deliverLocal(net, in, fwd)

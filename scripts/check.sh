@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the full local gate, in the order CI would run it:
+# build everything, vet, run the test suite, then the race tier
+# (TestRaceTier shells out to `go test -race` over the concurrency-heavy
+# packages and is skipped automatically under -short).
+#
+# Usage: ./scripts/check.sh
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race -run TestRaceTier .
