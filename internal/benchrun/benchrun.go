@@ -44,15 +44,24 @@ type CloneReport struct {
 
 // CampaignReport is the throughput measurement at one (worker-pool size,
 // flow-cache setting) point. Probe counts are split into the bootstrap
-// phase (every vantage point traces the router population once, serially,
-// before teams form) and the campaign phase proper (team probing on the
-// worker pool), so the per-run totals are comparable across worker counts
-// and cache settings by construction.
+// phase (every vantage point traces the router population once, sharded
+// across the worker pool like everything else) and the campaign phase
+// proper (team probing on the worker pool), so the per-run totals are
+// comparable across worker counts and cache settings by construction.
+// The timed region covers whole campaigns — replica acquisition,
+// bootstrap, and probing — with ReplicaMS and BootstrapMS breaking the
+// per-run wall time down so scaling curves are interpretable.
 type CampaignReport struct {
 	Workers int `json:"workers"`
+	// EffectiveWorkers is min(Workers, shard count): the parallelism the
+	// probing phase actually used. Pool slots past the shard count (5
+	// teams under the default sharding) idle through that phase.
+	EffectiveWorkers int `json:"effective_workers"`
 	// GoMaxProcs is the runtime parallelism this row actually ran with —
-	// raised to at least Workers for the measurement, so multi-worker rows
-	// measure real parallelism rather than time-sliced goroutines.
+	// raised to min(Workers, NumCPU) for the measurement, so multi-worker
+	// rows measure real parallelism where the hardware has it, without
+	// billing scheduler thrash from oversubscribed Ps to high worker
+	// counts.
 	GoMaxProcs int `json:"gomaxprocs"`
 	// FlowCache reports whether the flow-trajectory cache was enabled.
 	FlowCache bool `json:"flow_cache"`
@@ -66,10 +75,25 @@ type CampaignReport struct {
 	AllocsPerProbe        float64 `json:"allocs_per_probe"`
 	BytesPerProbe         float64 `json:"bytes_per_probe"`
 	WallMSPerRun          float64 `json:"wall_ms_per_run"`
-	// Cache counters, averaged per run (zero when FlowCache is false).
+	// ReplicaMS is the per-run wall time spent acquiring worker replicas
+	// inside the timed region. The pool is warmed by the untimed run, so
+	// steady-state rows show (near-)zero here; a nonzero value means
+	// replicas were rebuilt mid-measurement.
+	ReplicaMS float64 `json:"replica_ms"`
+	// BootstrapMS is the per-run wall time of the bootstrap sweep plus
+	// target selection — the phase that was serial (and unscalable)
+	// before the sweep was sharded.
+	BootstrapMS float64 `json:"bootstrap_ms"`
+	// Cache counters, averaged per run (zero when FlowCache is false;
+	// misses and fast-forwards are also zero once the pooled replicas'
+	// caches and the shared reply table fully cover the run, the warm
+	// steady state).
 	CacheHitsPerRun   uint64 `json:"cache_hits_per_run"`
 	CacheMissesPerRun uint64 `json:"cache_misses_per_run"`
 	CacheFFPerRun     uint64 `json:"cache_fast_forwards_per_run"`
+	// CacheSharedHitsPerRun is the subset of hits adopted from the shared
+	// cross-worker reply table rather than recorded locally.
+	CacheSharedHitsPerRun uint64 `json:"cache_shared_hits_per_run"`
 }
 
 // Report is the full benchmark output.
@@ -172,10 +196,14 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 	cfg.DisableFlowCache = !flowCache
 
 	// Measure real parallelism: time-slicing w workers over fewer OS
-	// threads measures the scheduler, not the engine. Restored afterwards.
+	// threads measures the scheduler, not the engine, so raise GOMAXPROCS
+	// to the pool size — but never past NumCPU: runnable Ps beyond the
+	// physical cores add work-stealing spin without adding parallelism,
+	// which would bill pure scheduler thrash to the multi-worker rows.
+	// Restored afterwards.
 	prev := runtime.GOMAXPROCS(0)
-	if workers > prev {
-		runtime.GOMAXPROCS(workers)
+	if target := min(workers, runtime.NumCPU()); target > prev {
+		runtime.GOMAXPROCS(target)
 		defer runtime.GOMAXPROCS(prev)
 	}
 	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -189,13 +217,15 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 		return rep, err
 	} else {
 		bootstrap = c.BootstrapProbes()
+		rep.EffectiveWorkers = c.ShardWorkers
 	}
 
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	var probes, hits, misses, ffs uint64
+	var probes, hits, misses, ffs, shared uint64
+	var replica, boot time.Duration
 	for i := 0; i < runs; i++ {
 		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
 		if err != nil {
@@ -208,6 +238,9 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 		hits += c.FlowCache.Hits
 		misses += c.FlowCache.Misses
 		ffs += c.FlowCache.FastForwards
+		shared += c.FlowCache.SharedHits
+		replica += c.Phase.Replica
+		boot += c.Phase.Bootstrap
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
@@ -216,9 +249,12 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 	rep.BootstrapProbesPerRun = bootstrap
 	rep.CampaignProbesPerRun = rep.ProbesPerRun - bootstrap
 	rep.WallMSPerRun = msPer(wall, runs)
+	rep.ReplicaMS = msPer(replica, runs)
+	rep.BootstrapMS = msPer(boot, runs)
 	rep.CacheHitsPerRun = hits / uint64(runs)
 	rep.CacheMissesPerRun = misses / uint64(runs)
 	rep.CacheFFPerRun = ffs / uint64(runs)
+	rep.CacheSharedHitsPerRun = shared / uint64(runs)
 	if probes > 0 {
 		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)
 		rep.ProbesPerSec = float64(probes) / wall.Seconds()

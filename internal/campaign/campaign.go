@@ -17,6 +17,7 @@ package campaign
 import (
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"wormhole/internal/alias"
 	"wormhole/internal/fingerprint"
@@ -120,9 +121,17 @@ type Campaign struct {
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
 	Shards []ShardStats
-	// Workers is the worker-pool size the probing phase ran with (1 for
-	// the serial engine).
+	// Workers is the size of the worker pool the campaign ran with (1 for
+	// the serial engine). Every pool slot participates in the sharded
+	// bootstrap sweep.
 	Workers int
+	// ShardWorkers is the effective parallelism of the probing phase:
+	// min(Workers, shard count). With ShardByTeam's 5 shards, pool slots
+	// beyond the fifth idle through that phase — this field reports what
+	// actually ran, where Workers reports what was provisioned.
+	ShardWorkers int
+	// Phase breaks the campaign wall-clock into engine phases.
+	Phase PhaseTimings
 
 	aliasSets *alias.Sets
 	// teamOf assigns each target to a vantage-point team with the
@@ -133,6 +142,15 @@ type Campaign struct {
 	bootProbes uint64
 	// bootFlow is the flow-cache activity of the bootstrap phase.
 	bootFlow netsim.FlowCacheStats
+}
+
+// PhaseTimings is the campaign wall-clock split by engine phase: replica
+// acquisition (zero when the pool is warm or the engine is serial), the
+// bootstrap sweep plus target selection, and the shard probing phase.
+type PhaseTimings struct {
+	Replica   time.Duration
+	Bootstrap time.Duration
+	Probe     time.Duration
 }
 
 // BootstrapProbes returns the probes spent on the bootstrap sweep (and
@@ -149,12 +167,15 @@ func (c *Campaign) BootstrapProbes() uint64 { return c.bootProbes }
 func Run(in *gen.Internet, cfg Config) *Campaign {
 	c := prepare(in, cfg)
 	hdnAddr := c.hdnByAddr()
+	t0 := time.Now()
 	var results []*shardResult
 	for _, sh := range c.buildShards(ShardByTeam) {
 		vp := c.vpForTeam(sh.team)
 		results = append(results, c.runShard(sh, vp, vp, hdnAddr))
 	}
+	c.Phase.Probe = time.Since(t0)
 	c.Workers = 1
+	c.ShardWorkers = 1
 	c.merge(results)
 	return c
 }
@@ -163,12 +184,7 @@ func Run(in *gen.Internet, cfg Config) *Campaign {
 // selection, and prober configuration. The returned campaign is ready for
 // its shards to be probed.
 func prepare(in *gen.Internet, cfg Config) *Campaign {
-	c := &Campaign{
-		In:            in,
-		Cfg:           cfg,
-		Fingerprints:  make(map[netaddr.Addr]fingerprint.Result),
-		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
-	}
+	c := newCampaign(in, cfg)
 	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
 	// The bootstrap sweep always probes from TTL 1: it maps the whole
 	// path, gateway included, and — unlike the prober's last-configured
@@ -178,6 +194,7 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 	for _, vp := range in.VPs {
 		vp.Prober.FirstTTL = 1
 	}
+	t0 := time.Now()
 	sent0 := sentByVPs(in.VPs)
 	fab0 := in.Net.FabricStats()
 	flow0 := in.Net.FlowCacheStats()
@@ -188,6 +205,7 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	c.bootFlow = flowDelta(in.Net.FlowCacheStats(), flow0)
+	c.Phase.Bootstrap = time.Since(t0)
 	// Campaign-wide prober configuration happens once, here: FirstTTL is
 	// shared per-VP state, so mutating it inside the per-target probe loop
 	// (as an earlier version did) is exactly the kind of latent coupling a
@@ -198,6 +216,17 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 		vp.Prober.FirstTTL = cfg.FirstTTL
 	}
 	return c
+}
+
+// newCampaign allocates the shared campaign state every engine starts
+// from.
+func newCampaign(in *gen.Internet, cfg Config) *Campaign {
+	return &Campaign{
+		In:            in,
+		Cfg:           cfg,
+		Fingerprints:  make(map[netaddr.Addr]fingerprint.Result),
+		FingerprintVP: make(map[netaddr.Addr]*gen.VP),
+	}
 }
 
 // sentByVPs sums the probe counters of a vantage-point set.
@@ -216,6 +245,7 @@ func flowDelta(a, b netsim.FlowCacheStats) netsim.FlowCacheStats {
 		Misses:        a.Misses - b.Misses,
 		FastForwards:  a.FastForwards - b.FastForwards,
 		Invalidations: a.Invalidations - b.Invalidations,
+		SharedHits:    a.SharedHits - b.SharedHits,
 	}
 }
 
@@ -225,6 +255,7 @@ func addFlow(dst *netsim.FlowCacheStats, d netsim.FlowCacheStats) {
 	dst.Misses += d.Misses
 	dst.FastForwards += d.FastForwards
 	dst.Invalidations += d.Invalidations
+	dst.SharedHits += d.SharedHits
 }
 
 // vpForTeam maps a team index to its vantage point (the paper's 5-team
@@ -302,6 +333,13 @@ func (c *Campaign) bootstrap() {
 			c.ITDK.AddTrace(tr)
 		}
 	}
+	c.finishBootstrapGraph()
+}
+
+// finishBootstrapGraph derives the HDN set from the observed graph,
+// selecting the threshold adaptively when unset. Shared by the serial and
+// sharded bootstrap paths: it must run after the last AddTrace.
+func (c *Campaign) finishBootstrapGraph() {
 	if c.Cfg.HDNThreshold == 0 {
 		c.Cfg.HDNThreshold = c.ITDK.DegreeHistogram().Quantile(0.90)
 		if c.Cfg.HDNThreshold < 4 {

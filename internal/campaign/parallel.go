@@ -4,8 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wormhole/internal/gen"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/probe"
+	"wormhole/internal/topo"
 )
 
 // ReplicaMode selects how each worker obtains its private fabric replica.
@@ -33,8 +38,9 @@ func (m ReplicaMode) String() string {
 
 // ParallelConfig tunes the parallel campaign engine.
 type ParallelConfig struct {
-	// Workers sizes the worker pool; <= 0 selects GOMAXPROCS. The pool is
-	// bounded by the shard count.
+	// Workers sizes the worker pool; <= 0 selects GOMAXPROCS. Every slot
+	// gets a bootstrap partition; the probing phase uses min(Workers,
+	// shard count) of them (Campaign.ShardWorkers).
 	Workers int
 	// ShardBy selects the target partitioning (default ShardByTeam).
 	ShardBy ShardBy
@@ -42,97 +48,321 @@ type ParallelConfig struct {
 	Replica ReplicaMode
 }
 
-// RunParallel executes the campaign with per-team worker shards.
+// RunParallel executes the campaign end to end on a worker pool: the
+// bootstrap sweep is sharded across the workers just like the probing
+// phase, each worker drives a pooled private replica of the fabric, and
+// the workers share one read-mostly flow-reply table.
 //
-// The bootstrap sweep and target selection run on the Internet's own
-// fabric, exactly as in Run. The probing phase then partitions the targets
-// into shards (per team by default, matching the paper's 5-team split) and
-// executes them on a bounded worker pool. Each worker owns a private
-// simulator replica built via gen.Internet.Clone — the whole fabric,
-// routers, links, and vantage points are per-worker, so no packet-level
-// state is ever shared between goroutines (netsim's ownership assertions
-// enforce this). Shard results are merged back in canonical (team, target)
-// order, giving Records, Fingerprints, and Revelations that are
-// byte-identical to the serial engine's at any worker count.
+// The engine is built from three coordinated pieces:
+//
+//   - Sharded bootstrap. The serial sweep's (target, VP) job list is
+//     flattened in canonical order and split into contiguous per-worker
+//     partitions; each worker traceroutes its partition on its own
+//     replica and the coordinator replays the collected traces into the
+//     observed graph in the original order, so the resulting ITDK, HDN
+//     set, and target selection are byte-identical to the serial
+//     engine's.
+//
+//   - Pooled replicas. Worker replicas are acquired from a pool on the
+//     Internet (gen.Internet.AcquireReplicas) that survives across
+//     campaigns: slot i reuses the same replica — and its warm flow cache
+//     — run after run, so steady-state runs build no replicas at all.
+//     The same replica serves the worker's bootstrap partition and its
+//     shards. A control-plane mutation on the source or a replica
+//     invalidates the affected pool entries.
+//
+//   - Shared flow cache. All replicas subscribe to one
+//     netsim.SharedFlowTable keyed to the source fabric's topology; the
+//     coordinator publishes each worker's fresh recordings at the two
+//     phase barriers, so worker N replays trajectories worker M paid
+//     for, and a later campaign's cold replicas adopt the whole previous
+//     campaign's replies.
+//
+// Each replica is driven by exactly one worker goroutine — no
+// packet-level state is shared (netsim's ownership assertions enforce
+// this); the shared table hands out only immutable published epochs.
+// Shard results merge in canonical (team, target) order, giving Records,
+// Fingerprints, and Revelations byte-identical to the serial engine at
+// any worker count.
 //
 // The identity holds because per-probe fabric behaviour is independent of
-// probing history for the campaign's ICMP Paris method (no loss injection,
-// bandwidth modeling, or ICMP rate limiting is active in generated worlds,
-// and the ECMP flow hash sees only fields that are constant per prober).
-// UDPParis varies its destination port with global probe history, so only
-// statistical equivalence holds there.
+// probing history for the campaign's ICMP Paris method (no loss
+// injection, bandwidth modeling, or ICMP rate limiting is active in
+// generated worlds, and the ECMP flow hash sees only fields that are
+// constant per prober). UDPParis varies its destination port with global
+// probe history, so only statistical equivalence holds there.
 func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, error) {
-	c := prepare(in, cfg)
-	shards := c.buildShards(pcfg.ShardBy)
-	hdnAddr := c.hdnByAddr()
-
 	workers := pcfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(shards) {
-		workers = len(shards)
-	}
 	if workers < 1 {
 		workers = 1
 	}
+
+	c := newCampaign(in, cfg)
 	c.Workers = workers
 
-	results := make([]*shardResult, len(shards))
-	work := make(chan int)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var replica *gen.Internet
-			var err error
-			if pcfg.Replica == ReplicaRebuild {
-				replica, err = in.Rebuild()
-			} else {
-				replica, err = in.Clone()
-			}
-			if err != nil {
-				errs[w] = fmt.Errorf("campaign: worker %d replica: %w", w, err)
-				for range work {
-					// Drain so the feeder never blocks on a dead worker.
-				}
-				return
-			}
-			// The replica is driven by this goroutine only, from here on.
-			replica.Net.BindOwner()
-			for i, vp := range replica.VPs {
-				mirrorProber(vp, in.VPs[i])
-			}
-			if !cfg.DisableFlowCache {
-				// Replicas start with an empty cache; seed it with the
-				// memoized replies the bootstrap sweep collected on the
-				// main fabric (trajectories stay fabric-local), so shard
-				// probes that repeat bootstrap flows replay in O(1).
-				replica.Net.SetFlowCacheEnabled(true)
-				replica.Net.SeedFlowCacheFrom(in.Net)
-			}
-			for i := range work {
-				sh := shards[i]
-				res := c.runShard(sh, replica.VPs[sh.team%len(replica.VPs)], c.vpForTeam(sh.team), hdnAddr)
-				res.stats.Worker = w
-				results[i] = res
-			}
-		}(w)
+	t0 := time.Now()
+	replicas, err := in.AcquireReplicas(workers, pcfg.Replica == ReplicaRebuild)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: replica pool: %w", err)
 	}
-	for i := range shards {
-		work <- i
+	defer in.ReleaseReplicas(replicas)
+	c.Phase.Replica = time.Since(t0)
+
+	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	var table *netsim.SharedFlowTable
+	if !cfg.DisableFlowCache {
+		table = in.Net.OwnSharedFlowCache()
 	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, r := range replicas {
+		r.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+		if table != nil && r.Net.SharedFlowCache() != table {
+			r.Net.AttachSharedFlowCache(table)
 		}
 	}
+
+	pool := newWorkerPool(replicas)
+	defer pool.close()
+
+	c.prepareParallel(pool, table)
+
+	shards := c.buildShards(pcfg.ShardBy)
+	hdnAddr := c.hdnByAddr()
+	c.ShardWorkers = workers
+	if c.ShardWorkers > len(shards) {
+		c.ShardWorkers = len(shards)
+	}
+	if c.ShardWorkers < 1 {
+		c.ShardWorkers = 1
+	}
+
+	t0 = time.Now()
+	results := make([]*shardResult, len(shards))
+	for si := range shards {
+		// Static assignment: shard i always runs on worker i mod
+		// ShardWorkers, so ShardStats.Worker is deterministic and each
+		// pooled replica re-probes the same teams run after run, keeping
+		// its private cache working set small and warm.
+		si, sh, w := si, shards[si], si%c.ShardWorkers
+		pool.submit(w, func(r *gen.Internet) {
+			res := c.runShard(sh, r.VPs[sh.team%len(r.VPs)], c.vpForTeam(sh.team), hdnAddr)
+			res.stats.Worker = w
+			results[si] = res
+		})
+	}
+	pool.barrier()
+	if table != nil {
+		table.Publish(pool.nets()...)
+	}
+	c.Phase.Probe = time.Since(t0)
+
 	c.merge(results)
 	return c, nil
+}
+
+// prepareParallel mirrors prepare with the bootstrap sweep sharded across
+// the worker pool: same prober discipline, same accounting, summed over
+// the main fabric and every replica.
+func (c *Campaign) prepareParallel(pool *workerPool, table *netsim.SharedFlowTable) {
+	in, cfg := c.In, c.Cfg
+	for _, vp := range in.VPs {
+		vp.Prober.FirstTTL = 1
+	}
+	pool.mirrorProbers(in.VPs)
+
+	t0 := time.Now()
+	sent0 := sentByVPs(in.VPs) + pool.sentByReplicaVPs()
+	fab0 := addFabric(in.Net.FabricStats(), pool.fabricStats())
+	flow0 := sumFlow(in.Net.FlowCacheStats(), pool.flowStats())
+	c.bootstrapSharded(pool)
+	if table != nil {
+		// Publish the partitions' recordings while the pool is quiescent:
+		// shards replay bootstrap flows, and with the barrier here a
+		// worker's shard probes hit on trajectories any partition paid for.
+		table.Publish(pool.nets()...)
+	}
+	c.selectTargets()
+	c.bootProbes = sentByVPs(in.VPs) + pool.sentByReplicaVPs() - sent0
+	fab1 := addFabric(in.Net.FabricStats(), pool.fabricStats())
+	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
+	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
+	c.bootFlow = flowDelta(sumFlow(in.Net.FlowCacheStats(), pool.flowStats()), flow0)
+	c.Phase.Bootstrap = time.Since(t0)
+
+	for _, vp := range in.VPs {
+		vp.Prober.FirstTTL = cfg.FirstTTL
+	}
+	pool.mirrorProbers(in.VPs)
+}
+
+// bootstrapSharded is the parallel counterpart of bootstrap: the serial
+// sweep's nested loop is flattened into a canonical job list, split into
+// contiguous per-worker partitions probed on the workers' replicas, and
+// the traces are replayed into the observed graph in canonical order on
+// the coordinating goroutine — AddTrace assigns node identities by
+// insertion order, so the replay order is the byte-identity.
+func (c *Campaign) bootstrapSharded(pool *workerPool) {
+	// The resolver may probe the main fabric (MeasuredAliases); it runs
+	// here, before any worker drives a replica, exactly as the serial
+	// engine resolves before its first traceroute.
+	c.ITDK = topo.New(c.resolver())
+	addrs := c.In.RouterAddrs()
+	vps := c.In.VPs
+	spread := c.Cfg.BootstrapSpread
+	if spread < 1 {
+		spread = 1
+	}
+	if len(vps) == 0 {
+		c.finishBootstrapGraph()
+		return
+	}
+	type bootJob struct {
+		vp  int
+		dst netaddr.Addr
+	}
+	jobs := make([]bootJob, 0, len(addrs)*spread)
+	for i, dst := range addrs {
+		for k := 0; k < spread && k < len(vps); k++ {
+			jobs = append(jobs, bootJob{vp: (i + k) % len(vps), dst: dst})
+		}
+	}
+	traces := make([]*probe.Trace, len(jobs))
+	w := pool.size()
+	for p := 0; p < w; p++ {
+		lo, hi := len(jobs)*p/w, len(jobs)*(p+1)/w
+		if lo == hi {
+			continue
+		}
+		pool.submit(p, func(r *gen.Internet) {
+			// Disjoint index ranges: no two workers touch the same slot.
+			for j := lo; j < hi; j++ {
+				traces[j] = r.VPs[jobs[j].vp].Prober.Traceroute(jobs[j].dst)
+			}
+		})
+	}
+	pool.barrier()
+	for _, tr := range traces {
+		c.ITDK.AddTrace(tr)
+	}
+	c.finishBootstrapGraph()
+}
+
+// workerPool runs one goroutine per replica for the lifetime of a
+// campaign: the goroutine binds the replica's fabric once and then
+// executes submitted tasks against it, so the same replica serves the
+// worker's bootstrap partition and all its shards without rebinding.
+type workerPool struct {
+	replicas []*gen.Internet
+	tasks    []chan func(*gen.Internet)
+	workers  sync.WaitGroup // goroutine lifetimes
+	phase    sync.WaitGroup // outstanding submitted tasks
+}
+
+func newWorkerPool(replicas []*gen.Internet) *workerPool {
+	p := &workerPool{
+		replicas: replicas,
+		tasks:    make([]chan func(*gen.Internet), len(replicas)),
+	}
+	for w := range replicas {
+		ch := make(chan func(*gen.Internet), 4)
+		p.tasks[w] = ch
+		p.workers.Add(1)
+		go func(r *gen.Internet, ch chan func(*gen.Internet)) {
+			defer p.workers.Done()
+			// The replica is driven by this goroutine only, between here
+			// and close().
+			r.Net.BindOwner()
+			defer r.Net.ReleaseOwner()
+			for fn := range ch {
+				fn(r)
+				p.phase.Done()
+			}
+		}(replicas[w], ch)
+	}
+	return p
+}
+
+func (p *workerPool) size() int { return len(p.replicas) }
+
+// submit queues fn on worker w's replica. Tasks submitted to one worker
+// run in order; barrier() waits for all outstanding tasks.
+func (p *workerPool) submit(w int, fn func(*gen.Internet)) {
+	p.phase.Add(1)
+	p.tasks[w] <- fn
+}
+
+// barrier blocks until every submitted task has completed. Afterwards the
+// coordinating goroutine may read and reconfigure the replicas until the
+// next submit (the channel send/receive orders those accesses).
+func (p *workerPool) barrier() { p.phase.Wait() }
+
+// close shuts the worker goroutines down and releases fabric ownership.
+func (p *workerPool) close() {
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.workers.Wait()
+}
+
+// nets returns the replicas' fabrics (for shared-table publishing).
+func (p *workerPool) nets() []*netsim.Network {
+	out := make([]*netsim.Network, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.Net
+	}
+	return out
+}
+
+// mirrorProbers copies the campaign prober tunables from the main vantage
+// points onto every replica's twins. Callers must be between barriers.
+func (p *workerPool) mirrorProbers(vps []*gen.VP) {
+	for _, r := range p.replicas {
+		for i, vp := range r.VPs {
+			mirrorProber(vp, vps[i])
+		}
+	}
+}
+
+// sentByReplicaVPs sums the probe counters across all replicas.
+func (p *workerPool) sentByReplicaVPs() uint64 {
+	var n uint64
+	for _, r := range p.replicas {
+		n += sentByVPs(r.VPs)
+	}
+	return n
+}
+
+// fabricStats sums the replicas' fabric counters.
+func (p *workerPool) fabricStats() netsim.FabricStats {
+	var sum netsim.FabricStats
+	for _, r := range p.replicas {
+		sum = addFabric(sum, r.Net.FabricStats())
+	}
+	return sum
+}
+
+// flowStats sums the replicas' flow-cache counters.
+func (p *workerPool) flowStats() netsim.FlowCacheStats {
+	var sum netsim.FlowCacheStats
+	for _, r := range p.replicas {
+		addFlow(&sum, r.Net.FlowCacheStats())
+	}
+	return sum
+}
+
+// addFabric sums the fabric counters the campaign accounts for.
+func addFabric(a, b netsim.FabricStats) netsim.FabricStats {
+	a.BudgetExhausted += b.BudgetExhausted
+	a.DroppedEvents += b.DroppedEvents
+	return a
+}
+
+// sumFlow adds two flow-cache counter snapshots.
+func sumFlow(a, b netsim.FlowCacheStats) netsim.FlowCacheStats {
+	addFlow(&a, b)
+	return a
 }
 
 // mirrorProber copies the campaign-relevant prober tunables from a main

@@ -209,7 +209,12 @@ func TestFirstTTLConsistentAcrossTargets(t *testing.T) {
 
 // TestParallelStress hammers the worker pool with a small Internet; under
 // `go test -race` it runs 10x the iterations so the detector sees many
-// pool lifecycles (this is the stress half of the race tier).
+// pool lifecycles (this is the stress half of the race tier). Each
+// iteration runs three campaigns on the same Internet — a cold one that
+// builds the replica pool and shared reply table, a warm one that reuses
+// both (the shared-cache adoption path under concurrent workers), and,
+// after a mid-campaign-style control-plane mutation on the source fabric,
+// a third that must flush the shared epochs and rebuild the pool.
 func TestParallelStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test skipped in -short")
@@ -227,12 +232,23 @@ func TestParallelStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := RunParallel(in, DefaultConfig(), ParallelConfig{Workers: workers})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(c.Records) != len(c.Targets) {
-			t.Fatalf("iter %d: %d records for %d targets", i, len(c.Records), len(c.Targets))
+		for round := 0; round < 3; round++ {
+			if round == 2 {
+				// Simulate the mutated() hook firing between campaigns: the
+				// owner flushes the shared table and the replica pool drops
+				// its now-stale entries.
+				in.Net.InvalidateFlowCache()
+			}
+			c, err := RunParallel(in, DefaultConfig(), ParallelConfig{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Records) != len(c.Targets) {
+				t.Fatalf("iter %d round %d: %d records for %d targets", i, round, len(c.Records), len(c.Targets))
+			}
+			if c.Workers != workers {
+				t.Fatalf("iter %d round %d: pool size %d, want %d", i, round, c.Workers, workers)
+			}
 		}
 	}
 }

@@ -221,8 +221,8 @@ func cmdCampaign(args []string) error {
 	printf("targets probed: %d, probes sent: %d\n", len(c.Targets), c.Probes)
 	if !*noFlowCache {
 		fc := c.FlowCache
-		printf("flow cache: %d hits, %d misses, %d fast-forwards, %d invalidations\n",
-			fc.Hits, fc.Misses, fc.FastForwards, fc.Invalidations)
+		printf("flow cache: %d hits (%d shared), %d misses, %d fast-forwards, %d invalidations\n",
+			fc.Hits, fc.SharedHits, fc.Misses, fc.FastForwards, fc.Invalidations)
 	}
 	byTech := map[reveal.Technique]int{}
 	hidden := 0
@@ -250,7 +250,11 @@ func printShardStats(c *campaign.Campaign) {
 	if len(c.Shards) == 0 {
 		return
 	}
-	printf("\nprobing phase: %d shards on %d workers\n", len(c.Shards), c.Workers)
+	// Workers is the provisioned pool; ShardWorkers is what the probing
+	// phase could actually use (the shard count caps it), so the balance
+	// chart is labeled with the effective number.
+	printf("\nprobing phase: %d shards on %d of %d pooled workers\n",
+		len(c.Shards), c.ShardWorkers, c.Workers)
 	printf("%-6s %-5s %-7s %-8s %-8s %-8s %-7s %-10s %-10s\n",
 		"shard", "team", "worker", "targets", "probes", "replies", "reveal", "maxdepth", "probes/s")
 	var tm stats.Timings
@@ -260,7 +264,7 @@ func printShardStats(c *campaign.Campaign) {
 			sh.Revelations, sh.MaxRevealDepth, stats.Rate(sh.Probes, sh.Elapsed))
 		tm.Add(fmt.Sprintf("shard %d", sh.Shard), sh.Elapsed)
 	}
-	printstr(tm.Render("shard wall-clock", 40))
+	printstr(tm.Render(fmt.Sprintf("shard wall-clock (%d effective workers)", c.ShardWorkers), 40))
 	if c.LoopDrops > 0 {
 		printf("WARNING: %d fabric events dropped on %d event-budget exhaustions — "+
 			"probes died in a forwarding loop and were recorded as '*' hops\n",
@@ -331,10 +335,12 @@ func cmdBench(args []string) error {
 		if cr.FlowCache {
 			cache = "on"
 		}
-		printf("campaign workers=%d cache=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.0fms/run",
-			cr.Workers, cache, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe, cr.WallMSPerRun)
+		printf("campaign workers=%d (%d effective) cache=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
+			cr.Workers, cr.EffectiveWorkers, cache, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
+			cr.WallMSPerRun, cr.ReplicaMS, cr.BootstrapMS)
 		if cr.FlowCache {
-			printf(" (%d hits, %d misses, %d ff)", cr.CacheHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)
+			printf(" (%d hits incl %d shared, %d misses, %d ff)",
+				cr.CacheHitsPerRun, cr.CacheSharedHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)
 		}
 		printf("\n")
 	}

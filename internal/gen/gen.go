@@ -223,6 +223,9 @@ type Internet struct {
 	params Params
 
 	rng *rand.Rand
+
+	// pool caches built replicas across parallel campaigns (see pool.go).
+	pool replicaPool
 }
 
 // Params returns the parameters the Internet was built from.

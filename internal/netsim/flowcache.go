@@ -92,6 +92,10 @@ type FlowCacheStats struct {
 	FastForwards uint64
 	// Invalidations counts control-plane mutations that flushed the cache.
 	Invalidations uint64
+	// SharedHits counts the subset of Hits that were adopted from an
+	// attached SharedFlowTable rather than recorded locally — trajectories
+	// another replica paid for.
+	SharedHits uint64
 }
 
 // trajStep is one recorded delivery of the (marked) forward packet: the
@@ -129,6 +133,7 @@ type flowRec struct {
 	active bool
 	bad    bool
 	entry  *flowEntry
+	key    FlowKey
 	start  time.Duration
 }
 
@@ -149,6 +154,18 @@ type FlowCache struct {
 	hotKey FlowKey
 	hotE   *flowEntry
 	hotOK  bool
+
+	// shared, when non-nil, is the cross-fabric reply table this cache
+	// participates in (see sharedflow.go). sharedOwner marks the fabric
+	// whose topology keys the table: its mutations flush epochs, while a
+	// mutated non-owner silently detaches. sharedVer is the epoch version
+	// this cache subscribed at; a version mismatch on lookup means the
+	// owner mutated and the subscription is stale. dirty tracks the flows
+	// this (non-owner) cache recorded since the last Publish.
+	shared      *SharedFlowTable
+	sharedVer   uint64
+	sharedOwner bool
+	dirty       map[FlowKey]*flowEntry
 }
 
 // SetFlowCacheEnabled turns the flow-trajectory cache on or off. Enabling
@@ -160,6 +177,7 @@ func (n *Network) SetFlowCacheEnabled(on bool) {
 	f.needScan = on
 	if !on {
 		f.entries = nil
+		f.dirty = nil
 		f.rec = flowRec{}
 		f.hotE, f.hotOK = nil, false
 	}
@@ -174,13 +192,28 @@ func (n *Network) FlowCacheStats() FlowCacheStats { return n.flows.stats }
 
 // InvalidateFlowCache flushes every memoized trajectory and reply, poisons
 // any in-flight recording, and schedules a purity re-scan. Routers call it
-// from the same mutation hooks that flush their route caches.
+// from the same mutation hooks that flush their route caches. It also
+// advances the fabric's topology generation and resolves the fabric's
+// relationship to any attached shared table: the owner flushes the table
+// (every published reply is stale for future subscribers), while a mutated
+// replica merely detaches — the replies it published while still pristine
+// remain valid for its siblings.
 func (n *Network) InvalidateFlowCache() {
+	n.topoGen++
 	f := &n.flows
+	if f.shared != nil {
+		if f.sharedOwner {
+			f.sharedVer = f.shared.Flush()
+		} else {
+			f.shared = nil
+		}
+		f.dirty = nil
+	}
 	if !f.enabled {
 		return
 	}
 	f.entries = nil
+	f.dirty = nil
 	f.hotE, f.hotOK = nil, false
 	f.stats.Invalidations++
 	f.needScan = true
@@ -188,6 +221,10 @@ func (n *Network) InvalidateFlowCache() {
 		f.rec.bad = true
 	}
 }
+
+// TopoGen returns the fabric's control-plane mutation counter. Two reads
+// returning the same value bracket a window with no topology mutations.
+func (n *Network) TopoGen() uint64 { return n.topoGen }
 
 // flowActive reports whether the cache may serve or record this probe,
 // running the deferred purity scan if one is pending.
@@ -235,10 +272,47 @@ func (n *Network) FlowLookup(key FlowKey, ttl uint8) (ProbeObs, bool) {
 	e := f.entries[key]
 	f.hotKey, f.hotE, f.hotOK = key, e, true
 	if e == nil || e.valid[ttl>>6]&(1<<(ttl&63)) == 0 {
+		if f.shared != nil {
+			if obs, ok := n.sharedLookup(key, ttl, e); ok {
+				return obs, true
+			}
+		}
 		f.stats.Misses++
 		return ProbeObs{}, false
 	}
 	f.stats.Hits++
+	return e.replies[ttl], true
+}
+
+// sharedLookup consults the attached shared table after a local miss. On a
+// hit the whole shared entry is adopted into the local cache — replies
+// copied into locally owned backing, valid bits unioned — so every later
+// TTL on the flow is a plain local hit. A version mismatch means the
+// table's owner mutated since this fabric subscribed: the subscription is
+// stale and the fabric detaches.
+func (n *Network) sharedLookup(key FlowKey, ttl uint8, e *flowEntry) (ProbeObs, bool) {
+	f := &n.flows
+	ep := f.shared.cur.Load()
+	if ep.version != f.sharedVer {
+		f.shared = nil
+		f.dirty = nil
+		return ProbeObs{}, false
+	}
+	se := ep.entries[key]
+	if se == nil || se.valid[ttl>>6]&(1<<(ttl&63)) == 0 {
+		return ProbeObs{}, false
+	}
+	if e == nil {
+		if f.entries == nil {
+			f.entries = make(map[FlowKey]*flowEntry)
+		}
+		e = &flowEntry{}
+		f.entries[key] = e
+		f.hotE = e
+	}
+	mergeReplies(&e.valid, &e.replies, se.valid, se.replies)
+	f.stats.Hits++
+	f.stats.SharedHits++
 	return e.replies[ttl], true
 }
 
@@ -304,7 +378,7 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 		// TTL-independent.
 		e.steps = e.steps[:len(e.steps)-1]
 		e.t0 = ttl
-		f.rec = flowRec{active: true, entry: e, start: start}
+		f.rec = flowRec{active: true, entry: e, key: key, start: start}
 		n.seq++
 		n.queue.push(event{at: start + fr.offset, seq: n.seq, to: fr.to, pkt: pkt})
 		n.Run()
@@ -316,7 +390,7 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 	e.t0 = ttl
 	e.maxTTL = 255
 	pkt.SetLineageIP(true)
-	f.rec = flowRec{active: true, entry: e, start: start}
+	f.rec = flowRec{active: true, entry: e, key: key, start: start}
 	return n.Inject(out, pkt)
 }
 
@@ -329,6 +403,7 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 		return
 	}
 	e := f.rec.entry
+	key := f.rec.key
 	bad := f.rec.bad
 	f.rec = flowRec{}
 	if bad {
@@ -336,6 +411,15 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 		// hit the budget); discard so every later probe re-runs live.
 		e.steps = e.steps[:0]
 		return
+	}
+	if f.shared != nil && !f.sharedOwner {
+		// A subscriber's fresh recording is publishable at the next phase
+		// barrier. (Adopted replies are never re-marked: adoption happens in
+		// sharedLookup, which bypasses FlowFinish entirely.)
+		if f.dirty == nil {
+			f.dirty = make(map[FlowKey]*flowEntry)
+		}
+		f.dirty[key] = e
 	}
 	e.valid[ttl>>6] |= 1 << (ttl & 63)
 	if int(ttl) >= len(e.replies) {

@@ -139,6 +139,11 @@ type Network struct {
 	// fresh replicas start with it disabled and empty.
 	flows FlowCache
 
+	// topoGen counts control-plane mutations (every InvalidateFlowCache
+	// call, whether or not the cache is enabled). Replica pools compare it
+	// to decide whether a cached replica still matches its source fabric.
+	topoGen uint64
+
 	// Trace, when non-nil, observes every delivery (pcap-ish hook).
 	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
 }

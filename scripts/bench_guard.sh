@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_guard.sh — the multi-worker scaling regression gate.
+#
+# Runs the Small campaign bench at 1 and 2 workers (cache on and off)
+# and fails when the 2-worker cache-on row regresses below the 1-worker
+# row beyond a small noise tolerance. This pins the property PR 4 bought:
+# adding a worker must never make the cached campaign slower — the
+# sharded bootstrap, pooled replicas, and shared flow table have to pull
+# their weight even on a single-CPU box, where the win comes from doing
+# less per-worker work, not from hardware parallelism.
+#
+# Tolerance: 2w must reach at least TOLERANCE% of 1w throughput. 97%
+# absorbs scheduler jitter at runs=4 on a loaded box while still catching
+# the failure mode this guards against (the pre-fix inversion was -37%).
+#
+# Usage: ./scripts/bench_guard.sh   (repo root; also run by check.sh)
+set -eu
+
+TOLERANCE=97
+OUT=.bench_guard.json
+trap 'rm -f "$OUT"' EXIT
+
+go run ./cmd/wormhole bench -scale small -runs 4 -workers 1,2 -out "$OUT"
+
+# The report's campaign rows carry "workers", "flow_cache", and
+# "probes_per_sec" in a stable field order; pick the cache-on rows.
+awk -v tol="$TOLERANCE" '
+    /"workers":/      { gsub(/[^0-9]/, ""); w = $0 }
+    /"flow_cache": true/ { cached = 1 }
+    /"flow_cache": false/ { cached = 0 }
+    /"probes_per_sec":/ {
+        gsub(/[^0-9.]/, "")
+        if (cached) rate[w] = $0 + 0
+    }
+    END {
+        if (!(1 in rate) || !(2 in rate)) {
+            print "bench_guard: missing cache-on rows for workers 1 and 2"
+            exit 1
+        }
+        pct = 100 * rate[2] / rate[1]
+        printf "bench_guard: cache-on %.0f probes/s at 1w, %.0f at 2w (%.1f%%, floor %d%%)\n", \
+            rate[1], rate[2], pct, tol
+        if (pct < tol) {
+            print "bench_guard: FAIL — 2-worker campaign regressed below 1 worker"
+            exit 1
+        }
+    }
+' "$OUT"

@@ -2,7 +2,9 @@
 # check.sh — the full local gate, in the order CI would run it:
 # build everything, vet, run the test suite, then the race tier
 # (TestRaceTier shells out to `go test -race` over the concurrency-heavy
-# packages and is skipped automatically under -short).
+# packages and is skipped automatically under -short), and finally the
+# scaling guard (bench_guard.sh fails if the 2-worker cached campaign
+# regresses below the 1-worker row).
 #
 # Usage: ./scripts/check.sh
 set -eux
@@ -11,3 +13,4 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -run TestRaceTier .
+./scripts/bench_guard.sh
