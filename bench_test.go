@@ -212,15 +212,16 @@ func TestBenchSmoke(t *testing.T) {
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
 	}
-	// Two worker counts × (cache off, cache on).
-	if len(rep.Campaign) != 4 {
-		t.Fatalf("want 4 campaign entries, got %d", len(rep.Campaign))
+	// Two worker counts × (baseline, sweep-only, sweep+cache).
+	if len(rep.Campaign) != 6 {
+		t.Fatalf("want 6 campaign entries, got %d", len(rep.Campaign))
 	}
-	wantWorkers := []int{1, 1, 2, 2}
-	wantCache := []bool{false, true, false, true}
+	wantWorkers := []int{1, 1, 1, 2, 2, 2}
+	wantCache := []bool{false, false, true, false, false, true}
+	wantSweep := []bool{false, true, true, false, true, true}
 	for i, cr := range rep.Campaign {
-		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Runs != 1 {
-			t.Errorf("entry %d: workers=%d cache=%v runs=%d", i, cr.Workers, cr.FlowCache, cr.Runs)
+		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Sweep != wantSweep[i] || cr.Runs != 1 {
+			t.Errorf("entry %d: workers=%d cache=%v sweep=%v runs=%d", i, cr.Workers, cr.FlowCache, cr.Sweep, cr.Runs)
 		}
 		if cr.ProbesPerRun == 0 || cr.NsPerProbe <= 0 || cr.ProbesPerSec <= 0 || cr.WallMSPerRun <= 0 {
 			t.Errorf("entry %d has empty measurements: %+v", i, cr)
@@ -253,6 +254,16 @@ func TestBenchSmoke(t *testing.T) {
 		} else if cr.CacheHitsPerRun != 0 || cr.CacheMissesPerRun != 0 || cr.CacheFFPerRun != 0 {
 			t.Errorf("entry %d: cache disabled but counters nonzero: %+v", i, cr)
 		}
+		if cr.Sweep {
+			// Warm cache-on rows may be fully covered by the memo (zero
+			// walks is the steady state); the cache-off sweep rows must
+			// show the engine actually working.
+			if !cr.FlowCache && (cr.SweepWalksPerRun == 0 || cr.SweepRepliesPerRun == 0) {
+				t.Errorf("entry %d: sweep enabled but inert: %+v", i, cr)
+			}
+		} else if cr.SweepWalksPerRun != 0 || cr.SweepRepliesPerRun != 0 || cr.SweepFallbacksPerRun != 0 {
+			t.Errorf("entry %d: sweep disabled but counters nonzero: %+v", i, cr)
+		}
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := benchrun.WriteJSON(path, rep); err != nil {
@@ -266,8 +277,9 @@ func TestBenchSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[2].Workers != 2 ||
-		!back.Campaign[1].FlowCache || back.Campaign[1].CacheHitsPerRun != rep.Campaign[1].CacheHitsPerRun {
+	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[3].Workers != 2 ||
+		!back.Campaign[2].FlowCache || back.Campaign[2].CacheHitsPerRun != rep.Campaign[2].CacheHitsPerRun ||
+		!back.Campaign[1].Sweep || back.Campaign[1].SweepWalksPerRun != rep.Campaign[1].SweepWalksPerRun {
 		t.Fatalf("JSON round-trip mangled the report: %+v", back)
 	}
 }

@@ -65,7 +65,11 @@ type CampaignReport struct {
 	GoMaxProcs int `json:"gomaxprocs"`
 	// FlowCache reports whether the flow-trajectory cache was enabled.
 	FlowCache bool `json:"flow_cache"`
-	Runs      int  `json:"runs"`
+	// Sweep reports whether the single-injection TTL sweep was enabled.
+	// The (FlowCache=false, Sweep=false) row is the per-probe baseline;
+	// (false, true) isolates the cold-path win the sweep buys on its own.
+	Sweep bool `json:"sweep"`
+	Runs  int  `json:"runs"`
 	// ProbesPerRun = BootstrapProbesPerRun + CampaignProbesPerRun.
 	ProbesPerRun          uint64  `json:"probes_per_run"`
 	BootstrapProbesPerRun uint64  `json:"bootstrap_probes_per_run"`
@@ -94,6 +98,12 @@ type CampaignReport struct {
 	// CacheSharedHitsPerRun is the subset of hits adopted from the shared
 	// cross-worker reply table rather than recorded locally.
 	CacheSharedHitsPerRun uint64 `json:"cache_shared_hits_per_run"`
+	// Sweep counters, averaged per run (zero when Sweep is false): walks
+	// injected, replies synthesized without event-loop simulation, and
+	// probes that fell back to live simulation under a swept flow.
+	SweepWalksPerRun     uint64 `json:"sweep_walks_per_run"`
+	SweepRepliesPerRun   uint64 `json:"sweep_replies_per_run"`
+	SweepFallbacksPerRun uint64 `json:"sweep_fallbacks_per_run"`
 }
 
 // Report is the full benchmark output.
@@ -146,8 +156,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	for _, w := range workers {
-		for _, cache := range []bool{false, true} {
-			cr, err := measureCampaign(in, w, cfg.Runs, cache)
+		// Per-probe baseline, sweep-only cold path, and the full fast path.
+		for _, combo := range []struct{ cache, sweep bool }{
+			{false, false},
+			{false, true},
+			{true, true},
+		} {
+			cr, err := measureCampaign(in, w, cfg.Runs, combo.cache, combo.sweep)
 			if err != nil {
 				return nil, err
 			}
@@ -190,10 +205,11 @@ func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	return rep, nil
 }
 
-func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (CampaignReport, error) {
-	rep := CampaignReport{Workers: workers, Runs: runs, FlowCache: flowCache}
+func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep bool) (CampaignReport, error) {
+	rep := CampaignReport{Workers: workers, Runs: runs, FlowCache: flowCache, Sweep: sweep}
 	cfg := campaign.DefaultConfig()
 	cfg.DisableFlowCache = !flowCache
+	cfg.DisableSweep = !sweep
 
 	// Measure real parallelism: time-slicing w workers over fewer OS
 	// threads measures the scheduler, not the engine, so raise GOMAXPROCS
@@ -225,6 +241,7 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var probes, hits, misses, ffs, shared uint64
+	var walks, synth, falls uint64
 	var replica, boot time.Duration
 	for i := 0; i < runs; i++ {
 		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
@@ -239,6 +256,9 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 		misses += c.FlowCache.Misses
 		ffs += c.FlowCache.FastForwards
 		shared += c.FlowCache.SharedHits
+		walks += c.Sweep.Walks
+		synth += c.Sweep.Replies
+		falls += c.Sweep.Fallbacks
 		replica += c.Phase.Replica
 		boot += c.Phase.Bootstrap
 	}
@@ -255,6 +275,9 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache bool) (Campa
 	rep.CacheMissesPerRun = misses / uint64(runs)
 	rep.CacheFFPerRun = ffs / uint64(runs)
 	rep.CacheSharedHitsPerRun = shared / uint64(runs)
+	rep.SweepWalksPerRun = walks / uint64(runs)
+	rep.SweepRepliesPerRun = synth / uint64(runs)
+	rep.SweepFallbacksPerRun = falls / uint64(runs)
 	if probes > 0 {
 		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)
 		rep.ProbesPerSec = float64(probes) / wall.Seconds()

@@ -59,6 +59,11 @@ type Config struct {
 	// byte-identical to this oracle by the equivalence tests; the switch
 	// exists for those tests and for benchmarking the speedup.
 	DisableFlowCache bool
+	// DisableSweep turns the fabric's single-injection TTL sweep off, so
+	// cold traces probe per-TTL instead of deriving the sweep from one
+	// walk. Independent of DisableFlowCache: the sweep is what makes the
+	// cache-off cold path cheap, the cache is what makes re-traces free.
+	DisableSweep bool
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -117,6 +122,10 @@ type Campaign struct {
 	// the whole campaign (bootstrap plus every shard). All-zero when the
 	// cache is disabled or inert.
 	FlowCache netsim.FlowCacheStats
+	// Sweep aggregates the single-injection TTL sweep counters over the
+	// whole campaign (bootstrap plus every shard). All-zero when the
+	// sweep is disabled or inert.
+	Sweep netsim.SweepStats
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
@@ -142,6 +151,8 @@ type Campaign struct {
 	bootProbes uint64
 	// bootFlow is the flow-cache activity of the bootstrap phase.
 	bootFlow netsim.FlowCacheStats
+	// bootSweep is the sweep-engine activity of the bootstrap phase.
+	bootSweep netsim.SweepStats
 }
 
 // PhaseTimings is the campaign wall-clock split by engine phase: replica
@@ -186,6 +197,7 @@ func Run(in *gen.Internet, cfg Config) *Campaign {
 func prepare(in *gen.Internet, cfg Config) *Campaign {
 	c := newCampaign(in, cfg)
 	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	in.Net.SetSweepEnabled(!cfg.DisableSweep)
 	// The bootstrap sweep always probes from TTL 1: it maps the whole
 	// path, gateway included, and — unlike the prober's last-configured
 	// FirstTTL, which a previous campaign on the same Internet may have
@@ -198,6 +210,7 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 	sent0 := sentByVPs(in.VPs)
 	fab0 := in.Net.FabricStats()
 	flow0 := in.Net.FlowCacheStats()
+	sweep0 := in.Net.SweepStats()
 	c.bootstrap()
 	c.selectTargets()
 	c.bootProbes = sentByVPs(in.VPs) - sent0
@@ -205,6 +218,7 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	c.bootFlow = flowDelta(in.Net.FlowCacheStats(), flow0)
+	c.bootSweep = sweepDelta(in.Net.SweepStats(), sweep0)
 	c.Phase.Bootstrap = time.Since(t0)
 	// Campaign-wide prober configuration happens once, here: FirstTTL is
 	// shared per-VP state, so mutating it inside the per-target probe loop
@@ -256,6 +270,22 @@ func addFlow(dst *netsim.FlowCacheStats, d netsim.FlowCacheStats) {
 	dst.FastForwards += d.FastForwards
 	dst.Invalidations += d.Invalidations
 	dst.SharedHits += d.SharedHits
+}
+
+// sweepDelta subtracts two sweep-engine counter snapshots.
+func sweepDelta(a, b netsim.SweepStats) netsim.SweepStats {
+	return netsim.SweepStats{
+		Walks:     a.Walks - b.Walks,
+		Replies:   a.Replies - b.Replies,
+		Fallbacks: a.Fallbacks - b.Fallbacks,
+	}
+}
+
+// addSweep accumulates sweep-engine counters.
+func addSweep(dst *netsim.SweepStats, d netsim.SweepStats) {
+	dst.Walks += d.Walks
+	dst.Replies += d.Replies
+	dst.Fallbacks += d.Fallbacks
 }
 
 // vpForTeam maps a team index to its vantage point (the paper's 5-team

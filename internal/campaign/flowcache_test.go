@@ -48,6 +48,10 @@ func dumpExactCampaign(t *testing.T, c *Campaign) string {
 func TestFlowCacheEquivalenceGolden(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HDNThreshold = 6
+	// Isolate the flow cache: with the sweep engine on, cold misses go
+	// through sweep-resume instead of the upward fast-forward this test
+	// pins. TestSweepEquivalenceGolden covers the sweep-on matrix.
+	cfg.DisableSweep = true
 
 	oracleCfg := cfg
 	oracleCfg.DisableFlowCache = true
@@ -107,6 +111,7 @@ func TestFlowCacheEquivalenceGolden(t *testing.T) {
 func TestFlowCacheRepeatRunsWarm(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HDNThreshold = 6
+	cfg.DisableSweep = true
 
 	oracleCfg := cfg
 	oracleCfg.DisableFlowCache = true

@@ -112,12 +112,14 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 	c.Phase.Replica = time.Since(t0)
 
 	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	in.Net.SetSweepEnabled(!cfg.DisableSweep)
 	var table *netsim.SharedFlowTable
 	if !cfg.DisableFlowCache {
 		table = in.Net.OwnSharedFlowCache()
 	}
 	for _, r := range replicas {
 		r.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+		r.Net.SetSweepEnabled(!cfg.DisableSweep)
 		if table != nil && r.Net.SharedFlowCache() != table {
 			r.Net.AttachSharedFlowCache(table)
 		}
@@ -176,6 +178,7 @@ func (c *Campaign) prepareParallel(pool *workerPool, table *netsim.SharedFlowTab
 	sent0 := sentByVPs(in.VPs) + pool.sentByReplicaVPs()
 	fab0 := addFabric(in.Net.FabricStats(), pool.fabricStats())
 	flow0 := sumFlow(in.Net.FlowCacheStats(), pool.flowStats())
+	sweep0 := sumSweep(in.Net.SweepStats(), pool.sweepStats())
 	c.bootstrapSharded(pool)
 	if table != nil {
 		// Publish the partitions' recordings while the pool is quiescent:
@@ -189,6 +192,7 @@ func (c *Campaign) prepareParallel(pool *workerPool, table *netsim.SharedFlowTab
 	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	c.bootFlow = flowDelta(sumFlow(in.Net.FlowCacheStats(), pool.flowStats()), flow0)
+	c.bootSweep = sweepDelta(sumSweep(in.Net.SweepStats(), pool.sweepStats()), sweep0)
 	c.Phase.Bootstrap = time.Since(t0)
 
 	for _, vp := range in.VPs {
@@ -352,6 +356,15 @@ func (p *workerPool) flowStats() netsim.FlowCacheStats {
 	return sum
 }
 
+// sweepStats sums the replicas' sweep-engine counters.
+func (p *workerPool) sweepStats() netsim.SweepStats {
+	var sum netsim.SweepStats
+	for _, r := range p.replicas {
+		addSweep(&sum, r.Net.SweepStats())
+	}
+	return sum
+}
+
 // addFabric sums the fabric counters the campaign accounts for.
 func addFabric(a, b netsim.FabricStats) netsim.FabricStats {
 	a.BudgetExhausted += b.BudgetExhausted
@@ -362,6 +375,12 @@ func addFabric(a, b netsim.FabricStats) netsim.FabricStats {
 // sumFlow adds two flow-cache counter snapshots.
 func sumFlow(a, b netsim.FlowCacheStats) netsim.FlowCacheStats {
 	addFlow(&a, b)
+	return a
+}
+
+// sumSweep adds two sweep-engine counter snapshots.
+func sumSweep(a, b netsim.SweepStats) netsim.SweepStats {
+	addSweep(&a, b)
 	return a
 }
 

@@ -66,6 +66,9 @@ type ShardStats struct {
 	// with worker count (each replica warms its own trajectories), while
 	// the measured records do not.
 	FlowCache netsim.FlowCacheStats
+	// Sweep is the shard's single-injection sweep activity — an execution
+	// detail like FlowCache.
+	Sweep netsim.SweepStats
 	// Elapsed is the wall-clock time the shard took; VirtualElapsed the
 	// fabric time its probes consumed.
 	Elapsed, VirtualElapsed time.Duration
@@ -147,6 +150,7 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	clock0 := prober.Net.Now()
 	fab0 := prober.Net.FabricStats()
 	flow0 := prober.Net.FlowCacheStats()
+	sweep0 := prober.Net.SweepStats()
 	start := time.Now()
 
 	fp := fingerprint.New(prober)
@@ -216,6 +220,7 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	res.stats.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
 	res.stats.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
 	res.stats.FlowCache = flowDelta(prober.Net.FlowCacheStats(), flow0)
+	res.stats.Sweep = sweepDelta(prober.Net.SweepStats(), sweep0)
 	return res
 }
 
@@ -251,7 +256,9 @@ func (c *Campaign) merge(results []*shardResult) {
 		c.BudgetHits += res.stats.BudgetHits
 		c.LoopDrops += res.stats.LoopDrops
 		addFlow(&c.FlowCache, res.stats.FlowCache)
+		addSweep(&c.Sweep, res.stats.Sweep)
 	}
 	c.Probes += c.bootProbes
 	addFlow(&c.FlowCache, c.bootFlow)
+	addSweep(&c.Sweep, c.bootSweep)
 }

@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"testing"
+
+	"wormhole/internal/netsim"
+)
+
+// TestSweepEquivalenceGolden is the acceptance test for the
+// single-injection TTL sweep: a campaign with the sweep enabled — cache
+// on or off, serial or parallel, snapshot or rebuild replicas — must be
+// byte-identical (hops, RTTs, reply TTLs, RFC 4950 stacks, probe/reply
+// counters, per-shard virtual-clock totals) to the per-probe oracle with
+// both engines disabled.
+func TestSweepEquivalenceGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HDNThreshold = 6
+
+	oracleCfg := cfg
+	oracleCfg.DisableFlowCache = true
+	oracleCfg.DisableSweep = true
+	oracle := Run(testInternet(t, 101), oracleCfg)
+	want := dumpExactCampaign(t, oracle)
+	if len(oracle.Records) == 0 || len(oracle.Revelations()) == 0 {
+		t.Fatalf("oracle campaign is trivial: %d records, %d revelations",
+			len(oracle.Records), len(oracle.Revelations()))
+	}
+	if oracle.Sweep != (netsim.SweepStats{}) {
+		t.Fatalf("sweep-disabled oracle has sweep activity: %+v", oracle.Sweep)
+	}
+
+	// Serial, sweep on with the cache off: the cold path the sweep
+	// accelerates. The sweep-only memo must not masquerade as cache
+	// activity — the FlowCache counters stay untouched.
+	coldCfg := cfg
+	coldCfg.DisableFlowCache = true
+	cold := Run(testInternet(t, 101), coldCfg)
+	if got := dumpExactCampaign(t, cold); got != want {
+		t.Errorf("serial sweep-on cache-off diverged from oracle\n%s", firstDiff(want, got))
+	}
+	if cold.Sweep.Walks == 0 || cold.Sweep.Replies == 0 {
+		t.Errorf("sweep enabled but inert on the cold path: %+v", cold.Sweep)
+	}
+	if cold.FlowCache != (netsim.FlowCacheStats{}) {
+		t.Errorf("cache disabled but sweep moved its counters: %+v", cold.FlowCache)
+	}
+
+	// Serial, both engines on (the default configuration).
+	both := Run(testInternet(t, 101), cfg)
+	if got := dumpExactCampaign(t, both); got != want {
+		t.Errorf("serial sweep+cache diverged from oracle\n%s", firstDiff(want, got))
+	}
+	if both.Sweep.Walks == 0 {
+		t.Errorf("sweep enabled but no walks with the cache on: %+v", both.Sweep)
+	}
+
+	// Parallel matrix: worker counts, both replica modes, and the
+	// cache-off sweep-on combination benchrun's cold rows measure.
+	for _, tc := range []struct {
+		name    string
+		pcfg    ParallelConfig
+		noCache bool
+	}{
+		{"workers=1", ParallelConfig{Workers: 1}, false},
+		{"workers=2", ParallelConfig{Workers: 2}, false},
+		{"workers=8", ParallelConfig{Workers: 8}, false},
+		{"workers=2 rebuild", ParallelConfig{Workers: 2, Replica: ReplicaRebuild}, false},
+		{"workers=2 cache-off", ParallelConfig{Workers: 2}, true},
+		{"workers=8 cache-off rebuild", ParallelConfig{Workers: 8, Replica: ReplicaRebuild}, true},
+	} {
+		runCfg := cfg
+		runCfg.DisableFlowCache = tc.noCache
+		c, err := RunParallel(testInternet(t, 101), runCfg, tc.pcfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := dumpExactCampaign(t, c); got != want {
+			t.Errorf("%s: diverged from per-probe oracle\n%s", tc.name, firstDiff(want, got))
+		}
+		if c.Sweep.Walks == 0 {
+			t.Errorf("%s: sweep enabled but no walks: %+v", tc.name, c.Sweep)
+		}
+		if tc.noCache && c.FlowCache != (netsim.FlowCacheStats{}) {
+			t.Errorf("%s: cache disabled but counters moved: %+v", tc.name, c.FlowCache)
+		}
+	}
+}
+
+// TestSweepRepeatRunsCovered pins the warm steady state of the sweep-only
+// configuration benchrun's cold rows measure: rerunning the campaign with
+// the cache off still reproduces the oracle, and the learned reply shapes
+// make the second run synthesize at least as much as the first.
+func TestSweepRepeatRunsCovered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HDNThreshold = 6
+	cfg.DisableFlowCache = true
+
+	oracleCfg := cfg
+	oracleCfg.DisableSweep = true
+	want := dumpExactCampaign(t, Run(testInternet(t, 101), oracleCfg))
+
+	in := testInternet(t, 101)
+	first := Run(in, cfg)
+	second := Run(in, cfg)
+	if got := dumpExactCampaign(t, second); got != want {
+		t.Errorf("warm sweep rerun diverged from oracle\n%s", firstDiff(want, got))
+	}
+	if second.Sweep.Fallbacks > first.Sweep.Fallbacks {
+		t.Errorf("warm rerun should fall back no more than the cold run: first %+v, second %+v",
+			first.Sweep, second.Sweep)
+	}
+}

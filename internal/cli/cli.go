@@ -186,6 +186,7 @@ func cmdCampaign(args []string) error {
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
 	noFlowCache := fs.Bool("no-flow-cache", false, "disable the flow-trajectory probe cache (results are identical either way)")
+	noSweep := fs.Bool("no-sweep", false, "disable the single-injection TTL sweep (results are identical either way)")
 	pprofPrefix := fs.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pb.gz and <prefix>.heap.pb.gz")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,6 +211,7 @@ func cmdCampaign(args []string) error {
 	}
 	ccfg := campaign.DefaultConfig()
 	ccfg.DisableFlowCache = *noFlowCache
+	ccfg.DisableSweep = *noSweep
 	c, err := campaign.RunParallel(in, ccfg, campaign.ParallelConfig{Workers: *workers})
 	if err != nil {
 		return err
@@ -223,6 +225,10 @@ func cmdCampaign(args []string) error {
 		fc := c.FlowCache
 		printf("flow cache: %d hits (%d shared), %d misses, %d fast-forwards, %d invalidations\n",
 			fc.Hits, fc.SharedHits, fc.Misses, fc.FastForwards, fc.Invalidations)
+	}
+	if !*noSweep {
+		printf("ttl sweep: %d walks, %d derived replies, %d fallbacks\n",
+			c.Sweep.Walks, c.Sweep.Replies, c.Sweep.Fallbacks)
 	}
 	byTech := map[reveal.Technique]int{}
 	hidden := 0
@@ -307,8 +313,40 @@ func cmdBench(args []string) error {
 	runs := fs.Int("runs", 3, "campaign iterations per worker count")
 	workersCSV := fs.String("workers", "", "comma-separated worker counts (default 1,4,NumCPU)")
 	outPath := fs.String("out", "BENCH_campaign.json", "output JSON path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		cpu, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			printf("cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			heap, err := os.Create(*memProfile)
+			if err != nil {
+				printf("memprofile: %v\n", err)
+				return
+			}
+			defer heap.Close()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				printf("memprofile: %v\n", err)
+				return
+			}
+			printf("heap profile written to %s\n", *memProfile)
+		}()
 	}
 	scale, err := parseScale(*scaleName)
 	if err != nil {
@@ -331,16 +369,23 @@ func cmdBench(args []string) error {
 	printf("clone: structural %.2fms, rebuild %.2fms, speedup %.1fx\n",
 		rep.Clone.StructuralMS, rep.Clone.RebuildMS, rep.Clone.Speedup)
 	for _, cr := range rep.Campaign {
-		cache := "off"
+		cache, sweep := "off", "off"
 		if cr.FlowCache {
 			cache = "on"
 		}
-		printf("campaign workers=%d (%d effective) cache=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
-			cr.Workers, cr.EffectiveWorkers, cache, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
+		if cr.Sweep {
+			sweep = "on"
+		}
+		printf("campaign workers=%d (%d effective) cache=%-3s sweep=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
+			cr.Workers, cr.EffectiveWorkers, cache, sweep, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
 			cr.WallMSPerRun, cr.ReplicaMS, cr.BootstrapMS)
 		if cr.FlowCache {
 			printf(" (%d hits incl %d shared, %d misses, %d ff)",
 				cr.CacheHitsPerRun, cr.CacheSharedHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)
+		}
+		if cr.Sweep {
+			printf(" (%d walks, %d derived, %d fallbacks)",
+				cr.SweepWalksPerRun, cr.SweepRepliesPerRun, cr.SweepFallbacksPerRun)
 		}
 		printf("\n")
 	}

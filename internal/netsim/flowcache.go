@@ -100,13 +100,17 @@ type FlowCacheStats struct {
 
 // trajStep is one recorded delivery of the (marked) forward packet: the
 // ingress interface, the virtual-time offset from injection, and the
-// packet headers as delivered, with their TTL lineage.
+// packet headers as delivered, with their TTL lineage. minT is the
+// smallest initial TTL this snapshot is proven valid for — the running
+// floor of NoteTTLMin lower bounds accumulated by the processing of all
+// earlier steps (see the sweep engine in sweep.go, the only consumer).
 type trajStep struct {
 	to      *Iface
 	offset  time.Duration
 	ip      packet.IPv4
 	mpls    packet.LabelStack
 	lineage uint32
+	minT    uint8
 }
 
 // flowEntry holds one flow's state: the trajectory recorded by the most
@@ -121,20 +125,57 @@ type flowEntry struct {
 	maxTTL uint8
 	steps  []trajStep
 
+	// swept marks a trajectory recorded by a full TTL-sweep walk
+	// (sweep.go): every step is a trusted snapshot, so smaller initial
+	// TTLs may be derived backward from the prefix. Cleared whenever the
+	// steps are re-recorded by the ordinary frontier fast-forward, which
+	// rebases t0 and leaves the prefix normalized to the old one.
+	swept bool
+	// terminalLocal records that the walk's final delivery was consumed
+	// locally by a router (deliverLocal): such a terminal answers before
+	// any IP TTL-expiry check, so backward derivation must not synthesize
+	// a time-exceeded there.
+	terminalLocal bool
+	// tailMinT is the NoteTTLMin floor accumulated over the *entire* walk
+	// (including the terminal's own processing); reusing the walk's
+	// observation for a smaller TTL requires ttl >= tailMinT.
+	tailMinT uint8
+
 	// valid is a 256-bit presence set over replies, indexed by probe TTL.
 	valid   [4]uint64
 	replies []ProbeObs
+	// derived flags the replies that were synthesized from a sweep walk
+	// rather than observed live (bench accounting only; a live re-probe
+	// overwrites the reply and clears the flag).
+	derived [4]uint64
 }
 
 // flowRec is the in-flight recording state for the probe currently being
 // drained. bad poisons the recording (budget exhaustion or a mid-drain
 // invalidation); a poisoned probe is neither recorded nor memoized.
+// resume marks a probe materialized from a swept trajectory: it runs live
+// but must not overwrite the walk's steps or tighten its bounds — only
+// its final observation is memoized (and its reply shape learned).
 type flowRec struct {
 	active bool
 	bad    bool
+	resume bool
 	entry  *flowEntry
 	key    FlowKey
 	start  time.Duration
+
+	// minT is the running NoteTTLMin floor (lower-bound counterpart of
+	// flowEntry.maxTTL), stamped into each step as it is recorded.
+	minT uint8
+
+	// Reply-shape capture (sweep.go): the first TTL expiry observed during
+	// this probe's drain, keyed by its synthesis context. localSeen records
+	// a router-local delivery of the marked packet.
+	expSeen   bool
+	expDeep   bool
+	localSeen bool
+	expOff    time.Duration
+	expKey    shapeKey
 }
 
 // FlowCache is the per-fabric cache state, embedded by value in Network
@@ -146,6 +187,17 @@ type FlowCache struct {
 	entries  map[FlowKey]*flowEntry
 	stats    FlowCacheStats
 	rec      flowRec
+
+	// Sweep-engine state (sweep.go). sweepEnabled gates the single-walk
+	// TTL sweep independently of the cache proper; shapes memoizes learned
+	// reply shapes; soKey/soE/soOK form the single-slot per-trace entry the
+	// sweep uses when the cache itself is disabled.
+	sweepEnabled bool
+	sweep        SweepStats
+	shapes       map[shapeKey]replyShape
+	soKey        FlowKey
+	soE          *flowEntry
+	soOK         bool
 
 	// hotKey/hotE memoize the last FlowLookup so the FlowProbe that
 	// follows a miss reuses the entry without re-hashing the key. hotE may
@@ -174,7 +226,7 @@ type FlowCache struct {
 func (n *Network) SetFlowCacheEnabled(on bool) {
 	f := &n.flows
 	f.enabled = on
-	f.needScan = on
+	f.needScan = on || f.sweepEnabled
 	if !on {
 		f.entries = nil
 		f.dirty = nil
@@ -209,6 +261,17 @@ func (n *Network) InvalidateFlowCache() {
 		}
 		f.dirty = nil
 	}
+	if f.sweepEnabled {
+		// Sweep state is derived from the same control plane: drop the
+		// per-trace entry and every learned reply shape, and poison any
+		// in-flight walk or resumed probe.
+		f.soE, f.soOK = nil, false
+		f.shapes = nil
+		f.needScan = true
+		if f.rec.active {
+			f.rec.bad = true
+		}
+	}
 	if !f.enabled {
 		return
 	}
@@ -233,6 +296,14 @@ func (n *Network) flowActive() bool {
 	if !f.enabled || n.Trace != nil {
 		return false
 	}
+	return n.purityOK()
+}
+
+// purityOK runs the deferred purity scan if one is pending and reports
+// the result. Shared by the flow cache and the sweep engine, which are
+// gated by exactly the same determinism rules.
+func (n *Network) purityOK() bool {
+	f := &n.flows
 	if f.needScan {
 		f.pure = n.flowPure()
 		f.needScan = false
@@ -266,6 +337,12 @@ func (n *Network) flowPure() bool {
 // the probe exactly as the live path would.
 func (n *Network) FlowLookup(key FlowKey, ttl uint8) (ProbeObs, bool) {
 	if !n.flowActive() {
+		// With the cache off the sweep engine may still hold the current
+		// trace's single-slot entry; serving from it keeps the "-no-flow-
+		// cache" counters untouched (sweep activity has its own stats).
+		if e, ok := n.sweepOnlyEntry(key); ok && e.valid[ttl>>6]&(1<<(ttl&63)) != 0 {
+			return e.replies[ttl], true
+		}
 		return ProbeObs{}, false
 	}
 	f := &n.flows
@@ -329,6 +406,9 @@ func (n *Network) AdvanceClock(d time.Duration) { n.clock += d }
 // IP.TTL == ttl, as built by the prober.
 func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uint8) time.Duration {
 	if !n.flowActive() {
+		if e, ok := n.sweepOnlyEntry(key); ok {
+			return n.sweepResume(out, pkt, e, key, ttl)
+		}
 		return n.Inject(out, pkt)
 	}
 	f := &n.flows
@@ -344,6 +424,12 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 		}
 		e = &flowEntry{}
 		f.entries[key] = e
+	}
+	if e.swept {
+		// A swept trajectory must keep its prefix intact for backward
+		// derivation: materialize this probe from the walk (or run it fully
+		// live in resume mode) instead of re-recording over the steps.
+		return n.sweepResume(out, pkt, e, key, ttl)
 	}
 	start := n.clock
 	pkt.Mark = 1
@@ -399,20 +485,33 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 // a budget-exhausted drain or a mid-drain invalidation.
 func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 	f := &n.flows
-	if !f.rec.active {
+	rec := f.rec
+	if !rec.active {
 		return
 	}
-	e := f.rec.entry
-	key := f.rec.key
-	bad := f.rec.bad
+	e := rec.entry
 	f.rec = flowRec{}
-	if bad {
-		// Poisoned: the steps may reflect pre-mutation state (or a loop
-		// hit the budget); discard so every later probe re-runs live.
-		e.steps = e.steps[:0]
+	if rec.bad {
+		if !rec.resume {
+			// Poisoned: the steps may reflect pre-mutation state (or a loop
+			// hit the budget); discard so every later probe re-runs live. A
+			// resumed probe leaves the walk's steps alone — its own badness
+			// poisons only its own memo.
+			e.steps = e.steps[:0]
+			e.swept = false
+		}
 		return
 	}
-	if f.shared != nil && !f.sharedOwner {
+	n.learnShape(&rec, obs)
+	n.memoize(e, rec.key, ttl, obs, false)
+}
+
+// memoize stores obs as the (entry, ttl) reply, marking the entry dirty
+// for shared-table publication. derived distinguishes sweep-synthesized
+// replies from live observations in the stats.
+func (n *Network) memoize(e *flowEntry, key FlowKey, ttl uint8, obs ProbeObs, derived bool) {
+	f := &n.flows
+	if f.enabled && f.shared != nil && !f.sharedOwner {
 		// A subscriber's fresh recording is publishable at the next phase
 		// barrier. (Adopted replies are never re-marked: adoption happens in
 		// sharedLookup, which bypasses FlowFinish entirely.)
@@ -422,6 +521,11 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 		f.dirty[key] = e
 	}
 	e.valid[ttl>>6] |= 1 << (ttl & 63)
+	if derived {
+		e.derived[ttl>>6] |= 1 << (ttl & 63)
+	} else {
+		e.derived[ttl>>6] &^= 1 << (ttl & 63)
+	}
 	if int(ttl) >= len(e.replies) {
 		if int(ttl) < cap(e.replies) {
 			// Grow within capacity; the backing array was zeroed at
@@ -441,6 +545,11 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 // step slot (and its label-stack capacity) left by previous recordings so
 // steady-state recording allocates nothing.
 func (f *FlowCache) record(to *Iface, at time.Duration, pkt *packet.Packet) {
+	if f.rec.resume {
+		// A probe materialized from a swept trajectory runs live without
+		// touching the walk's recorded steps.
+		return
+	}
 	e := f.rec.entry
 	if len(e.steps) < cap(e.steps) {
 		e.steps = e.steps[:len(e.steps)+1]
@@ -452,6 +561,7 @@ func (f *FlowCache) record(to *Iface, at time.Duration, pkt *packet.Packet) {
 	st.offset = at - f.rec.start
 	st.ip = pkt.IP
 	st.lineage = pkt.Lineage
+	st.minT = f.rec.minT
 	st.mpls = append(st.mpls[:0], pkt.MPLS...)
 }
 
@@ -465,21 +575,34 @@ func (f *FlowCache) record(to *Iface, at time.Duration, pkt *packet.Packet) {
 // are unaffected and need no call.
 func (n *Network) NoteTTLMin(a, b uint8, aProp, bProp bool) {
 	f := &n.flows
-	if !f.rec.active {
+	if !f.rec.active || f.rec.resume {
 		return
 	}
 	t0 := int(f.rec.entry.t0)
-	var maxT int
 	switch {
 	case aProp && !bProp && a < b:
-		// a (propagated) won; it keeps winning while t0+Δ+(a-t0) < b.
-		maxT = t0 + int(b) - int(a) - 1
+		// a (propagated) won; it keeps winning upward while t0+Δ+(a-t0) < b.
+		// Downward it only shrinks further, so no floor.
+		noteMaxT(f, t0+int(b)-int(a)-1)
 	case bProp && !aProp && a >= b:
-		// b (propagated) won; it keeps winning while its grown value ≤ a.
-		maxT = t0 + int(a) - int(b)
-	default:
-		return
+		// b (propagated) won; it keeps winning upward while its grown value
+		// ≤ a. Downward it only shrinks further, so no floor.
+		noteMaxT(f, t0+int(a)-int(b))
+	case aProp && !bProp && a >= b:
+		// b (constant) won; upward is monotone-safe, but a smaller initial
+		// TTL shrinks a below b and flips the branch: valid while
+		// a-(t0-t) >= b, i.e. t >= t0-(a-b).
+		noteMinT(f, t0-(int(a)-int(b)))
+	case bProp && !aProp && a < b:
+		// a (constant) won; a smaller initial TTL shrinks b to or below a:
+		// valid while b-(t0-t) > a, i.e. t >= t0-(b-a)+1.
+		noteMinT(f, t0-(int(b)-int(a))+1)
 	}
+}
+
+// noteMaxT tightens the recording's upper validity bound (frontier
+// fast-forward to larger initial TTLs).
+func noteMaxT(f *FlowCache, maxT int) {
 	if maxT > 255 {
 		return
 	}
@@ -488,6 +611,20 @@ func (n *Network) NoteTTLMin(a, b uint8, aProp, bProp bool) {
 	}
 	if uint8(maxT) < f.rec.entry.maxTTL {
 		f.rec.entry.maxTTL = uint8(maxT)
+	}
+}
+
+// noteMinT raises the recording's lower validity floor (backward sweep
+// derivation to smaller initial TTLs).
+func noteMinT(f *FlowCache, minT int) {
+	if minT <= 0 {
+		return
+	}
+	if minT > 255 {
+		minT = 255
+	}
+	if uint8(minT) > f.rec.minT {
+		f.rec.minT = uint8(minT)
 	}
 }
 

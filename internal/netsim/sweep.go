@@ -1,0 +1,523 @@
+package netsim
+
+import (
+	"time"
+
+	"wormhole/internal/netaddr"
+	"wormhole/internal/packet"
+)
+
+// This file implements the single-injection TTL sweep: the cold-path
+// counterpart of the flow cache. A classic traceroute injects one probe
+// per TTL and replays the same forwarding prefix h times — O(h²) router
+// visits per trace. But on a pure fabric all probes of one flow traverse
+// the same trajectory (the structural fact Paris traceroute is built on),
+// so one walk at TTL=MaxTTL records everything the whole sweep needs:
+//
+//   - Walk. SweepWalk injects a single marked probe at the trace's
+//     MaxTTL and records every delivery — interface, arrival offset,
+//     headers, TTL lineage — through the same machinery the flow cache
+//     uses, plus the NoteTTLMin *floor* each snapshot is valid down to.
+//
+//   - Derivation. SweepFinish scans the recorded trajectory once per
+//     smaller TTL, patching propagated TTL fields down by the delta
+//     (the affine model of packet.Lineage, run in reverse). The scan
+//     finds where that probe expires: the first step whose patched top
+//     LSE TTL reaches 1, or whose patched IP TTL reaches 1 at a
+//     plain-IP transit router. A probe that passes every step follows
+//     the walk to its terminal and inherits the walk's observation.
+//
+//   - Reply shapes. What a time-exceeded looks like from a given expiry
+//     context — replying address, return TTL, whether RFC 4950 labels
+//     are attached, and the virtual time the reply takes to come home —
+//     is a pure function of (ingress iface, label stack, vantage point,
+//     flow id): the quote varies per probe but nothing on the return
+//     path reads it beyond the flow hash, which sees only the quoted
+//     flow id. NoteExpiry (hooked into the router's reply generators)
+//     captures that context on every live expiry; once the shape is
+//     known, a derived TTL's reply is composed arithmetically — no event
+//     simulation at all — with its RFC 4950 stack rebuilt from the
+//     recorded snapshot patched by lineage.
+//
+// TTLs whose expiry is ambiguous (a mid-processing expiry, a NoteTTLMin
+// floor violation, or a shape not yet learned) fall back to live
+// simulation — resumed at the step *before* the scan's expiry point when
+// the prefix is trusted, so even the fallback is O(1) in path length.
+// Conservatism rule: the scan only composes when the expiry provably
+// happens on arrival (patched top == 1, or patched IP == 1 outside a
+// tunnel); anything else runs live, and the live run teaches the shape
+// table for next time.
+//
+// The sweep is gated by exactly the flow cache's purity rules and
+// invalidated by the same mutation hooks. It is independently
+// switchable: with the cache off it keeps a single per-trace entry
+// (soE), so "-no-flow-cache" benchmarks still measure a cold cache while
+// the sweep collapses each trace from h full drains to one walk plus h
+// materializations.
+
+// SweepStats counts sweep-engine outcomes.
+type SweepStats struct {
+	// Walks counts full-TTL sweep walks injected.
+	Walks uint64
+	// Replies counts per-TTL observations synthesized from a walk without
+	// any event-loop simulation (terminal inheritances and composed
+	// expiries).
+	Replies uint64
+	// Fallbacks counts probes that ran live although their flow had a
+	// swept trajectory (ambiguous expiry, unlearned reply shape, floor
+	// violation), plus walks poisoned mid-drain.
+	Fallbacks uint64
+}
+
+// shapeKey identifies a reply-synthesis context: the interface the probe
+// expired on, the label stack it carried (labels only — TTLs are the
+// probe-varying part), and the flow fields the reply's trip home can
+// observe. The probe's destination is part of the key even though the
+// reply never travels there: an expiring LSR forwards its time-exceeded
+// by the *probe's* LFIB entry, picking among ECMP next-hops by the
+// probe's flow hash — which covers the destination — so two flows
+// expiring at the same (iface, stack) can ride different LSP branches.
+// Stacks deeper than the inline array are not memoized.
+type shapeKey struct {
+	in     *Iface
+	vp     netaddr.Addr
+	dst    netaddr.Addr
+	proto  packet.Protocol
+	id     uint16
+	depth  uint8
+	labels [4]uint32
+}
+
+// replyShape is everything needed to compose the observation of an
+// expiry at a known context: the reply's identity fields and the virtual
+// time from expiry to the drain going idle (zero for suppressed replies).
+type replyShape struct {
+	answered bool
+	from     netaddr.Addr
+	replyTTL uint8
+	icmpType uint8
+	icmpCode uint8
+	hasMPLS  bool
+	retDelay time.Duration
+}
+
+// SetSweepEnabled turns the single-injection TTL sweep on or off.
+// Enabling schedules a purity scan; disabling drops the per-trace entry
+// and every learned reply shape.
+func (n *Network) SetSweepEnabled(on bool) {
+	f := &n.flows
+	f.sweepEnabled = on
+	if on {
+		f.needScan = true
+	} else {
+		f.soE, f.soOK = nil, false
+		f.shapes = nil
+	}
+}
+
+// SweepEnabled reports whether the sweep engine has been requested (it
+// may still be inert on an impure fabric).
+func (n *Network) SweepEnabled() bool { return n.flows.sweepEnabled }
+
+// SweepStats returns the sweep counters.
+func (n *Network) SweepStats() SweepStats { return n.flows.sweep }
+
+// sweepActive reports whether the sweep may engage, sharing the flow
+// cache's purity scan and Trace-hook opt-out.
+func (n *Network) sweepActive() bool {
+	return n.flows.sweepEnabled && n.Trace == nil && n.purityOK()
+}
+
+// sweepOnlyEntry returns the cache-off per-trace entry when it matches
+// key and holds a swept trajectory.
+func (n *Network) sweepOnlyEntry(key FlowKey) (*flowEntry, bool) {
+	f := &n.flows
+	if !f.sweepEnabled || !f.soOK || f.soE == nil || f.soKey != key || !n.sweepActive() {
+		return nil, false
+	}
+	return f.soE, true
+}
+
+// NoteExpiry captures the context of a marked probe's TTL expiry, at the
+// entry of the router's reply generators (before any suppression
+// decision — the resulting observation, answered or not, is the shape).
+// Routers call it for both IP and LSE expiries.
+func (n *Network) NoteExpiry(in *Iface, pkt *packet.Packet) {
+	f := &n.flows
+	if !f.sweepEnabled || !f.rec.active || f.rec.expSeen || pkt.Mark == 0 {
+		return
+	}
+	f.rec.expSeen = true
+	f.rec.expOff = n.clock - f.rec.start
+	key, ok := shapeKeyOf(in, pkt)
+	if !ok {
+		f.rec.expDeep = true
+		return
+	}
+	f.rec.expKey = key
+}
+
+// NoteLocalDelivery records that a marked probe was consumed locally by a
+// router (which answers before any IP TTL check): the walk's terminal is
+// then exempt from the scan's transit expiry rule.
+func (n *Network) NoteLocalDelivery(pkt *packet.Packet) {
+	f := &n.flows
+	if !f.rec.active || pkt.Mark == 0 {
+		return
+	}
+	f.rec.localSeen = true
+}
+
+// shapeKeyOf builds the synthesis-context key for a probe about to
+// expire. ok is false for stacks too deep to memoize inline.
+func shapeKeyOf(in *Iface, pkt *packet.Packet) (shapeKey, bool) {
+	k := shapeKey{in: in, vp: pkt.IP.Src, dst: pkt.IP.Dst, proto: pkt.IP.Protocol, depth: uint8(len(pkt.MPLS))}
+	if len(pkt.MPLS) > len(k.labels) {
+		return shapeKey{}, false
+	}
+	switch {
+	case pkt.ICMP != nil:
+		k.id = pkt.ICMP.ID
+	case pkt.UDP != nil:
+		k.id = pkt.UDP.SrcPort
+	}
+	for i, lse := range pkt.MPLS {
+		k.labels[i] = lse.Label
+	}
+	return k, true
+}
+
+// shapeKeyAt rebuilds the synthesis-context key from a recorded step and
+// the flow it belongs to. The transport id is the flow key's A field:
+// the ICMP echo identifier or the UDP source port, exactly what
+// shapeKeyOf read from the live packet.
+func shapeKeyAt(st *trajStep, key FlowKey) (shapeKey, bool) {
+	k := shapeKey{in: st.to, vp: key.Src, dst: key.Dst, proto: key.Proto, id: key.A, depth: uint8(len(st.mpls))}
+	if len(st.mpls) > len(k.labels) {
+		return shapeKey{}, false
+	}
+	for i, lse := range st.mpls {
+		k.labels[i] = lse.Label
+	}
+	return k, true
+}
+
+// learnShape stores the reply shape of the expiry captured during the
+// finished recording, if any.
+func (n *Network) learnShape(rec *flowRec, obs ProbeObs) {
+	f := &n.flows
+	if !f.sweepEnabled || !rec.expSeen || rec.expDeep {
+		return
+	}
+	if f.shapes == nil {
+		f.shapes = make(map[shapeKey]replyShape)
+	}
+	f.shapes[rec.expKey] = replyShape{
+		answered: obs.Answered,
+		from:     obs.From,
+		replyTTL: obs.ReplyTTL,
+		icmpType: obs.ICMPType,
+		icmpCode: obs.ICMPCode,
+		hasMPLS:  len(obs.MPLS) > 0,
+		retDelay: obs.Advance - rec.expOff,
+	}
+}
+
+// SweepBegin decides whether a trace over [first, max] needs a walk:
+// true means the caller should inject one via SweepWalk and complete it
+// with SweepFinish. False means the sweep is inactive here or the flow's
+// memo already covers the TTLs the trace will probe (up to the first
+// destination-reached reply).
+func (n *Network) SweepBegin(key FlowKey, first, max uint8) bool {
+	f := &n.flows
+	if first > max || !n.sweepActive() || f.rec.active {
+		return false
+	}
+	if n.flowActive() {
+		e := f.entries[key]
+		if f.shared != nil {
+			// Adopt any published coverage before deciding: a fully covered
+			// flow skips the walk outright.
+			ep := f.shared.cur.Load()
+			if ep.version != f.sharedVer {
+				f.shared = nil
+				f.dirty = nil
+			} else if se := ep.entries[key]; se != nil {
+				if e == nil {
+					if f.entries == nil {
+						f.entries = make(map[FlowKey]*flowEntry)
+					}
+					e = &flowEntry{}
+					f.entries[key] = e
+				}
+				mergeReplies(&e.valid, &e.replies, se.valid, se.replies)
+			}
+		}
+		return e == nil || !e.coveredTrace(first, max)
+	}
+	if f.soOK && f.soE != nil && f.soKey == key && f.soE.coveredTrace(first, max) {
+		return false
+	}
+	return true
+}
+
+// coveredTrace reports whether the memo already answers every probe a
+// traceroute over [first, max] would send: contiguous coverage from
+// first up to a destination-reached reply or max.
+func (e *flowEntry) coveredTrace(first, max uint8) bool {
+	for t := int(first); t <= int(max); t++ {
+		if e.valid[t>>6]&(1<<(uint(t)&63)) == 0 {
+			return false
+		}
+		obs := &e.replies[t]
+		if obs.Answered && (obs.ICMPType == packet.ICMPEchoReply || obs.ICMPType == packet.ICMPDestUnreach) {
+			return true
+		}
+	}
+	return true
+}
+
+// SweepWalk injects the single sweep probe (built by the prober at the
+// trace's MaxTTL) and records its full trajectory. The virtual time the
+// walk consumed is returned for the caller's observation but rolled back
+// off the clock: the walk is bookkeeping, not a probe, and clock parity
+// with the per-probe oracle requires it to be time-free. The caller must
+// complete the walk with SweepFinish.
+func (n *Network) SweepWalk(out *Iface, pkt *packet.Packet, key FlowKey) time.Duration {
+	f := &n.flows
+	var e *flowEntry
+	if n.flowActive() {
+		if f.entries == nil {
+			f.entries = make(map[FlowKey]*flowEntry)
+		}
+		e = f.entries[key]
+		if e == nil {
+			e = &flowEntry{}
+			f.entries[key] = e
+		}
+		f.hotKey, f.hotE, f.hotOK = key, e, true
+	} else {
+		// Cache off: a single per-trace slot, reset for every walk.
+		e = f.soE
+		if e == nil {
+			e = &flowEntry{}
+		}
+		e.valid = [4]uint64{}
+		e.derived = [4]uint64{}
+		f.soKey, f.soE, f.soOK = key, e, true
+	}
+	e.steps = e.steps[:0]
+	e.t0 = pkt.IP.TTL
+	e.maxTTL = 255
+	e.swept = false
+	e.terminalLocal = false
+	e.tailMinT = 0
+	pkt.Mark = 1
+	pkt.SetLineageIP(true)
+	f.sweep.Walks++
+	start := n.clock
+	f.rec = flowRec{active: true, entry: e, key: key, start: start}
+	n.Transmit(out, pkt)
+	n.Run()
+	elapsed := n.clock - start
+	n.clock = start
+	return elapsed
+}
+
+// SweepFinish completes the walk begun by SweepWalk: it memoizes the
+// walk's own observation at its TTL, marks the trajectory swept, and
+// derives every TTL in [first, walkTTL) the memo does not already cover —
+// inheriting the walk's observation where the probe provably follows the
+// whole trajectory, composing a reply where the expiry point and shape
+// are provable, and leaving a gap (live fallback) everywhere else.
+func (n *Network) SweepFinish(key FlowKey, first uint8, obs ProbeObs) {
+	f := &n.flows
+	rec := f.rec
+	if !rec.active {
+		return
+	}
+	e := rec.entry
+	f.rec = flowRec{}
+	if rec.bad {
+		// Poisoned walk (budget exhaustion or mid-drain invalidation): the
+		// trace falls back to per-probe simulation.
+		e.steps = e.steps[:0]
+		e.swept = false
+		f.sweep.Fallbacks++
+		return
+	}
+	e.swept = true
+	e.terminalLocal = rec.localSeen
+	e.tailMinT = rec.minT
+	n.learnShape(&rec, obs)
+	n.memoize(e, key, e.t0, obs, false)
+	for t := int(e.t0) - 1; t >= int(first); t-- {
+		ttl := uint8(t)
+		if e.valid[t>>6]&(1<<(uint(t)&63)) != 0 {
+			continue
+		}
+		sc := n.sweepScan(e, ttl)
+		switch {
+		case sc.kind == scanReach:
+			n.memoize(e, key, ttl, obs, true)
+			f.sweep.Replies++
+		case sc.kind == scanExpire && sc.exact:
+			if comp, ok := n.composeExpiry(e, key, sc.step, ttl); ok {
+				n.memoize(e, key, ttl, comp, true)
+				f.sweep.Replies++
+			}
+		}
+	}
+}
+
+// scanKind classifies what the backward scan proved about a derived TTL.
+type scanKind uint8
+
+const (
+	// scanInvalid: the trajectory is not trusted at this TTL (NoteTTLMin
+	// floor violated, or the TTL is not below the walk's).
+	scanInvalid scanKind = iota
+	// scanReach: the probe passes every recorded step and inherits the
+	// walk's terminal observation.
+	scanReach
+	// scanExpire: the probe expires at (or while being processed just
+	// before) step; exact means provably on arrival at step.
+	scanExpire
+)
+
+type scanResult struct {
+	kind  scanKind
+	step  int
+	exact bool
+}
+
+// sweepScan walks the recorded trajectory with every propagated TTL
+// field patched down to the derived TTL and finds the first step whose
+// expiry checks fire. Monotonicity does the heavy lifting: shrinking the
+// initial TTL only lowers propagated values, so a check that fails first
+// at step k cannot have fired earlier, and the recorded branch decisions
+// hold down to each step's NoteTTLMin floor.
+func (n *Network) sweepScan(e *flowEntry, ttl uint8) scanResult {
+	d := int(e.t0) - int(ttl)
+	if d <= 0 || len(e.steps) == 0 {
+		return scanResult{kind: scanInvalid}
+	}
+	for k := range e.steps {
+		st := &e.steps[k]
+		if ttl < st.minT {
+			return scanResult{kind: scanInvalid}
+		}
+		if _, isHost := st.to.Owner.(*Host); isHost {
+			// Hosts answer or drop without ever checking a TTL.
+			continue
+		}
+		last := k == len(e.steps)-1
+		if len(st.mpls) > 0 {
+			top := int(st.mpls[0].TTL)
+			if packet.LineageLSEPropagated(st.lineage, 0) {
+				top -= d
+			}
+			ip := int(st.ip.TTL)
+			if packet.LineageIPPropagated(st.lineage) {
+				ip -= d
+			}
+			underBad := false
+			for i := 1; i < len(st.mpls); i++ {
+				if packet.LineageLSEPropagated(st.lineage, i) && int(st.mpls[i].TTL)-d <= 0 {
+					underBad = true
+				}
+			}
+			if top <= 1 || ip <= 0 || underBad {
+				// Exact only for a provable arrival expiry of the top LSE;
+				// an exhausted inner field means the true expiry hides in
+				// this or an earlier step's label processing — live decides.
+				return scanResult{kind: scanExpire, step: k, exact: top == 1 && ip >= 1 && !underBad}
+			}
+		} else if !(last && e.terminalLocal) {
+			ip := int(st.ip.TTL)
+			if packet.LineageIPPropagated(st.lineage) {
+				ip -= d
+			}
+			if ip <= 1 {
+				return scanResult{kind: scanExpire, step: k, exact: ip == 1}
+			}
+		}
+	}
+	if ttl < e.tailMinT {
+		return scanResult{kind: scanInvalid}
+	}
+	return scanResult{kind: scanReach}
+}
+
+// composeExpiry synthesizes the observation of a provable arrival expiry
+// at step k from its learned reply shape, rebuilding the RFC 4950 quoted
+// stack from the recorded snapshot patched down by the TTL delta.
+func (n *Network) composeExpiry(e *flowEntry, key FlowKey, k int, ttl uint8) (ProbeObs, bool) {
+	st := &e.steps[k]
+	sk, ok := shapeKeyAt(st, key)
+	if !ok {
+		return ProbeObs{}, false
+	}
+	sh, ok := n.flows.shapes[sk]
+	if !ok {
+		return ProbeObs{}, false
+	}
+	obs := ProbeObs{
+		Answered: sh.answered,
+		From:     sh.from,
+		ReplyTTL: sh.replyTTL,
+		ICMPType: sh.icmpType,
+		ICMPCode: sh.icmpCode,
+		Advance:  st.offset + sh.retDelay,
+	}
+	if sh.hasMPLS {
+		d := e.t0 - ttl
+		stack := make(packet.LabelStack, len(st.mpls))
+		copy(stack, st.mpls)
+		for i := range stack {
+			if packet.LineageLSEPropagated(st.lineage, i) {
+				stack[i].TTL -= d
+			}
+		}
+		obs.MPLS = stack
+	}
+	return obs, true
+}
+
+// sweepResume runs one probe of a swept flow live without disturbing the
+// walk: resumed at the step before the scan's expiry point when the
+// prefix is trusted, injected from the vantage point otherwise. The
+// observation is memoized by the caller's FlowFinish as usual (and the
+// expiry's shape learned), so the gap closes for the next trace.
+func (n *Network) sweepResume(out *Iface, pkt *packet.Packet, e *flowEntry, key FlowKey, ttl uint8) time.Duration {
+	f := &n.flows
+	f.sweep.Fallbacks++
+	start := n.clock
+	pkt.Mark = 1
+	f.rec = flowRec{active: true, resume: true, entry: e, key: key, start: start}
+	if sc := n.sweepScan(e, ttl); sc.kind == scanExpire && sc.step > 0 {
+		fr := &e.steps[sc.step-1]
+		d := e.t0 - ttl
+		id := pkt.IP.ID
+		pkt.IP = fr.ip
+		pkt.IP.ID = id
+		pkt.Lineage = fr.lineage
+		if pkt.LineageIP() {
+			pkt.IP.TTL -= d
+		}
+		// A plain copy, not pooled storage: the probe packet is the
+		// prober's (never pool-released), so a pooled stack would leak out
+		// of the free list.
+		pkt.MPLS = append(pkt.MPLS[:0], fr.mpls...)
+		for i := range pkt.MPLS {
+			if packet.LineageLSEPropagated(pkt.Lineage, i) {
+				pkt.MPLS[i].TTL -= d
+			}
+		}
+		n.seq++
+		n.queue.push(event{at: start + fr.offset, seq: n.seq, to: fr.to, pkt: pkt})
+		n.Run()
+		return n.clock - start
+	}
+	return n.Inject(out, pkt)
+}

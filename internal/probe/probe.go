@@ -244,9 +244,52 @@ func (p *Prober) probe(dst netaddr.Addr, ttl uint8, method Method) netsim.ProbeO
 	return obs
 }
 
+// sweep offers the trace to the fabric's single-injection sweep engine:
+// one walk at MaxTTL records the flow's whole trajectory, from which the
+// engine derives the per-TTL replies the loop below will consume as
+// memo hits. Only ICMP Paris qualifies — the UDP port cycle varies the
+// flow key per probe, so no single walk covers a UDP trace. Inactive
+// engines (impure fabric, sweep disabled, memo already covering the
+// trace) make this a no-op and the trace runs per-probe.
+func (p *Prober) sweep(dst netaddr.Addr) {
+	if p.Method != ICMPParis {
+		return
+	}
+	key := netsim.FlowKey{Src: p.Host.Addr(), Dst: dst, Proto: packet.ProtoICMP, A: p.FlowID}
+	if !p.Net.SweepBegin(key, p.FirstTTL, p.MaxTTL) {
+		return
+	}
+	token := p.nextToken()
+	pkt := p.buildProbe(dst, p.MaxTTL, ICMPParis, token)
+	p.pending = await{id: pkt.ICMP.ID, seq: pkt.ICMP.Seq, ipid: token}
+	p.waiting = true
+	// The walk is bookkeeping, not a probe: Sent is untouched and the
+	// reply match must not count toward Recv (the derived memo hits will,
+	// exactly as the per-probe oracle would).
+	recv := p.Recv
+	elapsed := p.Net.SweepWalk(p.Host.If, pkt, key)
+	reply := p.pending.reply
+	p.waiting = false
+	p.pending = await{}
+	p.Recv = recv
+	obs := netsim.ProbeObs{Advance: elapsed}
+	if reply != nil {
+		obs.Answered = true
+		obs.From = reply.IP.Src
+		obs.ReplyTTL = reply.IP.TTL
+		obs.ICMPType = reply.ICMP.Type
+		obs.ICMPCode = reply.ICMP.Code
+		if reply.ICMP.Ext != nil {
+			obs.MPLS = reply.ICMP.Ext.LabelStack
+		}
+	}
+	p.Net.SweepFinish(key, p.FirstTTL, obs)
+}
+
 // Traceroute traces toward dst.
 func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
 	tr := &Trace{Src: p.Host.Addr(), Dst: dst}
+	p.sweep(dst)
 	gaps := 0
 	attempts := p.Attempts
 	if attempts < 1 {

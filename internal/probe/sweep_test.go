@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"testing"
+
+	"wormhole/internal/packet"
+)
+
+// tracesEqual compares two traces hop for hop, RTTs and RFC 4950 stacks
+// included.
+func tracesEqual(t *testing.T, want, got *Trace) {
+	t.Helper()
+	if want.Reached != got.Reached || len(want.Hops) != len(got.Hops) {
+		t.Fatalf("trace shape differs: want reached=%v hops=%d, got reached=%v hops=%d",
+			want.Reached, len(want.Hops), got.Reached, len(got.Hops))
+	}
+	for i := range want.Hops {
+		w, g := want.Hops[i], got.Hops[i]
+		if w.Addr != g.Addr || w.RTT != g.RTT || w.ReplyTTL != g.ReplyTTL ||
+			w.ICMPType != g.ICMPType || w.ICMPCode != g.ICMPCode || len(w.MPLS) != len(g.MPLS) {
+			t.Errorf("hop %d differs: want %+v, got %+v", i, w, g)
+			continue
+		}
+		for j := range w.MPLS {
+			if w.MPLS[j] != g.MPLS[j] {
+				t.Errorf("hop %d LSE %d differs: want %+v, got %+v", i, j, w.MPLS[j], g.MPLS[j])
+			}
+		}
+	}
+}
+
+// TestSweepTraceMatchesPerProbe pins the probe-level contract of the
+// sweep engine on a pure fabric: the sweep engages (one walk per trace)
+// and the trace — including Sent/Recv accounting and the virtual clock —
+// is identical to the per-probe run.
+func TestSweepTraceMatchesPerProbe(t *testing.T) {
+	a := buildLine(t, 3)
+	off := a.prober.Traceroute(a.host.Addr())
+
+	b := buildLine(t, 3)
+	b.net.SetSweepEnabled(true)
+	on := b.prober.Traceroute(b.host.Addr())
+
+	tracesEqual(t, off, on)
+	if s := b.net.SweepStats(); s.Walks != 1 {
+		t.Errorf("want exactly one sweep walk, got %+v", s)
+	}
+	if a.prober.Sent != b.prober.Sent || a.prober.Recv != b.prober.Recv {
+		t.Errorf("accounting differs: per-probe Sent/Recv %d/%d, sweep %d/%d",
+			a.prober.Sent, a.prober.Recv, b.prober.Sent, b.prober.Recv)
+	}
+	if a.net.Now() != b.net.Now() {
+		t.Errorf("virtual clock differs: per-probe %v, sweep %v", a.net.Now(), b.net.Now())
+	}
+}
+
+// TestSweepPurityFallbackLossyLink proves the purity gate: on a fabric
+// with a lossy link the sweep must stay inert — no walks, no synthesized
+// replies — and the trace runs per-probe.
+func TestSweepPurityFallbackLossyLink(t *testing.T) {
+	l := buildLine(t, 3)
+	l.vp.If.Link.LossProb = 0.5
+	l.net.SetSweepEnabled(true)
+	tr := l.prober.Traceroute(l.host.Addr())
+	if len(tr.Hops) == 0 {
+		t.Fatal("trace produced no hops")
+	}
+	if s := l.net.SweepStats(); s.Walks != 0 || s.Replies != 0 {
+		t.Errorf("sweep engaged on an impure fabric: %+v", s)
+	}
+}
+
+// TestSweepUDPFallsBackPerProbe pins that UDP Paris traces never sweep:
+// the port cycle varies the flow key per probe, so the walk's trajectory
+// would not cover them.
+func TestSweepUDPFallsBackPerProbe(t *testing.T) {
+	l := buildLine(t, 3)
+	l.net.SetSweepEnabled(true)
+	l.prober.Method = UDPParis
+	tr := l.prober.Traceroute(l.host.Addr())
+	if !tr.Reached {
+		t.Fatalf("UDP trace not reached: %+v", tr.Hops)
+	}
+	if tr.Hops[len(tr.Hops)-1].ICMPType != packet.ICMPDestUnreach {
+		t.Errorf("UDP trace should end in port-unreachable: %+v", tr.Hops[len(tr.Hops)-1])
+	}
+	if s := l.net.SweepStats(); s.Walks != 0 {
+		t.Errorf("UDP trace swept: %+v", s)
+	}
+}

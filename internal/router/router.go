@@ -557,6 +557,9 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 // leaves a plain IP reply that is routed — and possibly re-tunneled —
 // immediately.
 func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, entry *LFIBEntry) {
+	// Before any suppression decision: the sweep engine's reply shape is
+	// "what this expiry context produces", answered or not.
+	net.NoteExpiry(in, pkt)
 	if r.cfg.Silent || r.cfg.NoICMPTimeExceeded || !r.icmpAllowed(net) {
 		r.Stats.Dropped++
 		return
@@ -616,6 +619,7 @@ func (r *Router) buildTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *p
 }
 
 func (r *Router) sendTimeExceeded(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	net.NoteExpiry(in, pkt)
 	if r.cfg.Silent || r.cfg.NoICMPTimeExceeded || !r.icmpAllowed(net) {
 		r.Stats.Dropped++
 		return
@@ -640,6 +644,9 @@ func (r *Router) icmpAllowed(net *netsim.Network) bool {
 }
 
 func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
+	// Routers consume local traffic before any TTL check; tell the sweep
+	// recorder its terminal step is exempt from transit expiry rules.
+	net.NoteLocalDelivery(pkt)
 	if r.cfg.Silent {
 		r.Stats.Dropped++
 		return

@@ -1,47 +1,71 @@
 #!/bin/sh
-# bench_guard.sh — the multi-worker scaling regression gate.
+# bench_guard.sh — the performance regression gate.
 #
-# Runs the Small campaign bench at 1 and 2 workers (cache on and off)
-# and fails when the 2-worker cache-on row regresses below the 1-worker
-# row beyond a small noise tolerance. This pins the property PR 4 bought:
-# adding a worker must never make the cached campaign slower — the
-# sharded bootstrap, pooled replicas, and shared flow table have to pull
-# their weight even on a single-CPU box, where the win comes from doing
-# less per-worker work, not from hardware parallelism.
+# Runs the Small campaign bench at 1 and 2 workers (per-probe baseline,
+# sweep-only, and sweep+cache rows) and enforces two properties:
 #
-# Tolerance: 2w must reach at least TOLERANCE% of 1w throughput. 97%
-# absorbs scheduler jitter at runs=4 on a loaded box while still catching
-# the failure mode this guards against (the pre-fix inversion was -37%).
+#  1. Scaling (PR 4): the 2-worker cache-on row must not regress below
+#     the 1-worker row beyond a small noise tolerance. Adding a worker
+#     must never make the cached campaign slower — the sharded bootstrap,
+#     pooled replicas, and shared flow table have to pull their weight
+#     even on a single-CPU box.
+#
+#  2. Cold path (PR 5): the sweep-on cache-off row must beat the
+#     per-probe cache-off baseline by a real margin at 1 worker. The
+#     single-injection sweep replaces h full event-loop drains per trace
+#     with one walk plus h materializations; if that stops paying, the
+#     cold bootstrap and every -no-flow-cache measurement silently
+#     regress to O(h²).
+#
+# Tolerances: the 2w cache-on row must reach TOLERANCE% of 1w (97%
+# absorbs scheduler jitter at runs=4 on a loaded box; the pre-fix
+# inversion was -37%). The sweep-on cold row must reach COLD_FLOOR% of
+# the per-probe baseline (120% is far below the ~2.3x steady-state win,
+# but well above noise).
 #
 # Usage: ./scripts/bench_guard.sh   (repo root; also run by check.sh)
 set -eu
 
 TOLERANCE=97
+COLD_FLOOR=120
 OUT=.bench_guard.json
 trap 'rm -f "$OUT"' EXIT
 
 go run ./cmd/wormhole bench -scale small -runs 4 -workers 1,2 -out "$OUT"
 
-# The report's campaign rows carry "workers", "flow_cache", and
-# "probes_per_sec" in a stable field order; pick the cache-on rows.
-awk -v tol="$TOLERANCE" '
-    /"workers":/      { gsub(/[^0-9]/, ""); w = $0 }
-    /"flow_cache": true/ { cached = 1 }
+# The report's campaign rows carry "workers", "flow_cache", "sweep", and
+# "probes_per_sec" in a stable field order; key the rates on all three.
+awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" '
+    /"workers":/       { gsub(/[^0-9]/, ""); w = $0 }
+    /"flow_cache": true/  { cached = 1 }
     /"flow_cache": false/ { cached = 0 }
+    /"sweep": true/    { sweep = 1 }
+    /"sweep": false/   { sweep = 0 }
     /"probes_per_sec":/ {
         gsub(/[^0-9.]/, "")
-        if (cached) rate[w] = $0 + 0
+        rate[w "," cached "," sweep] = $0 + 0
     }
     END {
-        if (!(1 in rate) || !(2 in rate)) {
+        if (!(("1,1,1") in rate) || !(("2,1,1") in rate)) {
             print "bench_guard: missing cache-on rows for workers 1 and 2"
             exit 1
         }
-        pct = 100 * rate[2] / rate[1]
+        pct = 100 * rate["2,1,1"] / rate["1,1,1"]
         printf "bench_guard: cache-on %.0f probes/s at 1w, %.0f at 2w (%.1f%%, floor %d%%)\n", \
-            rate[1], rate[2], pct, tol
+            rate["1,1,1"], rate["2,1,1"], pct, tol
         if (pct < tol) {
             print "bench_guard: FAIL — 2-worker campaign regressed below 1 worker"
+            exit 1
+        }
+        if (!(("1,0,0") in rate) || !(("1,0,1") in rate)) {
+            print "bench_guard: missing cache-off rows for the cold-path gate"
+            exit 1
+        }
+        coldpct = 100 * rate["1,0,1"] / rate["1,0,0"]
+        printf "bench_guard: cold path %.0f probes/s per-probe, %.0f sweep-on (%.1f%%, floor %d%%)\n", \
+            rate["1,0,0"], rate["1,0,1"], coldpct, cold
+        if (coldpct < cold) {
+            print "bench_guard: FAIL — sweep-on cold path no longer beats per-probe"
             exit 1
         }
     }
