@@ -212,16 +212,27 @@ func TestBenchSmoke(t *testing.T) {
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
 	}
-	// Two worker counts × (baseline, sweep-only, sweep+cache).
-	if len(rep.Campaign) != 6 {
-		t.Fatalf("want 6 campaign entries, got %d", len(rep.Campaign))
+	// Two worker counts × (baseline, sweep-only, sweep+cache,
+	// churn-delta, churn-flush).
+	if len(rep.Campaign) != 10 {
+		t.Fatalf("want 10 campaign entries, got %d", len(rep.Campaign))
 	}
-	wantWorkers := []int{1, 1, 1, 2, 2, 2}
-	wantCache := []bool{false, false, true, false, false, true}
-	wantSweep := []bool{false, true, true, false, true, true}
+	wantWorkers := []int{1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
+	wantCache := []bool{false, false, true, true, true, false, false, true, true, true}
+	wantSweep := []bool{false, true, true, true, true, false, true, true, true, true}
+	wantChurn := []bool{false, false, false, true, true, false, false, false, true, true}
+	wantFlush := []bool{false, false, false, false, true, false, false, false, false, true}
 	for i, cr := range rep.Campaign {
-		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Sweep != wantSweep[i] || cr.Runs != 1 {
-			t.Errorf("entry %d: workers=%d cache=%v sweep=%v runs=%d", i, cr.Workers, cr.FlowCache, cr.Sweep, cr.Runs)
+		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Sweep != wantSweep[i] ||
+			cr.Churn != wantChurn[i] || cr.ChurnFlushWorld != wantFlush[i] || cr.Runs != 1 {
+			t.Errorf("entry %d: workers=%d cache=%v sweep=%v churn=%v flush=%v runs=%d",
+				i, cr.Workers, cr.FlowCache, cr.Sweep, cr.Churn, cr.ChurnFlushWorld, cr.Runs)
+		}
+		if cr.Churn && cr.ChurnEventsPerRun == 0 {
+			t.Errorf("entry %d: churn armed but no events fired: %+v", i, cr)
+		}
+		if !cr.Churn && cr.ChurnEventsPerRun != 0 {
+			t.Errorf("entry %d: static row counted churn events: %+v", i, cr)
 		}
 		if cr.ProbesPerRun == 0 || cr.NsPerProbe <= 0 || cr.ProbesPerSec <= 0 || cr.WallMSPerRun <= 0 {
 			t.Errorf("entry %d has empty measurements: %+v", i, cr)
@@ -277,7 +288,10 @@ func TestBenchSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[3].Workers != 2 ||
+	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[5].Workers != 2 ||
+		!back.Campaign[3].Churn || back.Campaign[3].ChurnFlushWorld ||
+		!back.Campaign[4].ChurnFlushWorld ||
+		back.Campaign[3].ChurnEventsPerRun != rep.Campaign[3].ChurnEventsPerRun ||
 		!back.Campaign[2].FlowCache || back.Campaign[2].CacheHitsPerRun != rep.Campaign[2].CacheHitsPerRun ||
 		!back.Campaign[1].Sweep || back.Campaign[1].SweepWalksPerRun != rep.Campaign[1].SweepWalksPerRun {
 		t.Fatalf("JSON round-trip mangled the report: %+v", back)

@@ -69,7 +69,15 @@ type CampaignReport struct {
 	// The (FlowCache=false, Sweep=false) row is the per-probe baseline;
 	// (false, true) isolates the cold-path win the sweep buys on its own.
 	Sweep bool `json:"sweep"`
-	Runs  int  `json:"runs"`
+	// Churn reports whether a seeded fail/reconverge/repair schedule ran
+	// during every campaign. Churn rows measure invalidation cost: the
+	// delta row (ChurnFlushWorld=false) evicts only the flows crossing
+	// mutated routers, the flush-world row drops every cache (and the
+	// replica pool) on every event — the baseline delta-invalidation must
+	// beat.
+	Churn           bool `json:"churn"`
+	ChurnFlushWorld bool `json:"churn_flush_world"`
+	Runs            int  `json:"runs"`
 	// ProbesPerRun = BootstrapProbesPerRun + CampaignProbesPerRun.
 	ProbesPerRun          uint64  `json:"probes_per_run"`
 	BootstrapProbesPerRun uint64  `json:"bootstrap_probes_per_run"`
@@ -104,6 +112,9 @@ type CampaignReport struct {
 	SweepWalksPerRun     uint64 `json:"sweep_walks_per_run"`
 	SweepRepliesPerRun   uint64 `json:"sweep_replies_per_run"`
 	SweepFallbacksPerRun uint64 `json:"sweep_fallbacks_per_run"`
+	// ChurnEventsPerRun is the number of churn events fired per campaign
+	// (zero when Churn is false).
+	ChurnEventsPerRun uint64 `json:"churn_events_per_run"`
 }
 
 // Report is the full benchmark output.
@@ -156,13 +167,19 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	for _, w := range workers {
-		// Per-probe baseline, sweep-only cold path, and the full fast path.
-		for _, combo := range []struct{ cache, sweep bool }{
-			{false, false},
-			{false, true},
-			{true, true},
+		// Per-probe baseline, sweep-only cold path, the full fast path, and
+		// the two churned fast-path rows (delta-invalidation vs the
+		// flush-the-world baseline on an identical schedule).
+		for _, combo := range []struct {
+			cache, sweep, churn, flushWorld bool
+		}{
+			{false, false, false, false},
+			{false, true, false, false},
+			{true, true, false, false},
+			{true, true, true, false},
+			{true, true, true, true},
 		} {
-			cr, err := measureCampaign(in, w, cfg.Runs, combo.cache, combo.sweep)
+			cr, err := measureCampaign(in, w, cfg.Runs, combo.cache, combo.sweep, combo.churn, combo.flushWorld)
 			if err != nil {
 				return nil, err
 			}
@@ -171,6 +188,10 @@ func Run(cfg Config) (*Report, error) {
 	}
 	return rep, nil
 }
+
+// benchChurnRate is the churn intensity of the churned bench rows:
+// expected fail/reconverge/repair cycles per shard.
+const benchChurnRate = 2
 
 func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	rep := CloneReport{Iters: iters}
@@ -205,11 +226,18 @@ func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	return rep, nil
 }
 
-func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep bool) (CampaignReport, error) {
-	rep := CampaignReport{Workers: workers, Runs: runs, FlowCache: flowCache, Sweep: sweep}
+func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep, churn, flushWorld bool) (CampaignReport, error) {
+	rep := CampaignReport{
+		Workers: workers, Runs: runs, FlowCache: flowCache, Sweep: sweep,
+		Churn: churn, ChurnFlushWorld: churn && flushWorld,
+	}
 	cfg := campaign.DefaultConfig()
 	cfg.DisableFlowCache = !flowCache
 	cfg.DisableSweep = !sweep
+	if churn {
+		cfg.ChurnRate = benchChurnRate
+		cfg.ChurnFlushWorld = flushWorld
+	}
 
 	// Measure real parallelism: time-slicing w workers over fewer OS
 	// threads measures the scheduler, not the engine, so raise GOMAXPROCS
@@ -241,7 +269,7 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep bool)
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var probes, hits, misses, ffs, shared uint64
-	var walks, synth, falls uint64
+	var walks, synth, falls, churnEvents uint64
 	var replica, boot time.Duration
 	for i := 0; i < runs; i++ {
 		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
@@ -259,6 +287,7 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep bool)
 		walks += c.Sweep.Walks
 		synth += c.Sweep.Replies
 		falls += c.Sweep.Fallbacks
+		churnEvents += c.ChurnEvents
 		replica += c.Phase.Replica
 		boot += c.Phase.Bootstrap
 	}
@@ -278,6 +307,7 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep bool)
 	rep.SweepWalksPerRun = walks / uint64(runs)
 	rep.SweepRepliesPerRun = synth / uint64(runs)
 	rep.SweepFallbacksPerRun = falls / uint64(runs)
+	rep.ChurnEventsPerRun = churnEvents / uint64(runs)
 	if probes > 0 {
 		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)
 		rep.ProbesPerSec = float64(probes) / wall.Seconds()

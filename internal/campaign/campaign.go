@@ -64,6 +64,22 @@ type Config struct {
 	// walk. Independent of DisableFlowCache: the sweep is what makes the
 	// cache-off cold path cheap, the cache is what makes re-traces free.
 	DisableSweep bool
+	// ChurnRate arms the dynamic-topology churn engine: the expected
+	// number of link fail/reconverge/repair cycles injected per shard,
+	// fired at deterministic probe boundaries mid-campaign. Zero (the
+	// default) probes a static Internet. Events are planned once against
+	// the campaign topology and replayed identically on every engine, so
+	// serial, parallel, cached, and oracle runs observe the same dynamic
+	// world.
+	ChurnRate float64
+	// ChurnSeed seeds the churn schedule; the same (topology, rate, seed)
+	// triple always fails the same links at the same probe ticks.
+	ChurnSeed int64
+	// ChurnFlushWorld switches churn invalidation from scoped
+	// delta-eviction to a whole-fabric cache flush per event — the
+	// baseline the delta path is equivalence-tested and benchmarked
+	// against.
+	ChurnFlushWorld bool
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -126,6 +142,9 @@ type Campaign struct {
 	// whole campaign (bootstrap plus every shard). All-zero when the
 	// sweep is disabled or inert.
 	Sweep netsim.SweepStats
+	// ChurnEvents counts the topology churn events fired across all
+	// shards (zero when ChurnRate is zero).
+	ChurnEvents uint64
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
@@ -178,11 +197,15 @@ func (c *Campaign) BootstrapProbes() uint64 { return c.bootProbes }
 func Run(in *gen.Internet, cfg Config) *Campaign {
 	c := prepare(in, cfg)
 	hdnAddr := c.hdnByAddr()
+	plan := gen.BuildChurnPlan(in, cfg.ChurnRate, cfg.ChurnSeed)
 	t0 := time.Now()
 	var results []*shardResult
 	for _, sh := range c.buildShards(ShardByTeam) {
 		vp := c.vpForTeam(sh.team)
-		results = append(results, c.runShard(sh, vp, vp, hdnAddr))
+		// The schedule's random stream is the canonical shard index, so
+		// the parallel engine fires the same events per shard.
+		events := plan.EventsFor(in, sh.idx, len(sh.targets))
+		results = append(results, c.runShard(sh, vp, vp, hdnAddr, events, cfg.ChurnFlushWorld))
 	}
 	c.Phase.Probe = time.Since(t0)
 	c.Workers = 1

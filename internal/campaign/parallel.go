@@ -140,6 +140,7 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 		c.ShardWorkers = 1
 	}
 
+	plan := gen.BuildChurnPlan(in, cfg.ChurnRate, cfg.ChurnSeed)
 	t0 = time.Now()
 	results := make([]*shardResult, len(shards))
 	for si := range shards {
@@ -149,7 +150,12 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 		// its private cache working set small and warm.
 		si, sh, w := si, shards[si], si%c.ShardWorkers
 		pool.submit(w, func(r *gen.Internet) {
-			res := c.runShard(sh, r.VPs[sh.team%len(r.VPs)], c.vpForTeam(sh.team), hdnAddr)
+			// The symbolic plan resolves against the worker's own replica
+			// with the canonical shard index as random stream: every
+			// engine fails the same links at the same probe boundaries of
+			// shard si, whichever fabric executes it.
+			events := plan.EventsFor(r, sh.idx, len(sh.targets))
+			res := c.runShard(sh, r.VPs[sh.team%len(r.VPs)], c.vpForTeam(sh.team), hdnAddr, events, cfg.ChurnFlushWorld)
 			res.stats.Worker = w
 			results[si] = res
 		})

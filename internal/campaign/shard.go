@@ -69,6 +69,9 @@ type ShardStats struct {
 	// Sweep is the shard's single-injection sweep activity — an execution
 	// detail like FlowCache.
 	Sweep netsim.SweepStats
+	// ChurnEvents counts the topology churn events fired during the
+	// shard (schedule remainders force-fired at shard end included).
+	ChurnEvents uint64
 	// Elapsed is the wall-clock time the shard took; VirtualElapsed the
 	// fabric time its probes consumed.
 	Elapsed, VirtualElapsed time.Duration
@@ -135,7 +138,12 @@ func (c *Campaign) buildShards(by ShardBy) []shard {
 // the prober (a worker's replica VP in parallel runs); recordVP is the
 // campaign-level VP the records reference (always the main Internet's, so
 // analyses see one coherent VP set). All written state is shard-private.
-func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[netaddr.Addr]*topo.Node) *shardResult {
+//
+// events, when non-empty, is the shard's churn schedule: it is armed on
+// the prober's fabric for the duration of the shard and fires at
+// deterministic probe boundaries. ChurnEnd force-fires any remainder, so
+// the fabric leaves the shard control-plane pristine.
+func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[netaddr.Addr]*topo.Node, events []netsim.ChurnEvent, flushWorld bool) *shardResult {
 	res := &shardResult{
 		sh:  sh,
 		fps: make(map[netaddr.Addr]fingerprint.Result),
@@ -151,6 +159,8 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 	fab0 := prober.Net.FabricStats()
 	flow0 := prober.Net.FlowCacheStats()
 	sweep0 := prober.Net.SweepStats()
+	fired0 := prober.Net.ChurnFired()
+	prober.Net.ChurnBegin(events, flushWorld)
 	start := time.Now()
 
 	fp := fingerprint.New(prober)
@@ -212,6 +222,12 @@ func (c *Campaign) runShard(sh shard, probeVP, recordVP *gen.VP, hdnAddr map[net
 		rec.Revelation = rev
 	}
 
+	// Disarm before the final counter reads: remainders force-fired here
+	// restore the pristine control plane, and their evictions land in the
+	// shard's cache accounting.
+	prober.Net.ChurnEnd()
+	res.stats.ChurnEvents = prober.Net.ChurnFired() - fired0
+
 	res.stats.Probes = prober.Sent - sent0
 	res.stats.Replies = prober.Recv - recv0
 	res.stats.Elapsed = time.Since(start)
@@ -255,6 +271,7 @@ func (c *Campaign) merge(results []*shardResult) {
 		c.Probes += res.stats.Probes
 		c.BudgetHits += res.stats.BudgetHits
 		c.LoopDrops += res.stats.LoopDrops
+		c.ChurnEvents += res.stats.ChurnEvents
 		addFlow(&c.FlowCache, res.stats.FlowCache)
 		addSweep(&c.Sweep, res.stats.Sweep)
 	}

@@ -187,6 +187,9 @@ func cmdCampaign(args []string) error {
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
 	noFlowCache := fs.Bool("no-flow-cache", false, "disable the flow-trajectory probe cache (results are identical either way)")
 	noSweep := fs.Bool("no-sweep", false, "disable the single-injection TTL sweep (results are identical either way)")
+	churn := fs.Float64("churn", 0, "expected link fail/reconverge/repair cycles per shard (0 = static topology)")
+	churnSeed := fs.Int64("churn-seed", 0, "churn schedule seed (default: the generator seed)")
+	churnFlush := fs.Bool("churn-flush-world", false, "invalidate every cache on each churn event instead of delta-eviction (baseline mode)")
 	pprofPrefix := fs.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pb.gz and <prefix>.heap.pb.gz")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -212,6 +215,12 @@ func cmdCampaign(args []string) error {
 	ccfg := campaign.DefaultConfig()
 	ccfg.DisableFlowCache = *noFlowCache
 	ccfg.DisableSweep = *noSweep
+	ccfg.ChurnRate = *churn
+	ccfg.ChurnSeed = *churnSeed
+	if ccfg.ChurnSeed == 0 {
+		ccfg.ChurnSeed = *seed
+	}
+	ccfg.ChurnFlushWorld = *churnFlush
 	c, err := campaign.RunParallel(in, ccfg, campaign.ParallelConfig{Workers: *workers})
 	if err != nil {
 		return err
@@ -221,6 +230,14 @@ func cmdCampaign(args []string) error {
 		c.ITDK.NumNodes(), c.ITDK.NumEdges(), c.ITDK.Density())
 	printf("HDNs (threshold %d): %d\n", c.Cfg.HDNThreshold, len(c.HDNs))
 	printf("targets probed: %d, probes sent: %d\n", len(c.Targets), c.Probes)
+	if *churn > 0 {
+		mode := "delta-invalidation"
+		if *churnFlush {
+			mode = "flush-world"
+		}
+		printf("churn: rate %.2g seed %d, %d events fired (%d cycles), %s\n",
+			*churn, ccfg.ChurnSeed, c.ChurnEvents, c.ChurnEvents/3, mode)
+	}
 	if !*noFlowCache {
 		fc := c.FlowCache
 		printf("flow cache: %d hits (%d shared), %d misses, %d fast-forwards, %d invalidations\n",
@@ -376,9 +393,19 @@ func cmdBench(args []string) error {
 		if cr.Sweep {
 			sweep = "on"
 		}
-		printf("campaign workers=%d (%d effective) cache=%-3s sweep=%-3s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
-			cr.Workers, cr.EffectiveWorkers, cache, sweep, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
+		churn := "off"
+		if cr.Churn {
+			churn = "delta"
+			if cr.ChurnFlushWorld {
+				churn = "flush"
+			}
+		}
+		printf("campaign workers=%d (%d effective) cache=%-3s sweep=%-3s churn=%-5s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
+			cr.Workers, cr.EffectiveWorkers, cache, sweep, churn, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
 			cr.WallMSPerRun, cr.ReplicaMS, cr.BootstrapMS)
+		if cr.Churn {
+			printf(" (%d churn events)", cr.ChurnEventsPerRun)
+		}
 		if cr.FlowCache {
 			printf(" (%d hits incl %d shared, %d misses, %d ff)",
 				cr.CacheHitsPerRun, cr.CacheSharedHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)

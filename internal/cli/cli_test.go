@@ -182,3 +182,31 @@ func TestMultiSeedCampaign(t *testing.T) {
 		}
 	}
 }
+
+func TestCampaignChurnFlags(t *testing.T) {
+	code, stdout, stderr := run(t, "campaign", "-scale", "small", "-seed", "7", "-churn", "2")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "churn: rate 2 seed 7,") {
+		t.Errorf("stats line missing churn rate/seed (churn-seed should default to the generator seed):\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "events fired") || !strings.Contains(stdout, "delta-invalidation") {
+		t.Errorf("stats line missing event count or invalidation mode:\n%s", stdout)
+	}
+
+	code, stdout, stderr = run(t, "campaign", "-scale", "small", "-seed", "7",
+		"-churn", "2", "-churn-seed", "99", "-churn-flush-world")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "seed 99") || !strings.Contains(stdout, "flush-world") {
+		t.Errorf("explicit churn seed or flush-world mode not reported:\n%s", stdout)
+	}
+
+	// Static default: no churn line at all.
+	code, stdout, _ = run(t, "campaign", "-scale", "small", "-seed", "7")
+	if code != 0 || strings.Contains(stdout, "churn:") {
+		t.Errorf("code=%d; static campaign printed a churn line:\n%s", code, stdout)
+	}
+}

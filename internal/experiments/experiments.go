@@ -132,6 +132,7 @@ func All() []Runner {
 		{"fig10", "Degree distribution before/after revelation", true, Fig10DegreeCorrection},
 		{"fig11", "Path length distribution before/after revelation", true, Fig11PathLength},
 		{"table6", "Measurement technique applicability", false, noWorld(Table6Applicability)},
+		{"churn", "Revelation accuracy under topology churn", true, ChurnAccuracy},
 		{"survey", "Operator survey calibration", true, SurveyShares},
 		{"aliases", "ITDK construction quality (measured aliases)", true, AliasQuality},
 	}

@@ -174,6 +174,13 @@ type ASInfo struct {
 	spf      *igp.Result
 	spfThunk func() *igp.Result
 
+	// teTunnels records every RSVP-TE tunnel signalling *attempt* of the
+	// build, in order — including attempts Signal rejected, because a
+	// late rejection (ingress route check) has already allocated labels.
+	// Replaying ClearMPLS + ldp.Build + these signals in order restores
+	// the AS's label plane byte-for-byte; churn repair depends on that.
+	teTunnels []*rsvpte.Tunnel
+
 	nextSubnet uint32
 	nextLo     uint32
 }
@@ -731,7 +738,10 @@ func (in *Internet) addTETunnels(as *ASInfo) {
 			UHP:  as.Profile.UHP,
 		}
 		// Signal failures (non-adjacent walk artifacts) just skip the
-		// tunnel; the base LDP LSP keeps working.
+		// tunnel; the base LDP LSP keeps working. Recorded before the
+		// attempt: even a rejected signal may have allocated labels, and
+		// churn repair must replay the allocation sequence exactly.
+		as.teTunnels = append(as.teTunnels, tn)
 		_ = rsvpte.Signal(tn)
 	}
 }

@@ -132,7 +132,11 @@ func (in *Internet) ReleaseReplicas(rs []*Internet) {
 			continue
 		}
 		delete(p.leased, r)
-		if l.epoch != p.epoch || r.Net.TopoGen() != l.gen {
+		if l.epoch != p.epoch || r.Net.TopoGen() != l.gen || r.Net.ChurnDeviant() {
+			// TopoGen catches whole-fabric flushes; ChurnDeviant catches a
+			// churn schedule that somehow ended without restoring the
+			// pristine control plane (scoped invalidations leave TopoGen
+			// untouched by design).
 			continue
 		}
 		p.entries = append(p.entries, r)

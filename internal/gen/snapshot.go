@@ -9,6 +9,7 @@ import (
 	"wormhole/internal/netsim"
 	"wormhole/internal/probe"
 	"wormhole/internal/router"
+	"wormhole/internal/rsvpte"
 )
 
 // Snapshot builds an independent replica of this Internet by structurally
@@ -91,6 +92,16 @@ func (in *Internet) Snapshot() (*Internet, error) {
 			// The closure keeps the source result and mapping tables alive,
 			// which the replica's lifetime bounds anyway.
 			na.spfThunk = func() *igp.Result { return spf.Remap(rmap, c.Iface) }
+		}
+		for _, tn := range as.teTunnels {
+			// Remap the recorded TE signalling history so churn repair on
+			// the replica replays the same label allocations.
+			nt := &rsvpte.Tunnel{Name: tn.Name, FEC: tn.FEC, UHP: tn.UHP}
+			nt.Path = make([]*router.Router, len(tn.Path))
+			for i, r := range tn.Path {
+				nt.Path[i] = routers[r]
+			}
+			na.teTunnels = append(na.teTunnels, nt)
 		}
 		out.ASes = append(out.ASes, na)
 		out.asByNum[na.Num] = na

@@ -22,6 +22,14 @@ type Domain struct {
 	// Metric returns the cost of a link; nil means every link costs 1
 	// (hop-count SPF, the common default in the studied networks).
 	Metric func(l *netsim.Link) int
+
+	// InstallOn, when non-nil, restricts route installation to the listed
+	// routers: SPF still runs over the whole domain (the Result covers
+	// every router), but only these FIBs change. Churn uses it to model
+	// fast-reroute at a failed link's endpoints before the rest of the
+	// domain reconverges — the window where micro-loops and transient
+	// blackholes live.
+	InstallOn []*router.Router
 }
 
 // Hop is one first-hop alternative toward a prefix.
@@ -225,7 +233,11 @@ func (d *Domain) Compute() (*Result, error) {
 	}
 
 	d.install(res)
+	only := d.installSet()
 	for r, ifaces := range externalIfaces {
+		if only != nil && !only[r] {
+			continue
+		}
 		for _, ifc := range ifaces {
 			r.InstallRoute(ifc.Prefix, &router.Route{
 				Origin:   router.OriginConnected,
@@ -234,6 +246,18 @@ func (d *Domain) Compute() (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// installSet returns the InstallOn membership set, or nil for "all".
+func (d *Domain) installSet() map[*router.Router]bool {
+	if d.InstallOn == nil {
+		return nil
+	}
+	only := make(map[*router.Router]bool, len(d.InstallOn))
+	for _, r := range d.InstallOn {
+		only[r] = true
+	}
+	return only
 }
 
 // connectedHops returns the connected-route hops for p at r, or nil.
@@ -298,9 +322,14 @@ func appendHops(hops []Hop, cur, src *router.Router, a adjacency, inherited []Ho
 	return hops
 }
 
-// install writes connected and IGP routes into every router's FIB.
+// install writes connected and IGP routes into every router's FIB (or
+// only the InstallOn subset).
 func (d *Domain) install(res *Result) {
+	only := d.installSet()
 	for _, r := range d.Routers {
+		if only != nil && !only[r] {
+			continue
+		}
 		for p, hops := range res.NextHops[r] {
 			if len(hops) == 0 {
 				continue // local loopback

@@ -1,0 +1,429 @@
+package netsim
+
+import "sort"
+
+// This file implements the churn engine: a deterministic, seeded schedule
+// of control-plane events (link failures, IGP reconvergence, LSP
+// re-signalling, repairs) injected into a running campaign, plus the
+// delta-invalidation machinery that keeps the flow cache warm across
+// those events.
+//
+// # Scheduling
+//
+// Events are scheduled in probe ticks, not virtual time: the prober calls
+// ChurnTick once per probe, immediately before injection, and an event
+// fires when the probe count reaches its Tick. Two runs that issue the
+// same probe sequence therefore mutate the fabric at exactly the same
+// probe boundaries — the property the equivalence-under-churn tests pin
+// down. A cached run and the uncached oracle answer every probe
+// identically by induction: identical replies imply an identical probe
+// sequence, so events fire at identical boundaries and every probe sees
+// identical topology.
+//
+// # Delta-invalidation
+//
+// Outside churn, any router mutation flushes the world
+// (InvalidateFlowCache): correct, and cheap when mutations only happen
+// between campaigns. During a churn window that would cold-start every
+// cache on every flap, so churnFire brackets each event's Apply in a
+// *batch*: every router that mutates reports itself through
+// InvalidateFlowCacheScoped and is collected into a scope bitmap instead
+// of flushing. When Apply returns, exactly the flows whose recorded
+// activity (forward trajectory and reply path — the touched set, see
+// flowcache.go) intersects the scope are evicted, the per-node scope
+// generations advance, and everything else stays warm. The fabric-wide
+// topoGen is deliberately not bumped: a schedule always closes with a
+// repair that restores the original control plane byte-for-byte, so a
+// fabric that ends its shard content-pristine may be re-pooled warm.
+//
+// # Deviance windows
+//
+// Between a failure and its repair the fabric deviates from the pristine
+// topology its shared reply table is keyed to. The window's node scope is
+// tracked in a deviance bitmap: while any window is open, shared-table
+// entries touching it are not adopted, and locally recorded entries
+// touching it are tainted (never published). The repair event's eviction
+// scope covers the window, so every deviant-era entry is evicted before
+// the next publish barrier.
+
+// ChurnEvent is one scheduled control-plane mutation.
+type ChurnEvent struct {
+	// Tick is the probe count at which the event fires: immediately
+	// before the Tick-th probe (0-based) issued after ChurnBegin.
+	Tick uint64
+	// Kind labels the event for stats and debugging ("fail",
+	// "reconverge", "repair").
+	Kind string
+	// Dev tracks the fabric's deviation from its pristine topology: +1
+	// opens a deviance window (failure), -1 closes one (a repair that
+	// restores pristine state), 0 leaves it unchanged (reconvergence
+	// inside a window).
+	Dev int
+	// DevScope lists the nodes whose behaviour may differ from pristine
+	// while the window this event opens stays open. Consulted only when
+	// Dev != 0.
+	DevScope []Node
+	// EvictScope lists nodes whose cached flows must be evicted even if
+	// Apply does not mutate them directly (e.g. both endpoints of a
+	// failed link, which drops packets without touching a FIB). Routers
+	// mutated by Apply are collected automatically.
+	EvictScope []Node
+	// Apply performs the mutation (link flips, IGP recomputation, LSP
+	// re-signalling) against this fabric.
+	Apply func()
+}
+
+// churnState is the per-fabric engine state, embedded by value in Network
+// so replicas start quiescent.
+type churnState struct {
+	events     []ChurnEvent
+	next       int
+	tick       uint64
+	active     bool
+	flushWorld bool
+	fired      uint64
+
+	// batching brackets an event's Apply: mutations accumulate into the
+	// batch scope instead of flushing the world. batchAll falls back to a
+	// full flush when a mutation cannot be attributed to a known node.
+	batching  bool
+	batchAll  bool
+	batchBits []uint64
+	batchList []int32
+
+	// devBits marks nodes inside an open deviance window; devCount is
+	// the number of open windows.
+	devBits  []uint64
+	devCount int
+}
+
+// ChurnBegin arms the engine with a schedule for the probes that follow.
+// flushWorld selects the baseline invalidation strategy — every event
+// flushes the world — instead of delta-invalidation; it exists so the
+// benchmark can measure one against the other on identical schedules. A
+// nil schedule leaves the engine inert.
+func (n *Network) ChurnBegin(events []ChurnEvent, flushWorld bool) {
+	c := &n.churn
+	c.events = events
+	c.next = 0
+	c.tick = 0
+	c.active = len(events) > 0
+	c.flushWorld = flushWorld
+	c.devCount = 0
+	for i := range c.devBits {
+		c.devBits[i] = 0
+	}
+}
+
+// ChurnTick advances the probe clock by one and fires every event whose
+// tick has arrived. The prober calls it immediately before each probe.
+func (n *Network) ChurnTick() {
+	c := &n.churn
+	if !c.active {
+		return
+	}
+	for c.next < len(c.events) && c.events[c.next].Tick <= c.tick {
+		n.churnFire(&c.events[c.next])
+		c.next++
+	}
+	if c.next == len(c.events) {
+		c.active = false
+	}
+	c.tick++
+}
+
+// ChurnEnd force-fires any events the probe count never reached (short
+// shards), so a schedule that ends in repair always leaves the fabric
+// content-pristine, then disarms the engine.
+func (n *Network) ChurnEnd() {
+	c := &n.churn
+	for c.next < len(c.events) {
+		n.churnFire(&c.events[c.next])
+		c.next++
+	}
+	c.active = false
+	c.events = nil
+}
+
+// ChurnFired returns the number of events applied so far, cumulative
+// across schedules.
+func (n *Network) ChurnFired() uint64 { return n.churn.fired }
+
+// ChurnDeviant reports whether a deviance window is open: the fabric's
+// control plane differs from the pristine topology it was built with.
+// Replica pools refuse to re-pool a deviant fabric.
+func (n *Network) ChurnDeviant() bool { return n.churn.devCount != 0 }
+
+// churnFire applies one event under the armed invalidation strategy and
+// maintains the deviance window bookkeeping.
+func (n *Network) churnFire(ev *ChurnEvent) {
+	c := &n.churn
+	if c.flushWorld {
+		if ev.Apply != nil {
+			ev.Apply()
+		}
+		n.InvalidateFlowCache()
+	} else {
+		c.batching = true
+		c.batchAll = false
+		c.batchList = c.batchList[:0]
+		for i := range c.batchBits {
+			c.batchBits[i] = 0
+		}
+		for _, nd := range ev.EvictScope {
+			n.batchNode(nd)
+		}
+		if ev.Apply != nil {
+			ev.Apply()
+		}
+		c.batching = false
+		if c.batchAll {
+			n.InvalidateFlowCache()
+		} else if len(c.batchList) > 0 {
+			n.evictScope(c.batchBits)
+			n.bumpScopeGen(c.batchList)
+		}
+	}
+	switch {
+	case ev.Dev > 0:
+		c.devCount++
+		for _, nd := range ev.DevScope {
+			if i, ok := n.nodeIdx[nd]; ok {
+				setBit(&c.devBits, i)
+			}
+		}
+	case ev.Dev < 0:
+		c.devCount--
+		for _, nd := range ev.DevScope {
+			if i, ok := n.nodeIdx[nd]; ok {
+				clearBit(c.devBits, i)
+			}
+		}
+	}
+	c.fired++
+}
+
+// batchNode adds a node to the in-progress event batch scope.
+func (n *Network) batchNode(nd Node) {
+	c := &n.churn
+	if c.batchAll {
+		return
+	}
+	i, ok := n.nodeIdx[nd]
+	if !ok {
+		c.batchAll = true
+		return
+	}
+	w, b := int(i>>6), uint(i&63)
+	for w >= len(c.batchBits) {
+		c.batchBits = append(c.batchBits, 0)
+	}
+	if c.batchBits[w]&(1<<b) == 0 {
+		c.batchBits[w] |= 1 << b
+		c.batchList = append(c.batchList, i)
+	}
+}
+
+// InvalidateFlowCacheScoped is the delta-invalidation entry point routers
+// call from their mutation hooks. Inside a churn batch the mutation is
+// collected into the event's eviction scope; outside one it falls back to
+// the full flush, so mutations between campaigns keep their pre-churn
+// semantics exactly.
+func (n *Network) InvalidateFlowCacheScoped(nd Node) {
+	if !n.churn.batching {
+		n.InvalidateFlowCache()
+		return
+	}
+	n.batchNode(nd)
+}
+
+// ScopeGen returns the node's scope generation: the number of scoped
+// invalidations whose eviction scope covered it. Under delta-invalidation
+// the fabric-wide TopoGen splits into these per-node generations; TopoGen
+// itself still counts whole-fabric flushes only.
+func (n *Network) ScopeGen(nd Node) uint64 {
+	i, ok := n.nodeIdx[nd]
+	if !ok || int(i) >= len(n.scopeGen) {
+		return 0
+	}
+	return n.scopeGen[i]
+}
+
+func (n *Network) bumpScopeGen(list []int32) {
+	for _, i := range list {
+		for int(i) >= len(n.scopeGen) {
+			n.scopeGen = append(n.scopeGen, 0)
+		}
+		n.scopeGen[i]++
+	}
+}
+
+// evictScope deletes every cached artifact whose touched set intersects
+// the scope bitmap (or is unknown): flow entries and their dirty marks,
+// the cache-off sweep slot, learned reply shapes, and — when this fabric
+// owns a shared table — the table's matching entries. Everything else
+// survives: purity is unaffected by churn (link state is not a purity
+// input), so no re-scan is scheduled, and the fabric-wide topoGen stays
+// put.
+func (n *Network) evictScope(bits []uint64) {
+	f := &n.flows
+	if f.rec.active {
+		f.rec.bad = true
+	}
+	for k, e := range f.entries {
+		if entryInScope(e, bits) {
+			delete(f.entries, k)
+			delete(f.dirty, k)
+		}
+	}
+	f.hotE, f.hotOK = nil, false
+	if f.soOK && f.soE != nil && entryInScope(f.soE, bits) {
+		f.soE, f.soOK = nil, false
+	}
+	for k, sh := range f.shapes {
+		if sh.touchAll || sh.touched == nil || intersectsBits(sh.touched, bits) {
+			delete(f.shapes, k)
+		}
+	}
+	if f.enabled || f.sweepEnabled {
+		f.stats.Invalidations++
+	}
+	if f.shared != nil && f.sharedOwner {
+		f.shared.ScopedFlush(bits)
+	}
+	// A subscribed replica stays attached: the entries it published while
+	// pristine remain valid for its siblings, and its local deviations
+	// were evicted above.
+}
+
+// entryInScope reports whether a flow entry must be evicted for the given
+// scope: provenance unknown, or overlapping the scope.
+func entryInScope(e *flowEntry, bits []uint64) bool {
+	return e.touchAll || e.touched == nil || intersectsBits(e.touched, bits)
+}
+
+// ---- touched-set primitives ----
+
+func setBit(bits *[]uint64, i int32) {
+	w := int(i >> 6)
+	for w >= len(*bits) {
+		*bits = append(*bits, 0)
+	}
+	(*bits)[w] |= 1 << uint(i&63)
+}
+
+func clearBit(bits []uint64, i int32) {
+	w := int(i >> 6)
+	if w < len(bits) {
+		bits[w] &^= 1 << uint(i&63)
+	}
+}
+
+// intersectsBits reports whether any index in touched is set in bits.
+func intersectsBits(touched []int32, bits []uint64) bool {
+	for _, i := range touched {
+		w := int(i >> 6)
+		if w < len(bits) && bits[w]&(1<<uint(i&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedTouched returns a sorted copy of an unsorted (already unique)
+// touch list.
+func sortedTouched(tl []int32) []int32 {
+	out := append([]int32(nil), tl...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// unionTouched merges two sorted unique index lists into a fresh one.
+func unionTouched(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// touchedCovers reports whether the sorted set have (or haveAll) contains
+// every index in tl. The steady state of a warm cache — re-recording a
+// trajectory over nodes the entry already covers — passes this test and
+// allocates nothing.
+func touchedCovers(have []int32, haveAll bool, tl []int32) bool {
+	if haveAll {
+		return true
+	}
+	for _, v := range tl {
+		lo, hi := 0, len(have)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if have[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(have) || have[lo] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// applyTouched folds a finished recording's touch list into the entry's
+// touched set (union: a fast-forward only re-records frontier-onward, and
+// the old prefix's nodes stay relevant).
+func applyTouched(e *flowEntry, tl []int32, ok bool) {
+	if !ok {
+		e.touched, e.touchAll = nil, true
+		return
+	}
+	if e.touchAll || touchedCovers(e.touched, false, tl) {
+		return
+	}
+	e.touched = unionTouched(e.touched, sortedTouched(tl))
+}
+
+// adoptTouched folds a shared entry's provenance into a local entry on
+// adoption.
+func adoptTouched(e *flowEntry, se *sharedFlowEntry) {
+	if se.touchAll || se.touched == nil {
+		e.touched, e.touchAll = nil, true
+		return
+	}
+	if e.touchAll || touchedCovers(e.touched, false, se.touched) {
+		return
+	}
+	e.touched = unionTouched(e.touched, se.touched)
+}
+
+// taintCheck marks the entry tainted when its recording overlapped an
+// open deviance window: the observation may be specific to the deviated
+// topology and must never be published to a shared table. (Eviction at
+// repair already removes such entries locally; the taint is the publish-
+// side guarantee.)
+func (n *Network) taintCheck(e *flowEntry, tlOK bool) {
+	c := &n.churn
+	if c.devCount == 0 {
+		return
+	}
+	if !tlOK || e.touchAll || intersectsBits(e.touched, c.devBits) {
+		e.tainted = true
+	}
+}

@@ -148,6 +148,19 @@ type flowEntry struct {
 	// rather than observed live (bench accounting only; a live re-probe
 	// overwrites the reply and clears the flag).
 	derived [4]uint64
+
+	// touched is the sorted set of fabric node indices this entry's
+	// recorded activity — forward trajectories and reply paths alike —
+	// has ever visited. Delta-invalidation (churn.go) evicts an entry
+	// exactly when its touched set intersects a mutation scope; nil with
+	// touchAll unset means unknown provenance, which is always evicted.
+	touched  []int32
+	touchAll bool
+	// tainted marks an entry that recorded while the fabric deviated
+	// from its pristine topology (an open churn deviance window): its
+	// observations are valid locally until the repair evicts them, but
+	// must never be published to a shared table.
+	tainted bool
 }
 
 // flowRec is the in-flight recording state for the probe currently being
@@ -206,6 +219,15 @@ type FlowCache struct {
 	hotKey FlowKey
 	hotE   *flowEntry
 	hotOK  bool
+
+	// tBits/tList/tAll are the touch scratch for the recording in
+	// flight: the set of node indices the drain has delivered to, as a
+	// bitmap plus an insertion-order list for O(touched) reset. tAll
+	// flags a delivery that could not be attributed to a registered
+	// node, degrading the recording's provenance to "unknown".
+	tBits []uint64
+	tList []int32
+	tAll  bool
 
 	// shared, when non-nil, is the cross-fabric reply table this cache
 	// participates in (see sharedflow.go). sharedOwner marks the fabric
@@ -379,6 +401,9 @@ func (n *Network) sharedLookup(key FlowKey, ttl uint8, e *flowEntry) (ProbeObs, 
 	if se == nil || se.valid[ttl>>6]&(1<<(ttl&63)) == 0 {
 		return ProbeObs{}, false
 	}
+	if !n.sharedAdoptable(se) {
+		return ProbeObs{}, false
+	}
 	if e == nil {
 		if f.entries == nil {
 			f.entries = make(map[FlowKey]*flowEntry)
@@ -388,9 +413,22 @@ func (n *Network) sharedLookup(key FlowKey, ttl uint8, e *flowEntry) (ProbeObs, 
 		f.hotE = e
 	}
 	mergeReplies(&e.valid, &e.replies, se.valid, se.replies)
+	adoptTouched(e, se)
 	f.stats.Hits++
 	f.stats.SharedHits++
 	return e.replies[ttl], true
+}
+
+// sharedAdoptable reports whether a shared entry may be adopted right
+// now: while a churn deviance window is open, entries whose provenance
+// is unknown or overlaps the window are off-limits — they were recorded
+// against the pristine topology the window deviates from.
+func (n *Network) sharedAdoptable(se *sharedFlowEntry) bool {
+	c := &n.churn
+	if c.devCount == 0 {
+		return true
+	}
+	return !se.touchAll && se.touched != nil && !intersectsBits(se.touched, c.devBits)
 }
 
 // AdvanceClock moves virtual time forward by d: the memo-replay
@@ -465,6 +503,7 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 		e.steps = e.steps[:len(e.steps)-1]
 		e.t0 = ttl
 		f.rec = flowRec{active: true, entry: e, key: key, start: start}
+		n.touchRemote(out)
 		n.seq++
 		n.queue.push(event{at: start + fr.offset, seq: n.seq, to: fr.to, pkt: pkt})
 		n.Run()
@@ -477,6 +516,7 @@ func (n *Network) FlowProbe(out *Iface, pkt *packet.Packet, key FlowKey, ttl uin
 	e.maxTTL = 255
 	pkt.SetLineageIP(true)
 	f.rec = flowRec{active: true, entry: e, key: key, start: start}
+	n.touchRemote(out)
 	return n.Inject(out, pkt)
 }
 
@@ -492,6 +532,7 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 	e := rec.entry
 	f.rec = flowRec{}
 	if rec.bad {
+		f.touchReset()
 		if !rec.resume {
 			// Poisoned: the steps may reflect pre-mutation state (or a loop
 			// hit the budget); discard so every later probe re-runs live. A
@@ -502,8 +543,12 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 		}
 		return
 	}
-	n.learnShape(&rec, obs)
+	tl, tlOK := f.takeTouched()
+	n.learnShape(&rec, obs, tl, tlOK)
+	applyTouched(e, tl, tlOK)
+	n.taintCheck(e, tlOK)
 	n.memoize(e, rec.key, ttl, obs, false)
+	f.touchReset()
 }
 
 // memoize stores obs as the (entry, ttl) reply, marking the entry dirty
@@ -511,10 +556,11 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 // replies from live observations in the stats.
 func (n *Network) memoize(e *flowEntry, key FlowKey, ttl uint8, obs ProbeObs, derived bool) {
 	f := &n.flows
-	if f.enabled && f.shared != nil && !f.sharedOwner {
+	if f.enabled && f.shared != nil && !f.sharedOwner && !e.tainted {
 		// A subscriber's fresh recording is publishable at the next phase
-		// barrier. (Adopted replies are never re-marked: adoption happens in
-		// sharedLookup, which bypasses FlowFinish entirely.)
+		// barrier, unless it recorded against a deviated topology
+		// (tainted). (Adopted replies are never re-marked: adoption
+		// happens in sharedLookup, which bypasses FlowFinish entirely.)
 		if f.dirty == nil {
 			f.dirty = make(map[FlowKey]*flowEntry)
 		}
@@ -563,6 +609,62 @@ func (f *FlowCache) record(to *Iface, at time.Duration, pkt *packet.Packet) {
 	st.lineage = pkt.Lineage
 	st.minT = f.rec.minT
 	st.mpls = append(st.mpls[:0], pkt.MPLS...)
+}
+
+// touchDelivery records that the drain being recorded delivered to this
+// interface's owner. The union over a drain is the probe's touched set:
+// the nodes whose state could have influenced its outcome (on a pure
+// fabric, a node never delivered to cannot have).
+func (n *Network) touchDelivery(to *Iface) {
+	f := &n.flows
+	if f.tAll {
+		return
+	}
+	idx := to.ownerIdx
+	if idx == 0 {
+		i, ok := n.nodeIdx[to.Owner]
+		if !ok {
+			f.tAll = true
+			return
+		}
+		idx = i + 1
+		to.ownerIdx = idx
+	}
+	i := idx - 1
+	w, b := int(i>>6), uint(i&63)
+	for w >= len(f.tBits) {
+		f.tBits = append(f.tBits, 0)
+	}
+	if f.tBits[w]&(1<<b) == 0 {
+		f.tBits[w] |= 1 << b
+		f.tList = append(f.tList, i)
+	}
+}
+
+// touchRemote seeds the touch scratch with the first hop a probe is
+// injected toward, so even a probe whose packet dies on the wire (down
+// link) leaves a non-empty — and therefore evictable — provenance.
+func (n *Network) touchRemote(out *Iface) {
+	if out == nil || out.Link == nil {
+		return
+	}
+	n.touchDelivery(out.Link.other(out))
+}
+
+// takeTouched returns the recording's touch scratch as a borrowed,
+// unsorted view; ok is false when some delivery could not be attributed.
+// Callers copy what they keep and then call touchReset.
+func (f *FlowCache) takeTouched() ([]int32, bool) {
+	return f.tList, !f.tAll
+}
+
+// touchReset clears the touch scratch for the next recording.
+func (f *FlowCache) touchReset() {
+	for _, i := range f.tList {
+		f.tBits[int(i>>6)] &^= 1 << uint(i&63)
+	}
+	f.tList = f.tList[:0]
+	f.tAll = false
 }
 
 // NoteTTLMin bounds the current recording's validity across a min(a, b)
@@ -648,8 +750,9 @@ func (n *Network) SeedFlowCacheFrom(src *Network) {
 		if e.valid == ([4]uint64{}) {
 			continue
 		}
-		ne := &flowEntry{valid: e.valid}
+		ne := &flowEntry{valid: e.valid, touchAll: e.touchAll, tainted: e.tainted}
 		ne.replies = append([]ProbeObs(nil), e.replies...)
+		ne.touched = append([]int32(nil), e.touched...)
 		f.entries[k] = ne
 	}
 }

@@ -55,6 +55,12 @@ type Iface struct {
 	Addr   netaddr.Addr
 	Prefix netaddr.Prefix // subnet shared with the far end
 	Link   *Link          // nil for loopbacks
+
+	// ownerIdx memoizes the fabric node index of Owner, offset by one so
+	// the zero value means "not resolved yet". Touch attribution (see
+	// flowcache.go) resolves it once per interface and then never hits
+	// the node-index map again.
+	ownerIdx int32
 }
 
 // Remote returns the interface at the other end of the attached link, or
@@ -142,7 +148,18 @@ type Network struct {
 	// topoGen counts control-plane mutations (every InvalidateFlowCache
 	// call, whether or not the cache is enabled). Replica pools compare it
 	// to decide whether a cached replica still matches its source fabric.
-	topoGen uint64
+	// Scoped invalidations (see churn.go) advance the per-node scopeGen
+	// generations instead, leaving topoGen — and pooled replicas — warm.
+	topoGen  uint64
+	scopeGen []uint64
+
+	// nodeIdx maps each registered node to its index in nodes; touched
+	// sets and churn scopes are bitmaps over these indices.
+	nodeIdx map[Node]int32
+
+	// churn is the churn-engine state (see churn.go). By-value so fresh
+	// replicas start quiescent.
+	churn churnState
 
 	// Trace, when non-nil, observes every delivery (pcap-ish hook).
 	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
@@ -156,9 +173,10 @@ const DefaultEventBudget = 1 << 20
 // tie-breaking randomness derive from it, keeping runs reproducible).
 func New(seed int64) *Network {
 	return &Network{
-		ifaces: make(map[netaddr.Addr]*Iface),
-		seed:   seed,
-		rng:    rand.New(rand.NewSource(seed)),
+		ifaces:  make(map[netaddr.Addr]*Iface),
+		nodeIdx: make(map[Node]int32),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -189,7 +207,10 @@ func (n *Network) PacketPool() *packet.Pool { return &n.pool }
 func (n *Network) AdoptPacket(p *packet.Packet) { n.pool.Adopt(p) }
 
 // AddNode registers a node with the fabric.
-func (n *Network) AddNode(node Node) { n.nodes = append(n.nodes, node) }
+func (n *Network) AddNode(node Node) {
+	n.nodeIdx[node] = int32(len(n.nodes))
+	n.nodes = append(n.nodes, node)
+}
 
 // Nodes returns all registered nodes.
 func (n *Network) Nodes() []Node { return n.nodes }
@@ -372,10 +393,15 @@ func (n *Network) Run() {
 			n.Trace(n.clock, ev.to, ev.pkt)
 		}
 		n.stats.Deliveries++
-		if n.flows.rec.active && ev.pkt.Mark != 0 {
-			// The marked forward packet of a recorded probe: capture it as
-			// delivered, before the node transforms it.
-			n.flows.record(ev.to, n.clock, ev.pkt)
+		if n.flows.rec.active {
+			// Attribute every delivery of the recorded drain — forward
+			// packet, replies, everything — to the probe's touched set.
+			n.touchDelivery(ev.to)
+			if ev.pkt.Mark != 0 {
+				// The marked forward packet of a recorded probe: capture it
+				// as delivered, before the node transforms it.
+				n.flows.record(ev.to, n.clock, ev.pkt)
+			}
 		}
 		ev.to.Owner.Receive(n, ev.to, ev.pkt)
 		// Receive must not retain pkt (nodes that do — the prober — adopt

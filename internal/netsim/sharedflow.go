@@ -44,6 +44,14 @@ type sharedEpoch struct {
 type sharedFlowEntry struct {
 	valid   [4]uint64
 	replies []ProbeObs
+
+	// touched/touchAll carry the publishing replica's provenance (see
+	// flowcache.go): the node indices the recorded activity visited.
+	// Structurally identical replicas index nodes identically, so the
+	// sets are meaningful fabric-wide. ScopedFlush evicts intersecting
+	// entries; deviance windows refuse to adopt them.
+	touched  []int32
+	touchAll bool
 }
 
 // SharedFlowTable is a topology-keyed, read-mostly reply table shared by
@@ -78,6 +86,35 @@ func (t *SharedFlowTable) Flush() uint64 {
 	ep := &sharedEpoch{version: t.cur.Load().version + 1, entries: map[FlowKey]*sharedFlowEntry{}}
 	t.cur.Store(ep)
 	return ep.version
+}
+
+// ScopedFlush removes the entries whose provenance intersects the scope
+// bitmap (or is unknown), keeping the epoch version: the survivors were
+// recorded over routers the mutation did not touch and remain valid, so
+// subscribed replicas stay attached and warm. The table's owner calls it
+// from a scoped invalidation (churn.go) instead of Flush. A no-op when
+// nothing matches.
+func (t *SharedFlowTable) ScopedFlush(bits []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.cur.Load()
+	victims := 0
+	for _, se := range cur.entries {
+		if se.touchAll || se.touched == nil || intersectsBits(se.touched, bits) {
+			victims++
+		}
+	}
+	if victims == 0 {
+		return
+	}
+	entries := make(map[FlowKey]*sharedFlowEntry, len(cur.entries)-victims)
+	for k, se := range cur.entries {
+		if se.touchAll || se.touched == nil || intersectsBits(se.touched, bits) {
+			continue
+		}
+		entries[k] = se
+	}
+	t.cur.Store(&sharedEpoch{version: cur.version, entries: entries})
 }
 
 // Publish folds the unpublished recordings of the given fabrics into one
@@ -118,16 +155,25 @@ func (t *SharedFlowTable) Publish(nets ...*Network) {
 			continue
 		}
 		for k, e := range f.dirty {
-			if e.valid == ([4]uint64{}) {
+			if e.valid == ([4]uint64{}) || e.tainted {
+				// Tainted entries recorded against a deviated topology; the
+				// dirty-mark gate already excludes them, this is the
+				// publish-side backstop.
 				continue
 			}
-			ne := &sharedFlowEntry{valid: e.valid}
+			ne := &sharedFlowEntry{valid: e.valid, touchAll: e.touchAll}
 			ne.replies = append([]ProbeObs(nil), e.replies...)
+			ne.touched = append([]int32(nil), e.touched...)
 			if prev := entries[k]; prev != nil {
 				// Union, never overwrite: another worker may have published
 				// TTLs this one never probed (and vice versa). Where both
 				// observed a TTL the replies are identical by construction.
 				mergeReplies(&ne.valid, &ne.replies, prev.valid, prev.replies)
+				if prev.touchAll || prev.touched == nil || ne.touched == nil {
+					ne.touched, ne.touchAll = nil, true
+				} else {
+					ne.touched = unionTouched(ne.touched, prev.touched)
+				}
 			}
 			entries[k] = ne
 		}

@@ -131,6 +131,39 @@ func TestSharedFlowTableOwnerFlushDetaches(t *testing.T) {
 	if stale.SharedFlowCache() != nil {
 		t.Fatal("stale subscriber did not detach")
 	}
+
+	// The stale-epoch re-release window: a replica with an unpublished
+	// dirty set whose release (Publish) races an owner Flush must never
+	// leak its recordings into the new epoch — whichever side wins the
+	// table mutex, the post-flush epoch stays empty. Run under -race by
+	// TestRaceTier.
+	late := New(1)
+	late.SetFlowCacheEnabled(true)
+	late.AttachSharedFlowCache(table)
+	seedFlowEntry(t, late, sharedKey(3), 5, sharedObs(3, 5))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); owner.InvalidateFlowCache() }()
+	go func() { defer wg.Done(); table.Publish(late) }()
+	wg.Wait()
+	if table.Len() != 0 {
+		t.Fatalf("stale publish leaked %d entries into the flushed epoch", table.Len())
+	}
+
+	// Sequential replay of the losing interleaving, so the skip-and-detach
+	// path is pinned deterministically: flush first, then release.
+	late2 := New(1)
+	late2.SetFlowCacheEnabled(true)
+	late2.AttachSharedFlowCache(table)
+	seedFlowEntry(t, late2, sharedKey(4), 6, sharedObs(4, 6))
+	owner.InvalidateFlowCache()
+	table.Publish(late2)
+	if table.Len() != 0 {
+		t.Fatalf("post-flush publish leaked %d entries", table.Len())
+	}
+	if late2.SharedFlowCache() != nil {
+		t.Fatal("stale publisher stayed attached")
+	}
 }
 
 // TestSharedFlowTableReplicaMutationDetaches checks the asymmetric rule:

@@ -90,8 +90,19 @@ type shapeKey struct {
 
 // replyShape is everything needed to compose the observation of an
 // expiry at a known context: the reply's identity fields and the virtual
-// time from expiry to the drain going idle (zero for suppressed replies).
+// time from expiry to the drain going idle (zero for suppressed
+// replies), plus the provenance of the probe that taught it — a composed
+// reply's validity depends on the reply path's routers, which the
+// forward trajectory alone does not cover.
 type replyShape struct {
+	shapeObs
+	touched  []int32
+	touchAll bool
+}
+
+// shapeObs is the comparable core of a replyShape; two probes expiring
+// at the same context on a pure fabric always produce the same one.
+type shapeObs struct {
 	answered bool
 	from     netaddr.Addr
 	replyTTL uint8
@@ -203,16 +214,16 @@ func shapeKeyAt(st *trajStep, key FlowKey) (shapeKey, bool) {
 }
 
 // learnShape stores the reply shape of the expiry captured during the
-// finished recording, if any.
-func (n *Network) learnShape(rec *flowRec, obs ProbeObs) {
+// finished recording, if any, stamped with the recording's touched set
+// (tl is the borrowed scratch view; the copy taken here is the shape's
+// own). Re-learning a shape whose observation and provenance are already
+// covered is a no-op, keeping the steady state allocation-free.
+func (n *Network) learnShape(rec *flowRec, obs ProbeObs, tl []int32, tlOK bool) {
 	f := &n.flows
 	if !f.sweepEnabled || !rec.expSeen || rec.expDeep {
 		return
 	}
-	if f.shapes == nil {
-		f.shapes = make(map[shapeKey]replyShape)
-	}
-	f.shapes[rec.expKey] = replyShape{
+	so := shapeObs{
 		answered: obs.Answered,
 		from:     obs.From,
 		replyTTL: obs.ReplyTTL,
@@ -221,6 +232,20 @@ func (n *Network) learnShape(rec *flowRec, obs ProbeObs) {
 		hasMPLS:  len(obs.MPLS) > 0,
 		retDelay: obs.Advance - rec.expOff,
 	}
+	if prev, ok := f.shapes[rec.expKey]; ok && prev.shapeObs == so &&
+		(tlOK && touchedCovers(prev.touched, prev.touchAll, tl) || !tlOK && prev.touchAll) {
+		return
+	}
+	if f.shapes == nil {
+		f.shapes = make(map[shapeKey]replyShape)
+	}
+	sh := replyShape{shapeObs: so}
+	if tlOK {
+		sh.touched = sortedTouched(tl)
+	} else {
+		sh.touchAll = true
+	}
+	f.shapes[rec.expKey] = sh
 }
 
 // SweepBegin decides whether a trace over [first, max] needs a walk:
@@ -242,7 +267,7 @@ func (n *Network) SweepBegin(key FlowKey, first, max uint8) bool {
 			if ep.version != f.sharedVer {
 				f.shared = nil
 				f.dirty = nil
-			} else if se := ep.entries[key]; se != nil {
+			} else if se := ep.entries[key]; se != nil && n.sharedAdoptable(se) {
 				if e == nil {
 					if f.entries == nil {
 						f.entries = make(map[FlowKey]*flowEntry)
@@ -251,6 +276,7 @@ func (n *Network) SweepBegin(key FlowKey, first, max uint8) bool {
 					f.entries[key] = e
 				}
 				mergeReplies(&e.valid, &e.replies, se.valid, se.replies)
+				adoptTouched(e, se)
 			}
 		}
 		return e == nil || !e.coveredTrace(first, max)
@@ -297,13 +323,17 @@ func (n *Network) SweepWalk(out *Iface, pkt *packet.Packet, key FlowKey) time.Du
 		}
 		f.hotKey, f.hotE, f.hotOK = key, e, true
 	} else {
-		// Cache off: a single per-trace slot, reset for every walk.
+		// Cache off: a single per-trace slot, reset for every walk. The
+		// provenance resets to unknown (nil) until SweepFinish stamps the
+		// new flow's touched set — unknown is always evicted, so an
+		// unfinished slot can never dodge a churn scope.
 		e = f.soE
 		if e == nil {
 			e = &flowEntry{}
 		}
 		e.valid = [4]uint64{}
 		e.derived = [4]uint64{}
+		e.touched, e.touchAll, e.tainted = nil, false, false
 		f.soKey, f.soE, f.soOK = key, e, true
 	}
 	e.steps = e.steps[:0]
@@ -317,6 +347,7 @@ func (n *Network) SweepWalk(out *Iface, pkt *packet.Packet, key FlowKey) time.Du
 	f.sweep.Walks++
 	start := n.clock
 	f.rec = flowRec{active: true, entry: e, key: key, start: start}
+	n.touchRemote(out)
 	n.Transmit(out, pkt)
 	n.Run()
 	elapsed := n.clock - start
@@ -341,6 +372,7 @@ func (n *Network) SweepFinish(key FlowKey, first uint8, obs ProbeObs) {
 	if rec.bad {
 		// Poisoned walk (budget exhaustion or mid-drain invalidation): the
 		// trace falls back to per-probe simulation.
+		f.touchReset()
 		e.steps = e.steps[:0]
 		e.swept = false
 		f.sweep.Fallbacks++
@@ -349,7 +381,11 @@ func (n *Network) SweepFinish(key FlowKey, first uint8, obs ProbeObs) {
 	e.swept = true
 	e.terminalLocal = rec.localSeen
 	e.tailMinT = rec.minT
-	n.learnShape(&rec, obs)
+	tl, tlOK := f.takeTouched()
+	n.learnShape(&rec, obs, tl, tlOK)
+	applyTouched(e, tl, tlOK)
+	n.taintCheck(e, tlOK)
+	f.touchReset()
 	n.memoize(e, key, e.t0, obs, false)
 	for t := int(e.t0) - 1; t >= int(first); t-- {
 		ttl := uint8(t)
@@ -462,6 +498,14 @@ func (n *Network) composeExpiry(e *flowEntry, key FlowKey, k int, ttl uint8) (Pr
 	if !ok {
 		return ProbeObs{}, false
 	}
+	// The composed reply's validity now also rests on the reply path the
+	// shape was learned over: fold its provenance into the entry so a
+	// churn scope covering only the return path still evicts this flow.
+	if sh.touchAll {
+		e.touched, e.touchAll = nil, true
+	} else if !e.touchAll && !touchedCovers(e.touched, false, sh.touched) {
+		e.touched = unionTouched(e.touched, sh.touched)
+	}
 	obs := ProbeObs{
 		Answered: sh.answered,
 		From:     sh.from,
@@ -495,6 +539,7 @@ func (n *Network) sweepResume(out *Iface, pkt *packet.Packet, e *flowEntry, key 
 	start := n.clock
 	pkt.Mark = 1
 	f.rec = flowRec{active: true, resume: true, entry: e, key: key, start: start}
+	n.touchRemote(out)
 	if sc := n.sweepScan(e, ttl); sc.kind == scanExpire && sc.step > 0 {
 		fr := &e.steps[sc.step-1]
 		d := e.t0 - ttl

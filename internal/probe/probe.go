@@ -203,6 +203,12 @@ func (p *Prober) buildProbe(dst netaddr.Addr, ttl uint8, method Method, token ui
 // its outcome is memoized. Sent/Recv and the virtual clock advance
 // identically on every path.
 func (p *Prober) probe(dst netaddr.Addr, ttl uint8, method Method) netsim.ProbeObs {
+	// Churn ticks once per logical probe, memo hit or live — the single
+	// choke point every probe passes through, so an armed schedule fires
+	// its events at identical probe boundaries whether or not caching is
+	// on. The sweep walk deliberately does not tick: it is bookkeeping
+	// standing in for the per-probe replies the memo later serves here.
+	p.Net.ChurnTick()
 	token := p.nextToken()
 	key := netsim.FlowKey{Src: p.Host.Addr(), Dst: dst, Proto: packet.ProtoICMP, A: p.FlowID}
 	if method == UDPParis {

@@ -1,0 +1,203 @@
+package reveal
+
+import (
+	"testing"
+
+	"wormhole/internal/lab"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/packet"
+	"wormhole/internal/probe"
+	"wormhole/internal/router"
+)
+
+// Churn-shaped traces: topology churn captured mid-trace produces hop
+// sequences a converged network never shows — reconvergence micro-loops
+// (the same pair of LSRs answering alternating TTLs), transiently
+// anonymous hops (a blackholed TTL during a failure window), and
+// duplicate consecutive responders. The revelation pipeline consumes raw
+// traces, so it must stay sane on all of them.
+
+func churnHop(a netaddr.Addr, ttl uint8, icmp uint8) probe.Hop {
+	return probe.Hop{ProbeTTL: ttl, Addr: a, ReplyTTL: 250, ICMPType: icmp}
+}
+
+func churnAddr(n byte) netaddr.Addr {
+	return netaddr.AddrFrom4(203, 0, 113, n)
+}
+
+// TestHopsBetweenLoopDedupes pins the micro-loop shape: a trace that
+// captured a reconvergence loop (X, A, B, A, B, Y) must reveal each LSR
+// once, in first-seen order — not once per loop turn.
+func TestHopsBetweenLoopDedupes(t *testing.T) {
+	x, a, b, y := churnAddr(1), churnAddr(2), churnAddr(3), churnAddr(4)
+	tr := &probe.Trace{Reached: true}
+	for i, ad := range []netaddr.Addr{x, a, b, a, b, y} {
+		tr.Hops = append(tr.Hops, churnHop(ad, uint8(i+1), packet.ICMPTimeExceeded))
+	}
+	known := map[netaddr.Addr]bool{x: true, y: true}
+	got := hopsBetween(tr, x, y, known)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("looped trace revealed %v, want [%s %s]", got, a, b)
+	}
+}
+
+// TestHopsBetweenTransientlyAnonymousIngress pins the fallback: when the
+// failure window blackholes the TTL at which X would answer, the trace no
+// longer proves it passes through X and must reveal nothing.
+func TestHopsBetweenTransientlyAnonymousIngress(t *testing.T) {
+	x, a, y := churnAddr(1), churnAddr(2), churnAddr(4)
+	tr := &probe.Trace{Reached: true, Hops: []probe.Hop{
+		{ProbeTTL: 1}, // X's slot: anonymous this pass
+		churnHop(a, 2, packet.ICMPTimeExceeded),
+		churnHop(y, 3, packet.ICMPTimeExceeded),
+	}}
+	if got := hopsBetween(tr, x, y, map[netaddr.Addr]bool{x: true, y: true}); got != nil {
+		t.Fatalf("trace that skipped X revealed %v", got)
+	}
+}
+
+// TestHopsBetweenLoopThroughTarget pins the diamond/loop shape where the
+// target itself answers twice (reconvergence swung the path back through
+// it): the span must run to the *last* target occurrence, and X
+// re-occurrences inside it must not be re-revealed.
+func TestHopsBetweenLoopThroughTarget(t *testing.T) {
+	x, a, y, b := churnAddr(1), churnAddr(2), churnAddr(4), churnAddr(5)
+	tr := &probe.Trace{Reached: true}
+	for i, ad := range []netaddr.Addr{x, a, y, x, b, y} {
+		tr.Hops = append(tr.Hops, churnHop(ad, uint8(i+1), packet.ICMPTimeExceeded))
+	}
+	known := map[netaddr.Addr]bool{x: true, y: true}
+	got := hopsBetween(tr, x, y, known)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("revealed %v, want [%s %s]", got, a, b)
+	}
+}
+
+// TestCandidateRejectsDegenerateChurnPairs pins the X==Y and Y==D guards:
+// a transient that makes consecutive TTLs hit the same router must not
+// produce a candidate that sends the revelation walking between an
+// address and itself.
+func TestCandidateRejectsDegenerateChurnPairs(t *testing.T) {
+	x, y, d := churnAddr(1), churnAddr(2), churnAddr(3)
+	mk := func(addrs ...netaddr.Addr) *probe.Trace {
+		tr := &probe.Trace{Reached: true}
+		for i, a := range addrs {
+			icmp := uint8(packet.ICMPTimeExceeded)
+			if i == len(addrs)-1 {
+				icmp = packet.ICMPEchoReply
+			}
+			tr.Hops = append(tr.Hops, churnHop(a, uint8(i+1), icmp))
+		}
+		return tr
+	}
+	if _, ok := CandidateFromTrace(mk(y, y, d)); ok {
+		t.Error("X==Y transient accepted as candidate")
+	}
+	if _, ok := CandidateFromTrace(mk(x, d, d)); ok {
+		t.Error("Y==D transient accepted as candidate")
+	}
+	if c, ok := CandidateFromTrace(mk(x, y, d)); !ok || c.Ingress.Addr != x || c.Egress.Addr != y {
+		t.Errorf("clean tail rejected: %+v ok=%v", c, ok)
+	}
+}
+
+// TestCandidateSkipsTransientAnonymousHops pins candidate extraction over
+// a trace with blackholed TTLs: anonymous slots are skipped, and the last
+// three *responding* hops form the pair.
+func TestCandidateSkipsTransientAnonymousHops(t *testing.T) {
+	x, y, d := churnAddr(1), churnAddr(2), churnAddr(3)
+	tr := &probe.Trace{Reached: true, Hops: []probe.Hop{
+		churnHop(churnAddr(9), 1, packet.ICMPTimeExceeded),
+		{ProbeTTL: 2}, // failure-window blackhole
+		churnHop(x, 3, packet.ICMPTimeExceeded),
+		{ProbeTTL: 4},
+		churnHop(y, 5, packet.ICMPTimeExceeded),
+		churnHop(d, 6, packet.ICMPEchoReply),
+	}}
+	c, ok := CandidateFromTrace(tr)
+	if !ok || c.Ingress.Addr != x || c.Egress.Addr != y {
+		t.Fatalf("candidate %+v ok=%v, want %s -> %s", c, ok, x, y)
+	}
+}
+
+// labLink returns the netsim link joining two lab routers.
+func labLink(t *testing.T, a, b *router.Router) *netsim.Link {
+	t.Helper()
+	for _, ifc := range a.Ifaces() {
+		if r := ifc.Remote(); r != nil {
+			if rr, ok := r.Owner.(*router.Router); ok && rr == b {
+				return ifc.Link
+			}
+		}
+	}
+	t.Fatalf("no link between %s and %s", a.Name(), b.Name())
+	return nil
+}
+
+// TestRevealSurvivesMidRecursionFailure drives the full BRPR recursion
+// against the real engine while a churn event fails the PE1-P1 link
+// after the first re-trace: the recursion must stop cleanly on the
+// unreachable re-trace, keep only the hops proven before the failure,
+// and never spin to the recursion bound.
+func TestRevealSurvivesMidRecursionFailure(t *testing.T) {
+	// A twin lab measures how many probes the first re-trace (to Y =
+	// PE2Left) costs, so the failure lands deterministically right after
+	// it.
+	measure := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	measure.Prober.Traceroute(measure.PE2Left)
+	firstTrace := measure.Prober.Sent
+
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+
+	link := labLink(t, l.PE1, l.P1)
+	l.Net.ChurnBegin([]netsim.ChurnEvent{{
+		Tick:       firstTrace,
+		Kind:       "fail",
+		EvictScope: []netsim.Node{l.PE1, l.P1},
+		Apply:      func() { link.Up = false },
+	}}, false)
+
+	rev := Reveal(l.Prober, l.PE1Left, l.PE2Left)
+	l.Net.ChurnEnd()
+
+	// The first trace (to PE2Left) revealed P3; the second (to P3Left)
+	// died on the failed link and ended the recursion.
+	if len(rev.Hops) != 1 || rev.Hops[0] != l.P3Left {
+		t.Fatalf("revealed %v across a mid-recursion failure, want [%s]", rev.Hops, l.P3Left)
+	}
+	if rev.Technique != TechEither {
+		t.Errorf("technique = %s, want DPR-or-BRPR for a single proven hop", rev.Technique)
+	}
+	if rev.Probes > 3 {
+		t.Errorf("recursion spent %d traces against a dead path, want early stop", rev.Probes)
+	}
+}
+
+// TestRevealAfterRepairMatchesPristine pins the repair guarantee at the
+// revelation level: failing and repairing a tunnel link around an initial
+// trace leaves a later revelation identical to one on an untouched lab.
+func TestRevealAfterRepairMatchesPristine(t *testing.T) {
+	pristine := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	want := Reveal(pristine.Prober, pristine.PE1Left, pristine.PE2Left)
+
+	l := lab.MustBuild(lab.Options{Scenario: lab.BackwardRecursive})
+	link := labLink(t, l.P1, l.P2)
+	l.Net.ChurnBegin([]netsim.ChurnEvent{
+		{Tick: 0, Kind: "fail", EvictScope: []netsim.Node{l.P1, l.P2}, Apply: func() { link.Up = false }},
+		{Tick: 2, Kind: "repair", EvictScope: []netsim.Node{l.P1, l.P2}, Apply: func() { link.Up = true }},
+	}, false)
+	l.Prober.Traceroute(l.CE2Left) // burns through the fail/repair window
+	l.Net.ChurnEnd()
+
+	got := Reveal(l.Prober, l.PE1Left, l.PE2Left)
+	if len(got.Hops) != len(want.Hops) || got.Technique != want.Technique {
+		t.Fatalf("post-repair revelation %v (%s), pristine %v (%s)",
+			got.Hops, got.Technique, want.Hops, want.Technique)
+	}
+	for i := range want.Hops {
+		if got.Hops[i] != want.Hops[i] {
+			t.Errorf("hop %d: %s vs pristine %s", i, got.Hops[i], want.Hops[i])
+		}
+	}
+}

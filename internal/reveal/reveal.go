@@ -142,6 +142,10 @@ func hopsBetween(tr *probe.Trace, x, target netaddr.Addr, known map[netaddr.Addr
 	var out []netaddr.Addr
 	for _, a := range seq[xi+1 : ti] {
 		if !known[a] {
+			// Marking as we emit also dedupes within this trace: a
+			// reconvergence loop (A B A B ...) captured mid-churn must not
+			// inject the same LSR twice into the revealed path.
+			known[a] = true
 			out = append(out, a)
 		}
 	}
@@ -244,6 +248,12 @@ func CandidateFromTrace(tr *probe.Trace) (Candidate, bool) {
 	y := resp[len(resp)-2]
 	x := resp[len(resp)-3]
 	if d.ICMPType != packet.ICMPEchoReply && d.ICMPType != packet.ICMPDestUnreach {
+		return Candidate{}, false
+	}
+	if x.Addr == y.Addr || y.Addr == d.Addr {
+		// A reconvergence transient can make consecutive TTLs hit the same
+		// router; a degenerate X==Y (or Y==D) pair would send the
+		// revelation walking between an address and itself.
 		return Candidate{}, false
 	}
 	return Candidate{Ingress: x, Egress: y}, true

@@ -101,7 +101,9 @@ func (r *Router) invalidateRouteCache() {
 func (r *Router) mutated() {
 	r.invalidateRouteCache()
 	if r.net != nil {
-		r.net.InvalidateFlowCache()
+		// Scoped: inside a churn event batch only flows that traversed
+		// this router are evicted; outside one this is the full flush.
+		r.net.InvalidateFlowCacheScoped(r)
 	}
 }
 

@@ -84,6 +84,17 @@ func Signal(tn *Tunnel) error {
 	return nil
 }
 
+// Reroute re-signals tn over a detour path — RSVP-TE fast-reroute after
+// a failure along the original explicit route. The tunnel's identity
+// (name, FEC, UHP mode) is preserved; only the router sequence changes.
+// tn itself is not mutated, so a later re-signal of the original path
+// (repair) restores the pristine LSP.
+func Reroute(tn *Tunnel, path []*router.Router) error {
+	detour := *tn
+	detour.Path = path
+	return Signal(&detour)
+}
+
 // connecting returns the interface of a facing b, if they share a link.
 func connecting(a, b *router.Router) (*netsim.Iface, bool) {
 	for _, ifc := range a.Ifaces() {
