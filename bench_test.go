@@ -202,12 +202,20 @@ func TestBenchSmoke(t *testing.T) {
 		Runs:       1,
 		CloneIters: 1,
 		Workers:    []int{1, 2},
+		Scales:     []experiments.Scale{experiments.Small},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Scale != "small" || rep.Seed != 2024 || rep.GoMaxProcs < 1 {
 		t.Fatalf("bad report header: %+v", rep)
+	}
+	if len(rep.Scales) != 1 {
+		t.Fatalf("want 1 scale row, got %d", len(rep.Scales))
+	}
+	if sr := rep.Scales[0]; sr.Scale != "small" || sr.Routers <= 0 ||
+		sr.BuildMS <= 0 || sr.SnapshotMS <= 0 || sr.BytesPerRouter <= 0 {
+		t.Fatalf("bad scale row: %+v", sr)
 	}
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
@@ -287,6 +295,11 @@ func TestBenchSmoke(t *testing.T) {
 	var back benchrun.Report
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
+	}
+	if len(back.Scales) != 1 || back.Scales[0].Scale != "small" ||
+		back.Scales[0].Routers != rep.Scales[0].Routers ||
+		back.Scales[0].BytesPerRouter != rep.Scales[0].BytesPerRouter {
+		t.Fatalf("JSON round-trip mangled the scale rows: %+v", back.Scales)
 	}
 	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[5].Workers != 2 ||
 		!back.Campaign[3].Churn || back.Campaign[3].ChurnFlushWorld ||

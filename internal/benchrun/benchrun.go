@@ -31,6 +31,25 @@ type Config struct {
 	// Workers lists the worker-pool sizes to measure (default 1, 4,
 	// NumCPU, deduplicated).
 	Workers []int
+	// Scales lists ladder rungs to measure build/snapshot/memory for
+	// (each gets one ScaleReport row; empty = none). Independent of the
+	// campaign matrix, which runs at Scale.
+	Scales []experiments.Scale
+	// ScalesOnly skips the clone and campaign measurements, emitting only
+	// the scale-ladder rows — what the bench guard's memory gate runs.
+	ScalesOnly bool
+}
+
+// ScaleReport is one scale-ladder rung: how long the world takes to
+// build, how long a structural snapshot takes once warm, and how many
+// heap bytes one retained replica costs per router. The bytes/router
+// budget is the tentpole number — the guard gates it.
+type ScaleReport struct {
+	Scale          string  `json:"scale"`
+	Routers        int     `json:"routers"`
+	BuildMS        float64 `json:"build_ms"`
+	SnapshotMS     float64 `json:"snapshot_ms"`
+	BytesPerRouter float64 `json:"bytes_per_router"`
 }
 
 // CloneReport compares the two replica paths.
@@ -126,6 +145,8 @@ type Report struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Clone      CloneReport      `json:"clone"`
 	Campaign   []CampaignReport `json:"campaign"`
+	// Scales holds the scale-ladder rows, when requested.
+	Scales []ScaleReport `json:"scales,omitempty"`
 }
 
 // Run executes the benchmark suite on a freshly built Internet.
@@ -136,6 +157,22 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.CloneIters < 1 {
 		cfg.CloneIters = 3
 	}
+	rep := &Report{
+		Scale:      cfg.Scale.String(),
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range cfg.Scales {
+		sr, err := measureScale(s, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scales = append(rep.Scales, sr)
+	}
+	if cfg.ScalesOnly {
+		return rep, nil
+	}
+
 	if len(cfg.Workers) == 0 {
 		cfg.Workers = []int{1, 4, runtime.NumCPU()}
 	}
@@ -155,17 +192,13 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		Scale:      cfg.Scale.String(),
-		Seed:       cfg.Seed,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-	}
 
 	rep.Clone, err = measureClone(in, cfg.CloneIters)
 	if err != nil {
 		return nil, err
 	}
 
+	camCfg := cfg.Scale.CampaignConfig()
 	for _, w := range workers {
 		// Per-probe baseline, sweep-only cold path, the full fast path, and
 		// the two churned fast-path rows (delta-invalidation vs the
@@ -179,7 +212,7 @@ func Run(cfg Config) (*Report, error) {
 			{true, true, true, false},
 			{true, true, true, true},
 		} {
-			cr, err := measureCampaign(in, w, cfg.Runs, combo.cache, combo.sweep, combo.churn, combo.flushWorld)
+			cr, err := measureCampaign(in, camCfg, w, cfg.Runs, combo.cache, combo.sweep, combo.churn, combo.flushWorld)
 			if err != nil {
 				return nil, err
 			}
@@ -226,12 +259,12 @@ func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	return rep, nil
 }
 
-func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep, churn, flushWorld bool) (CampaignReport, error) {
+func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, flowCache, sweep, churn, flushWorld bool) (CampaignReport, error) {
 	rep := CampaignReport{
 		Workers: workers, Runs: runs, FlowCache: flowCache, Sweep: sweep,
 		Churn: churn, ChurnFlushWorld: churn && flushWorld,
 	}
-	cfg := campaign.DefaultConfig()
+	cfg := base
 	cfg.DisableFlowCache = !flowCache
 	cfg.DisableSweep = !sweep
 	if churn {
@@ -314,6 +347,49 @@ func measureCampaign(in *gen.Internet, workers, runs int, flowCache, sweep, chur
 		rep.AllocsPerProbe = float64(ms1.Mallocs-ms0.Mallocs) / float64(probes)
 		rep.BytesPerProbe = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(probes)
 	}
+	return rep, nil
+}
+
+// measureScale builds one ladder rung and measures the tentpole numbers:
+// cold build time, warm snapshot time, and the heap footprint of one
+// retained replica divided by the router count. The footprint is measured
+// as the settled heap delta around the retained snapshot (GC fences on
+// both sides), so transient build garbage is not billed to the replica.
+func measureScale(s experiments.Scale, seed int64) (ScaleReport, error) {
+	rep := ScaleReport{Scale: s.String()}
+	start := time.Now()
+	in, err := gen.Build(s.Params(seed))
+	if err != nil {
+		return rep, err
+	}
+	rep.BuildMS = msPer(time.Since(start), 1)
+	for _, as := range in.ASes {
+		rep.Routers += len(as.Core) + len(as.Edge)
+	}
+	// Warm-up snapshot: pays allocator growth once, untimed.
+	if _, err := in.Snapshot(); err != nil {
+		return rep, err
+	}
+	runtime.GC()
+	start = time.Now()
+	if _, err := in.Snapshot(); err != nil {
+		return rep, err
+	}
+	rep.SnapshotMS = msPer(time.Since(start), 1)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	keep, err := in.Snapshot()
+	if err != nil {
+		return rep, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if rep.Routers > 0 {
+		rep.BytesPerRouter = (float64(m1.HeapAlloc) - float64(m0.HeapAlloc)) / float64(rep.Routers)
+	}
+	runtime.KeepAlive(keep)
 	return rep, nil
 }
 

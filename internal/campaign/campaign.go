@@ -80,6 +80,16 @@ type Config struct {
 	// baseline the delta path is equivalence-tested and benchmarked
 	// against.
 	ChurnFlushWorld bool
+	// MaxBootstrapTargets caps how many router addresses the bootstrap
+	// sweep traces, as a deterministic stride sample over the full set
+	// (zero = no cap). The hierarchical scales set it: sweeping 10⁵
+	// routers from every VP is neither tractable nor representative of
+	// the paper's campaigns, which sampled the address space.
+	MaxBootstrapTargets int
+	// MaxTargets caps the selected target list (set A ∪ B) the same way
+	// (zero = no cap). Sampling happens after the canonical sort, so
+	// serial and parallel engines probe the identical subset.
+	MaxTargets int
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -371,9 +381,29 @@ func (c *Campaign) resolver() topo.Resolver {
 
 // bootstrap sweeps all router addresses from a few VPs each and builds
 // the observed graph.
+// strideSample returns up to max elements of xs at evenly spaced indices
+// (the full slice when max is zero or not exceeded). Deterministic, so
+// every engine samples the identical subset.
+func strideSample[T any](xs []T, max int) []T {
+	if max <= 0 || len(xs) <= max {
+		return xs
+	}
+	out := make([]T, max)
+	for i := range out {
+		out[i] = xs[i*len(xs)/max]
+	}
+	return out
+}
+
+// bootstrapAddrs returns the bootstrap sweep's destination list: every
+// registered router address, stride-sampled down to the configured cap.
+func (c *Campaign) bootstrapAddrs() []netaddr.Addr {
+	return strideSample(c.In.RouterAddrs(), c.Cfg.MaxBootstrapTargets)
+}
+
 func (c *Campaign) bootstrap() {
 	c.ITDK = topo.New(c.resolver())
-	addrs := c.In.RouterAddrs()
+	addrs := c.bootstrapAddrs()
 	vps := c.In.VPs
 	spread := c.Cfg.BootstrapSpread
 	if spread < 1 {
@@ -434,6 +464,11 @@ func (c *Campaign) selectTargets() {
 		}
 	}
 	sort.Slice(c.Targets, func(i, j int) bool { return c.Targets[i] < c.Targets[j] })
+	// Cap after the canonical sort: the sampled subset is a function of
+	// the sorted list alone, so every engine probes the same targets.
+	// teamOf keeps entries for sampled-out addresses; only c.Targets
+	// drives the shards.
+	c.Targets = strideSample(c.Targets, c.Cfg.MaxTargets)
 }
 
 // Revelations returns the distinct successful revelations.

@@ -218,7 +218,7 @@ func (c *Campaign) bootstrapSharded(pool *workerPool) {
 	// here, before any worker drives a replica, exactly as the serial
 	// engine resolves before its first traceroute.
 	c.ITDK = topo.New(c.resolver())
-	addrs := c.In.RouterAddrs()
+	addrs := c.bootstrapAddrs()
 	vps := c.In.VPs
 	spread := c.Cfg.BootstrapSpread
 	if spread < 1 {

@@ -111,6 +111,8 @@ func parseScale(s string) (experiments.Scale, error) {
 		return experiments.Medium, nil
 	case "large":
 		return experiments.Large, nil
+	case "huge":
+		return experiments.Huge, nil
 	default:
 		return 0, fmt.Errorf("unknown scale %q", s)
 	}
@@ -329,6 +331,8 @@ func cmdBench(args []string) error {
 	scaleName := fs.String("scale", "small", "internet scale")
 	runs := fs.Int("runs", 3, "campaign iterations per worker count")
 	workersCSV := fs.String("workers", "", "comma-separated worker counts (default 1,4,NumCPU)")
+	scalesCSV := fs.String("scales", "", "comma-separated scale-ladder rungs to measure build/snapshot/memory for (e.g. small,medium,large)")
+	scalesOnly := fs.Bool("scales-only", false, "measure only the scale ladder (skip clone and campaign matrices)")
 	outPath := fs.String("out", "BENCH_campaign.json", "output JSON path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -369,7 +373,18 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := benchrun.Config{Scale: scale, Seed: *seed, Runs: *runs}
+	cfg := benchrun.Config{Scale: scale, Seed: *seed, Runs: *runs, ScalesOnly: *scalesOnly}
+	if *scalesCSV != "" {
+		for _, part := range strings.Split(*scalesCSV, ",") {
+			s, err := parseScale(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bench: %w", err)
+			}
+			cfg.Scales = append(cfg.Scales, s)
+		}
+	} else if *scalesOnly {
+		cfg.Scales = []experiments.Scale{scale}
+	}
 	if *workersCSV != "" {
 		for _, part := range strings.Split(*workersCSV, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(part))
@@ -382,6 +397,17 @@ func cmdBench(args []string) error {
 	rep, err := benchrun.Run(cfg)
 	if err != nil {
 		return err
+	}
+	for _, sr := range rep.Scales {
+		printf("scale %-6s: %6d routers, build %.0fms, snapshot %.1fms, %.0f bytes/router\n",
+			sr.Scale, sr.Routers, sr.BuildMS, sr.SnapshotMS, sr.BytesPerRouter)
+	}
+	if *scalesOnly {
+		if err := benchrun.WriteJSON(*outPath, rep); err != nil {
+			return err
+		}
+		printf("report written to %s\n", *outPath)
+		return nil
 	}
 	printf("clone: structural %.2fms, rebuild %.2fms, speedup %.1fx\n",
 		rep.Clone.StructuralMS, rep.Clone.RebuildMS, rep.Clone.Speedup)

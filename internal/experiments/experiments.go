@@ -46,8 +46,12 @@ const (
 	Small Scale = iota
 	// Medium is the default for the CLI and benches.
 	Medium
-	// Large stresses the harness.
+	// Large is ~10⁴ routers through the streamed hierarchical builder;
+	// campaigns sample targets to stay tractable.
 	Large
+	// Huge is ~10⁵ routers — the ladder's top rung, exercised only by
+	// scale benches and explicitly opted-in tests (WORMHOLE_HUGE=1).
+	Huge
 )
 
 func (s Scale) String() string {
@@ -58,21 +62,49 @@ func (s Scale) String() string {
 		return "medium"
 	case Large:
 		return "large"
+	case Huge:
+		return "huge"
 	default:
 		return fmt.Sprintf("scale-%d", int(s))
 	}
 }
 
-// Params returns generator parameters for a scale.
+// Params returns generator parameters for a scale. Small and Medium use
+// the flat builder; Large and Huge cross the AS threshold and build
+// hierarchically (streamed generation, provider-aggregated addressing).
 func (s Scale) Params(seed int64) gen.Params {
 	p := gen.DefaultParams(seed)
 	switch s {
 	case Small:
 		p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 2, 5, 10, 5
 	case Large:
-		p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 5, 20, 60, 15
+		p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 8, 60, 4500, 30
+		p.TransitPeerProb = 8.0 / 60
+	case Huge:
+		p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 10, 400, 46000, 50
+		p.TransitCore = [2]int{3, 5}
+		p.TransitEdge = [2]int{3, 5}
+		p.TransitPeerProb = 8.0 / 400
 	}
 	return p
+}
+
+// CampaignConfig returns the campaign configuration for a scale: the
+// default adaptive config, with bootstrap/target sampling caps at the
+// hierarchical scales (probing every one of 10⁵ routers from every VP is
+// neither tractable nor what the paper's campaigns did — MPLS-focused
+// target lists were always samples of the address space).
+func (s Scale) CampaignConfig() campaign.Config {
+	cfg := campaign.DefaultConfig()
+	switch s {
+	case Large:
+		cfg.MaxBootstrapTargets = 4000
+		cfg.MaxTargets = 2000
+	case Huge:
+		cfg.MaxBootstrapTargets = 2000
+		cfg.MaxTargets = 1000
+	}
+	return cfg
 }
 
 // World bundles a generated Internet with a completed campaign so that the
@@ -96,7 +128,7 @@ func NewWorldParallel(seed int64, scale Scale, workers int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := campaign.DefaultConfig() // adaptive HDN threshold
+	cfg := scale.CampaignConfig() // adaptive HDN threshold; sampled at Large+
 	c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"wormhole/internal/bgp"
@@ -111,6 +112,15 @@ type Params struct {
 	// instead of the centralized computations. Slower to build,
 	// observationally identical; integration tests exercise both.
 	InBandControlPlane bool
+
+	// Hierarchical forces the streamed, provider-aggregated build path
+	// (see hier.go): tier-1 and transit ASes converge eagerly, stubs are
+	// emitted region by region with provider-carved address blocks,
+	// default routes instead of full tables, and lazily recomputable SPF
+	// state. It turns on automatically above the flat builder's AS limit;
+	// setting it explicitly lets tests exercise the streamed path at
+	// small scale. Incompatible with InBandControlPlane.
+	Hierarchical bool
 }
 
 // DefaultParams mirrors the survey shares at a simulable scale.
@@ -167,12 +177,15 @@ type ASInfo struct {
 	// Aggregate is the announced address block.
 	Aggregate netaddr.Prefix
 
-	// spf is the AS's computed IGP state. On a structural snapshot it is
-	// materialized lazily from spfThunk: campaign workers never read SPF
-	// state, and remapping it eagerly costs as much as cloning all the
-	// router tables of the AS.
-	spf      *igp.Result
-	spfThunk func() *igp.Result
+	// spf is the AS's computed IGP state. It is materialized lazily when
+	// spfMode says so: campaign workers never read SPF state, and
+	// remapping (or recomputing) it eagerly costs as much as cloning all
+	// the router tables of the AS. The mode enum replaces a per-AS
+	// closure so snapshots stay allocation-free.
+	spf     *igp.Result
+	spfMode uint8
+	snapSrc *ASInfo  // spfRemap: source AS to remap from
+	snapCtx *snapCtx // spfRemap: shared pointer-translation context
 
 	// teTunnels records every RSVP-TE tunnel signalling *attempt* of the
 	// build, in order — including attempts Signal rejected, because a
@@ -181,16 +194,53 @@ type ASInfo struct {
 	// the AS's label plane byte-for-byte; churn repair depends on that.
 	teTunnels []*rsvpte.Tunnel
 
+	// index is the AS's position in Internet.ASes, stable across
+	// snapshots; the shared address index records it instead of pointers.
+	index int32
+
+	// childFloor bounds subnet30 allocation from above, in addresses from
+	// the aggregate base: everything at or past it is reserved (loopback
+	// range, and in hierarchical transits the child /20 blocks carved
+	// top-down by carveChild20).
+	childFloor uint32
+
 	nextSubnet uint32
 	nextLo     uint32
 }
 
+// SPF materialization modes for snapshot replicas and streamed stubs.
+const (
+	spfEager     uint8 = iota // spf is whatever it is; no lazy work
+	spfRecompute              // recompute from the replica's own routers on demand
+	spfRemap                  // remap the source AS's result through snapCtx
+)
+
 // SPF returns the AS's computed IGP state (nil if the AS has none). On
-// snapshot replicas the first call materializes the remapped copy.
+// snapshot replicas — and on streamed stubs that dropped their transient
+// build-time SPF — the first call materializes it.
 func (as *ASInfo) SPF() *igp.Result {
-	if as.spf == nil && as.spfThunk != nil {
-		as.spf = as.spfThunk()
-		as.spfThunk = nil
+	if as.spf != nil {
+		return as.spf
+	}
+	switch as.spfMode {
+	case spfRecompute:
+		as.spfMode = spfEager
+		// InstallOn non-nil and empty: compute paths, install nothing —
+		// materializing ground truth must not touch router tables (that
+		// would bump TopoGen and poison the replica pool).
+		dom := &igp.Domain{Routers: as.Routers(), InstallOn: []*router.Router{}}
+		res, err := dom.Compute()
+		if err != nil {
+			panic(fmt.Sprintf("gen: AS%d lazy SPF: %v", as.Num, err))
+		}
+		as.spf = res
+	case spfRemap:
+		as.spfMode = spfEager
+		src, ctx := as.snapSrc, as.snapCtx
+		as.snapSrc, as.snapCtx = nil, nil
+		if s := src.SPF(); s != nil {
+			as.spf = s.Remap(ctx.router, ctx.iface)
+		}
 	}
 	return as.spf
 }
@@ -209,19 +259,27 @@ type VP struct {
 	AS     *ASInfo
 }
 
+// addrRec is one row of the ground-truth address index: interface address
+// to (fabric node index, AS index). Indices instead of pointers make the
+// sorted slice world-independent — a structural snapshot shares it by
+// reference (node and AS order are clone invariants), so replicating the
+// index costs nothing regardless of fabric size.
+type addrRec struct {
+	addr netaddr.Addr
+	node int32
+	as   int32
+}
+
 // Internet is the generated world.
 type Internet struct {
 	Net  *netsim.Network
 	ASes []*ASInfo
 	VPs  []*VP
 
-	// addrInfo is the ground truth: interface address to (router, AS). On
-	// a structural snapshot it is materialized lazily from addrThunk:
-	// campaign workers resolve addresses against the source world, so
-	// copying the index eagerly would tax every worker spin-up for a map
-	// that is usually never read.
-	addrInfo  map[netaddr.Addr]AddrInfo
-	addrThunk func() map[netaddr.Addr]AddrInfo
+	// addrRecs is the ground-truth address index, sorted by address once
+	// Build finishes (binary-searched by Resolve/Owner). Snapshots share
+	// it by reference; see addrRec.
+	addrRecs []addrRec
 
 	// asByNum indexes ASes by number for constant-time ASByNum.
 	asByNum map[uint32]*ASInfo
@@ -257,30 +315,36 @@ type AddrInfo struct {
 	AS     *ASInfo
 }
 
-// addrs returns the address index, materializing a snapshot replica's
-// lazy copy on first use.
-func (in *Internet) addrs() map[netaddr.Addr]AddrInfo {
-	if in.addrInfo == nil && in.addrThunk != nil {
-		in.addrInfo = in.addrThunk()
-		in.addrThunk = nil
+// lookupAddr binary-searches the sorted ground-truth index.
+func (in *Internet) lookupAddr(a netaddr.Addr) (addrRec, bool) {
+	i := sort.Search(len(in.addrRecs), func(i int) bool { return in.addrRecs[i].addr >= a })
+	if i < len(in.addrRecs) && in.addrRecs[i].addr == a {
+		return in.addrRecs[i], true
 	}
-	return in.addrInfo
+	return addrRec{}, false
 }
 
 // Resolve is the ground-truth resolver handed to topo.Graph (the ITDK
 // alias/AS mapping substitute).
 func (in *Internet) Resolve(a netaddr.Addr) (string, uint32, bool) {
-	info, ok := in.addrs()[a]
+	rec, ok := in.lookupAddr(a)
 	if !ok {
 		return "", 0, false
 	}
-	return info.Router.Name(), info.AS.Num, true
+	r := in.Net.Nodes()[rec.node].(*router.Router)
+	return r.Name(), in.ASes[rec.as].Num, true
 }
 
 // Owner returns ground-truth info for an address.
 func (in *Internet) Owner(a netaddr.Addr) (AddrInfo, bool) {
-	info, ok := in.addrs()[a]
-	return info, ok
+	rec, ok := in.lookupAddr(a)
+	if !ok {
+		return AddrInfo{}, false
+	}
+	return AddrInfo{
+		Router: in.Net.Nodes()[rec.node].(*router.Router),
+		AS:     in.ASes[rec.as],
+	}, true
 }
 
 // ASByNum returns the AS with the given number. Lookup paths call this per
@@ -293,7 +357,9 @@ func (in *Internet) ASByNum(num uint32) *ASInfo {
 // included), in deterministic order. Campaigns draw probing targets from
 // this set.
 func (in *Internet) RouterAddrs() []netaddr.Addr {
-	var out []netaddr.Addr
+	// Every registered router address has exactly one ground-truth row, so
+	// the index length is the exact output size.
+	out := make([]netaddr.Addr, 0, len(in.addrRecs))
 	for _, as := range in.ASes {
 		for _, r := range as.Routers() {
 			if lo := r.Loopback(); lo != nil {
@@ -307,18 +373,25 @@ func (in *Internet) RouterAddrs() []netaddr.Addr {
 	return out
 }
 
-// Build generates an Internet.
+// Build generates an Internet. Worlds beyond the flat builder's AS limit
+// (or with Params.Hierarchical set) go through the streamed hierarchical
+// builder in hier.go; small worlds keep the flat path byte-for-byte.
 func Build(p Params) (*Internet, error) {
-	if p.NumTier1 < 1 || p.NumTier1+p.NumTransit+p.NumStub > 250 {
+	if p.NumTier1 < 1 {
 		return nil, fmt.Errorf("gen: unsupported AS counts (%d/%d/%d)", p.NumTier1, p.NumTransit, p.NumStub)
+	}
+	// Decided locally, never written back into p: Params must round-trip
+	// unchanged through Build (Rebuild replays the stored copy).
+	hier := p.Hierarchical || p.NumTier1+p.NumTransit+p.NumStub > flatASLimit
+	if hier {
+		return buildHierarchical(p)
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	in := &Internet{
-		Net:      netsim.New(p.Seed ^ 0x5eed),
-		addrInfo: make(map[netaddr.Addr]AddrInfo),
-		asByNum:  make(map[uint32]*ASInfo),
-		params:   p,
-		rng:      rng,
+		Net:     netsim.New(p.Seed ^ 0x5eed),
+		asByNum: make(map[uint32]*ASInfo),
+		params:  p,
+		rng:     rng,
 	}
 
 	// 1. Create ASes with intra-AS topologies. Transit and Tier-1 profiles
@@ -342,8 +415,6 @@ func Build(p Params) (*Internet, error) {
 			as := in.buildAS(p, num, tier, prof)
 			num++
 			out = append(out, as)
-			in.ASes = append(in.ASes, as)
-			in.asByNum[as.Num] = as
 		}
 		return out
 	}
@@ -434,7 +505,14 @@ func Build(p Params) (*Internet, error) {
 	} else if err := bgp.Compute(topo); err != nil {
 		return nil, err
 	}
+	in.finishAddrIndex()
 	return in, nil
+}
+
+// finishAddrIndex sorts the ground-truth index once registration is done;
+// Resolve/Owner binary-search it from then on.
+func (in *Internet) finishAddrIndex() {
+	sort.Slice(in.addrRecs, func(i, j int) bool { return in.addrRecs[i].addr < in.addrRecs[j].addr })
 }
 
 // --- internals ---
@@ -454,29 +532,54 @@ func (in *Internet) delay(p Params) time.Duration {
 	return p.MinDelay + time.Duration(in.rng.Int63n(int64(span)))
 }
 
-// aggregateOf returns AS number num's /16 block (10.num.0.0/16).
+// flatASLimit is the most ASes the flat builder handles; beyond it Build
+// switches to the streamed hierarchical path (hier.go).
+const flatASLimit = 250
+
+// aggregateOf returns AS number num's /16 block (10.num.0.0/16) — the flat
+// builder's addressing plan. The hierarchical builder assigns
+// provider-aggregated blocks instead (see hier.go).
 func aggregateOf(num uint32) netaddr.Prefix {
 	return netaddr.MustPrefixFrom(netaddr.AddrFrom4(10, byte(num), 0, 0), 16)
 }
 
-// subnet30 allocates the AS's next /30.
+// size returns the AS aggregate's address count. Blocks are at most /11,
+// so the count fits uint32.
+func (a *ASInfo) size() uint32 {
+	return uint32(a.Aggregate.NumAddrs())
+}
+
+// subnet30 allocates the AS's next /30: bottom-up from the aggregate base,
+// stopping at childFloor (loopback range; carved child blocks).
 func (a *ASInfo) subnet30() netaddr.Prefix {
-	// /30s from 10.num.0.0 upward, skipping the loopback range 10.num.255.x.
 	p := netaddr.MustPrefixFrom(a.Aggregate.Addr()+netaddr.Addr(a.nextSubnet*4), 30)
 	a.nextSubnet++
-	if a.nextSubnet >= 255*64 {
+	if a.nextSubnet*4 >= a.childFloor {
 		panic(fmt.Sprintf("gen: AS%d out of subnets", a.Num))
 	}
 	return p
 }
 
-// loopback allocates the AS's next loopback /32 in 10.num.255.x.
+// loopback allocates the AS's next loopback /32 from the top 256 addresses
+// of the aggregate (10.num.255.x in the flat plan).
 func (a *ASInfo) loopback() netaddr.Addr {
 	a.nextLo++
 	if a.nextLo > 254 {
 		panic(fmt.Sprintf("gen: AS%d out of loopbacks", a.Num))
 	}
-	return a.Aggregate.Addr() + netaddr.Addr(255*256) + netaddr.Addr(a.nextLo)
+	return a.Aggregate.Addr() + netaddr.Addr(a.size()-256) + netaddr.Addr(a.nextLo)
+}
+
+// carveChild20 hands out the next /20 child block from the top of the
+// aggregate, below everything already reserved. Hierarchical transits use
+// it to assign their stub customers provider-aggregated space.
+func (a *ASInfo) carveChild20() netaddr.Prefix {
+	const childSize = 1 << 12
+	if a.childFloor < childSize || a.childFloor-childSize < a.nextSubnet*4 {
+		panic(fmt.Sprintf("gen: AS%d out of child blocks", a.Num))
+	}
+	a.childFloor -= childSize
+	return netaddr.MustPrefixFrom(a.Aggregate.Addr()+netaddr.Addr(a.childFloor), 20)
 }
 
 // stratifiedProfiles deals out n transit/Tier-1 profiles whose vendor,
@@ -573,15 +676,37 @@ func (in *Internet) personalityFor(prof Profile) (router.Personality, router.LDP
 }
 
 func (in *Internet) buildAS(p Params, num uint32, tier Tier, prof Profile) *ASInfo {
+	x := in.rng.Float64()
+	y := in.rng.Float64()
+	as := in.newAS(num, prof, aggregateOf(num), x, y)
+	in.buildASTopology(p, as, tier)
+	return as
+}
+
+// newAS creates an AS record, registers it in the world's indexes, and
+// reserves the top 256 addresses of its aggregate for loopbacks. The
+// hierarchical builder calls it directly with provider-carved aggregates
+// and precomputed coordinates.
+func (in *Internet) newAS(num uint32, prof Profile, agg netaddr.Prefix, x, y float64) *ASInfo {
 	as := &ASInfo{
 		Num:       num,
 		Name:      fmt.Sprintf("AS%d", num),
-		Aggregate: aggregateOf(num),
+		Aggregate: agg,
 		Profile:   prof,
-		X:         in.rng.Float64(),
-		Y:         in.rng.Float64(),
+		X:         x,
+		Y:         y,
+		index:     int32(len(in.ASes)),
 	}
+	as.childFloor = as.size() - 256
+	in.ASes = append(in.ASes, as)
+	in.asByNum[as.Num] = as
+	return as
+}
 
+// buildASTopology populates the AS with its two-level PoP topology: router
+// creation, loopbacks, core ring/chain wiring, edge attachment.
+func (in *Internet) buildASTopology(p Params, as *ASInfo, tier Tier) {
+	num := as.Num
 	var nCore, nEdge int
 	switch tier {
 	case Tier1:
@@ -646,14 +771,17 @@ func (in *Internet) buildAS(p Params, num uint32, tier Tier, prof Profile) *ASIn
 			wire(e, as.Core[(i+1)%len(as.Core)])
 		}
 	}
-	return as
 }
 
 func (in *Internet) register(ifc *netsim.Iface, r *router.Router, as *ASInfo) {
 	if err := in.Net.RegisterIface(ifc); err != nil {
 		panic(err) // generator bug: address allocation never collides
 	}
-	in.addrInfo[ifc.Addr] = AddrInfo{Router: r, AS: as}
+	idx, ok := in.Net.IndexOf(r)
+	if !ok {
+		panic(fmt.Sprintf("gen: register before AddNode for %s", r.Name()))
+	}
+	in.addrRecs = append(in.addrRecs, addrRec{addr: ifc.Addr, node: idx, as: as.index})
 }
 
 // borderOf picks a border-capable router (edge router when present).
@@ -677,14 +805,20 @@ func (in *Internet) interASDelay(p Params, a, b *ASInfo) time.Duration {
 }
 
 func (in *Internet) connectASes(p Params, a, b *ASInfo, rel bgp.Relationship) *bgp.Session {
-	ra, rb := in.borderOf(a), in.borderOf(b)
 	// The subnet comes from the lexically-smaller AS's space; ownership
 	// only matters for IP-to-AS mapping noise, which the campaign models
-	// separately.
+	// separately. (The hierarchical builder overrides this for stub
+	// links, which must be numbered out of the stub's provider-carved
+	// block.)
 	owner := a
 	if b.Num < a.Num {
 		owner = b
 	}
+	return in.connectASesOwned(p, a, b, rel, owner)
+}
+
+func (in *Internet) connectASesOwned(p Params, a, b *ASInfo, rel bgp.Relationship, owner *ASInfo) *bgp.Session {
+	ra, rb := in.borderOf(a), in.borderOf(b)
 	sub := owner.subnet30()
 	ai := ra.AddIface(fmt.Sprintf("x-as%d", b.Num), sub.Nth(1), sub)
 	bi := rb.AddIface(fmt.Sprintf("x-as%d", a.Num), sub.Nth(2), sub)

@@ -4,13 +4,20 @@ import (
 	"fmt"
 	"math/rand"
 
-	"wormhole/internal/igp"
-	"wormhole/internal/netaddr"
 	"wormhole/internal/netsim"
 	"wormhole/internal/probe"
 	"wormhole/internal/router"
 	"wormhole/internal/rsvpte"
 )
+
+// snapCtx carries the old→new pointer translation of one structural
+// snapshot for ASes that defer their SPF remap. One context is shared by
+// every deferred AS of the snapshot, so the per-AS cost is two pointer
+// stores — no closures, no per-AS allocations.
+type snapCtx struct {
+	router func(*router.Router) *router.Router
+	iface  func(*netsim.Iface) *netsim.Iface
+}
 
 // Snapshot builds an independent replica of this Internet by structurally
 // deep-copying the built state: every router (FIB, LFIB, bindings,
@@ -18,6 +25,10 @@ import (
 // ground-truth address index. No control-plane computation is replayed, so
 // a snapshot costs O(state) rather than O(convergence) — the fast path for
 // parallel campaign workers.
+//
+// Replica ASInfo records and their Core/Edge pointer tables are carved
+// from slabs sized in one pass, mirroring router.CloneArena: a snapshot of
+// a large fabric allocates a handful of arrays, not O(ASes) objects.
 //
 // Probers are created fresh on the replica (counters zeroed), matching what
 // a generator replay would produce; campaign workers reconfigure them from
@@ -65,34 +76,58 @@ func (in *Internet) Snapshot() (*Internet, error) {
 		asByNum: make(map[uint32]*ASInfo, len(in.ASes)),
 		params:  in.params,
 		rng:     rand.New(rand.NewSource(in.params.Seed)),
+		// The ground-truth index holds node and AS indices, which are
+		// clone invariants — shared by reference, never copied.
+		addrRecs: in.addrRecs,
 	}
-	rmap := func(r *router.Router) *router.Router { return routers[r] }
+	ctx := &snapCtx{
+		router: func(r *router.Router) *router.Router { return routers[r] },
+		iface:  c.Iface,
+	}
+	var nPtr int
 	for _, as := range in.ASes {
-		na := &ASInfo{
-			Num:        as.Num,
-			Name:       as.Name,
-			Profile:    as.Profile,
-			X:          as.X,
-			Y:          as.Y,
-			Aggregate:  as.Aggregate,
-			nextSubnet: as.nextSubnet,
-			nextLo:     as.nextLo,
+		nPtr += len(as.Core) + len(as.Edge)
+	}
+	asSlab := make([]ASInfo, len(in.ASes))
+	ptrSlab := make([]*router.Router, 0, nPtr)
+	out.ASes = make([]*ASInfo, 0, len(in.ASes))
+	for i, as := range in.ASes {
+		na := &asSlab[i]
+		na.Num = as.Num
+		na.Name = as.Name
+		na.Profile = as.Profile
+		na.X, na.Y = as.X, as.Y
+		na.Aggregate = as.Aggregate
+		na.index = as.index
+		na.childFloor = as.childFloor
+		na.nextSubnet = as.nextSubnet
+		na.nextLo = as.nextLo
+
+		start := len(ptrSlab)
+		for _, r := range as.Core {
+			ptrSlab = append(ptrSlab, routers[r])
 		}
-		na.Core = make([]*router.Router, len(as.Core))
-		for i, r := range as.Core {
-			na.Core[i] = routers[r]
+		na.Core = ptrSlab[start:len(ptrSlab):len(ptrSlab)]
+		start = len(ptrSlab)
+		for _, r := range as.Edge {
+			ptrSlab = append(ptrSlab, routers[r])
 		}
-		na.Edge = make([]*router.Router, len(as.Edge))
-		for i, r := range as.Edge {
-			na.Edge[i] = routers[r]
+		na.Edge = ptrSlab[start:len(ptrSlab):len(ptrSlab)]
+
+		// SPF state stays lazy on the replica: campaign workers never
+		// read it, and an eager Remap costs as much as cloning the AS's
+		// router tables. Materialized or remappable source results defer
+		// to a remap through the shared context; streamed stubs that
+		// dropped their build-time SPF recompute locally on demand.
+		switch {
+		case as.spf != nil || as.spfMode == spfRemap:
+			na.spfMode = spfRemap
+			na.snapSrc = as
+			na.snapCtx = ctx
+		case as.spfMode == spfRecompute:
+			na.spfMode = spfRecompute
 		}
-		if spf := as.SPF(); spf != nil {
-			// Deferred: campaign workers never read SPF state, and an eager
-			// Remap would cost as much as cloning the AS's router tables.
-			// The closure keeps the source result and mapping tables alive,
-			// which the replica's lifetime bounds anyway.
-			na.spfThunk = func() *igp.Result { return spf.Remap(rmap, c.Iface) }
-		}
+
 		for _, tn := range as.teTunnels {
 			// Remap the recorded TE signalling history so churn repair on
 			// the replica replays the same label allocations.
@@ -105,15 +140,6 @@ func (in *Internet) Snapshot() (*Internet, error) {
 		}
 		out.ASes = append(out.ASes, na)
 		out.asByNum[na.Num] = na
-	}
-	// Deferred like the SPF results: workers resolve addresses against the
-	// source world, so the remapped index is materialized only if read.
-	out.addrThunk = func() map[netaddr.Addr]AddrInfo {
-		m := make(map[netaddr.Addr]AddrInfo, len(in.addrs()))
-		for a, info := range in.addrs() {
-			m[a] = AddrInfo{Router: routers[info.Router], AS: out.asByNum[info.AS.Num]}
-		}
-		return m
 	}
 	for _, vp := range in.VPs {
 		host, ok := c.NodeOf(vp.Host).(*netsim.Host)

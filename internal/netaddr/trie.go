@@ -166,6 +166,48 @@ func (t *Trie[V]) Clone(fn func(V) V) Trie[V] {
 	return nt
 }
 
+// NodeCount returns the number of trie nodes (interior and leaf). It is
+// the arena-sizing companion to Len: a CloneInto of this trie consumes
+// exactly NodeCount slots of a TrieArena.
+func (t *Trie[V]) NodeCount() int { return len(t.nodes) }
+
+// TrieArena is a fabric-wide slab of trie nodes shared by many CloneInto
+// calls. A snapshot sizes one arena with the summed NodeCount of every
+// FIB/binding trie it will copy, then clones each trie as a carve of the
+// slab — one bulk allocation for the whole fabric instead of one per
+// router.
+type TrieArena[V any] struct {
+	slab []trieNode[V]
+}
+
+// NewTrieArena pre-sizes an arena for n nodes. Clones beyond the reserved
+// capacity still work (the slab grows), but earlier carves then keep the
+// old backing array, wasting memory — size it with summed NodeCount.
+func NewTrieArena[V any](n int) *TrieArena[V] {
+	return &TrieArena[V]{slab: make([]trieNode[V], 0, n)}
+}
+
+// CloneInto is Clone with the node copy carved from a shared arena. The
+// carve is capacity-clipped, so a later Insert on the clone that needs to
+// grow reallocates privately instead of clobbering its arena neighbor.
+func (t *Trie[V]) CloneInto(a *TrieArena[V], fn func(V) V) Trie[V] {
+	nt := Trie[V]{size: t.size}
+	if len(t.nodes) == 0 {
+		return nt
+	}
+	start := len(a.slab)
+	a.slab = append(a.slab, t.nodes...)
+	nt.nodes = a.slab[start:len(a.slab):len(a.slab)]
+	if fn != nil {
+		for i := range nt.nodes {
+			if nt.nodes[i].set {
+				nt.nodes[i].val = fn(nt.nodes[i].val)
+			}
+		}
+	}
+	return nt
+}
+
 // Each visits every stored value in unspecified order. It is a linear
 // sweep of the node slice — much cheaper than an ordered Walk — for
 // callers that only aggregate over values (e.g. snapshot arena sizing).

@@ -161,6 +161,12 @@ type Network struct {
 	// replicas start quiescent.
 	churn churnState
 
+	// linkBlock is the tail of the fabric's link arena: Connect carves
+	// Link structs out of append-within-capacity blocks, so a fabric with
+	// L links costs O(L/blockSize) allocations instead of L. Blocks are
+	// never reallocated once handed out, keeping *Link pointers stable.
+	linkBlock []Link
+
 	// Trace, when non-nil, observes every delivery (pcap-ish hook).
 	Trace func(at time.Duration, to *Iface, pkt *packet.Packet)
 }
@@ -236,10 +242,43 @@ func (n *Network) OwnerOf(a netaddr.Addr) (*Iface, bool) {
 
 // Connect joins two interfaces with a link of the given one-way delay.
 func (n *Network) Connect(a, b *Iface, delay time.Duration) *Link {
-	l := &Link{a: a, b: b, Delay: delay, Up: true}
+	l := n.allocLink()
+	l.a, l.b, l.Delay, l.Up = a, b, delay, true
 	a.Link, b.Link = l, l
 	n.links = append(n.links, l)
 	return l
+}
+
+// allocLink hands out one Link from the arena, opening a fresh block when
+// the current one is full. Block size scales with the fabric so far, so a
+// million-link build settles into a handful of large blocks.
+func (n *Network) allocLink() *Link {
+	if len(n.linkBlock) == cap(n.linkBlock) {
+		size := 64
+		if have := len(n.links); have > size {
+			size = have
+		}
+		n.linkBlock = make([]Link, 0, size)
+	}
+	n.linkBlock = append(n.linkBlock, Link{})
+	return &n.linkBlock[len(n.linkBlock)-1]
+}
+
+// ReserveLinks pre-sizes the link arena for n more Connect calls; the
+// snapshot path uses it to carve a replica's whole link table from one
+// block.
+func (n *Network) ReserveLinks(count int) {
+	if count > cap(n.linkBlock)-len(n.linkBlock) {
+		n.linkBlock = make([]Link, 0, count)
+	}
+}
+
+// IndexOf returns a node's stable fabric index (its position in Nodes()).
+// Snapshot replicas preserve indices, so an index recorded against the
+// source fabric resolves to the corresponding node on any replica.
+func (n *Network) IndexOf(node Node) (int32, bool) {
+	i, ok := n.nodeIdx[node]
+	return i, ok
 }
 
 // Links returns all links.

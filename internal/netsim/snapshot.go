@@ -3,6 +3,8 @@ package netsim
 import (
 	"errors"
 	"fmt"
+
+	"wormhole/internal/netaddr"
 )
 
 // Cloner builds a structural replica of an idle Network. The generator
@@ -39,6 +41,16 @@ func (n *Network) BeginSnapshot() (*Cloner, error) {
 	dst.clock = n.clock
 	dst.seq = n.seq
 	dst.stats = n.stats
+	// Pre-size everything whose final cardinality the source already
+	// knows: node and interface tables, and one arena block covering the
+	// replica's whole link table. Steady-state inserts below then never
+	// touch the allocator, which is what keeps Snapshot() at (far) under
+	// one allocation per router.
+	dst.nodes = make([]Node, 0, len(n.nodes))
+	dst.nodeIdx = make(map[Node]int32, len(n.nodes))
+	dst.ifaces = make(map[netaddr.Addr]*Iface, len(n.ifaces))
+	dst.ReserveLinks(len(n.links))
+	dst.links = make([]*Link, 0, len(n.links))
 	return &Cloner{
 		src:    n,
 		dst:    dst,

@@ -19,7 +19,10 @@ type Router struct {
 
 	loopback *netsim.Iface
 	ifaces   []*netsim.Iface
-	local    map[netaddr.Addr]bool
+	// locals lists every address the router answers for (loopback plus
+	// interface addresses). A router has a handful, so a linear scan beats
+	// a map on the hot path and the slice snapshots as a memcpy carve.
+	locals []netaddr.Addr
 
 	// The FIB and binding tables store their entries in per-router arenas
 	// (routes, binds) with the tries mapping prefix → arena index. The
@@ -27,11 +30,17 @@ type Router struct {
 	// with a memcpy and copies the arenas with one sequential sweep.
 	// Pointers returned by lookups point into the arenas and stay valid
 	// until the next Install/Delete on the same table.
+	//
+	// The LFIB is a dense slice indexed by incoming label: labels are
+	// allocated sequentially from firstLabel (reserved labels sit below),
+	// so the table is nearly full and clones as one memcpy. A slot is
+	// occupied iff it pops locally or has next hops — InstallLFIB never
+	// stores an entry with neither.
 	fib      netaddr.Trie[int32]
 	routes   []Route
 	bindings netaddr.Trie[int32]
 	binds    []Binding
-	lfib     map[uint32]*LFIBEntry
+	lfib     []LFIBEntry
 
 	nextLabel uint32
 	lastICMP  time.Duration
@@ -118,8 +127,6 @@ func New(name string, os Personality, cfg Config) *Router {
 		name:      name,
 		os:        os,
 		cfg:       cfg,
-		local:     make(map[netaddr.Addr]bool),
-		lfib:      make(map[uint32]*LFIBEntry),
 		nextLabel: firstLabel,
 	}
 }
@@ -158,7 +165,7 @@ func (r *Router) SetASN(asn uint32) { r.asn = asn }
 func (r *Router) AddIface(name string, addr netaddr.Addr, prefix netaddr.Prefix) *netsim.Iface {
 	ifc := &netsim.Iface{Owner: r, Name: name, Addr: addr, Prefix: prefix}
 	r.ifaces = append(r.ifaces, ifc)
-	r.local[addr] = true
+	r.locals = append(r.locals, addr)
 	return ifc
 }
 
@@ -166,7 +173,7 @@ func (r *Router) AddIface(name string, addr netaddr.Addr, prefix netaddr.Prefix)
 // labels for exactly these.
 func (r *Router) SetLoopback(addr netaddr.Addr) *netsim.Iface {
 	r.loopback = &netsim.Iface{Owner: r, Name: "lo0", Addr: addr, Prefix: netaddr.HostPrefix(addr)}
-	r.local[addr] = true
+	r.locals = append(r.locals, addr)
 	return r.loopback
 }
 
@@ -177,7 +184,14 @@ func (r *Router) Loopback() *netsim.Iface { return r.loopback }
 func (r *Router) Ifaces() []*netsim.Iface { return r.ifaces }
 
 // IsLocal reports whether addr is one of the router's own addresses.
-func (r *Router) IsLocal(addr netaddr.Addr) bool { return r.local[addr] }
+func (r *Router) IsLocal(addr netaddr.Addr) bool {
+	for _, a := range r.locals {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
 
 // InstallRoute adds or replaces a FIB entry. The route is copied into the
 // router's arena; the caller's struct is not retained.
@@ -240,17 +254,46 @@ func (r *Router) InstallBinding(b *Binding) {
 	r.bindings.Insert(b.FEC, int32(len(r.binds)-1))
 }
 
-// InstallLFIB adds an incoming-label entry.
+// InstallLFIB adds an incoming-label entry. The entry is copied into the
+// router's dense label table; the caller's struct is not retained. An
+// entry must either pop locally or carry next hops — the zero shape marks
+// empty slots.
 func (r *Router) InstallLFIB(e *LFIBEntry) {
-	r.lfib[e.InLabel] = e
+	if !e.PopLocal && len(e.NextHops) == 0 {
+		panic(fmt.Sprintf("router %s: LFIB entry for label %d with no action", r.name, e.InLabel))
+	}
+	if n := int(e.InLabel) + 1; n > len(r.lfib) {
+		if n > cap(r.lfib) {
+			grown := make([]LFIBEntry, n)
+			copy(grown, r.lfib)
+			r.lfib = grown
+		} else {
+			r.lfib = r.lfib[:n]
+		}
+	}
+	r.lfib[e.InLabel] = *e
 	r.mutated()
+}
+
+// lfibEntry resolves an incoming label against the dense table, nil when
+// the slot is out of range or empty.
+func (r *Router) lfibEntry(label uint32) *LFIBEntry {
+	if int(label) >= len(r.lfib) {
+		return nil
+	}
+	e := &r.lfib[label]
+	if !e.PopLocal && len(e.NextHops) == 0 {
+		return nil
+	}
+	return e
 }
 
 // ClearMPLS removes all label state (scenario reconfiguration).
 func (r *Router) ClearMPLS() {
 	r.bindings = netaddr.Trie[int32]{}
 	r.binds = nil
-	r.lfib = make(map[uint32]*LFIBEntry)
+	clear(r.lfib) // stale slots must not resurface when the table regrows
+	r.lfib = r.lfib[:0]
 	r.nextLabel = firstLabel
 	r.mutated()
 }
@@ -283,7 +326,7 @@ func (r *Router) Receive(net *netsim.Network, in *netsim.Iface, pkt *packet.Pack
 
 func (r *Router) receiveIP(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet) {
 	if pkt.IP.Protocol == packet.ProtoOSPF ||
-		(pkt.IP.Protocol == packet.ProtoTCP && pkt.Raw != nil && r.local[pkt.IP.Dst]) {
+		(pkt.IP.Protocol == packet.ProtoTCP && pkt.Raw != nil && r.IsLocal(pkt.IP.Dst)) {
 		// Control-plane traffic: OSPF is link-local; LDP sessions (TCP
 		// 646 in reality) are modeled as Raw TCP datagrams between
 		// adjacent routers. Never forwarded as data.
@@ -295,7 +338,7 @@ func (r *Router) receiveIP(net *netsim.Network, in *netsim.Iface, pkt *packet.Pa
 		}
 		return
 	}
-	if r.local[pkt.IP.Dst] {
+	if r.IsLocal(pkt.IP.Dst) {
 		r.deliverLocal(net, in, pkt)
 		return
 	}
@@ -426,8 +469,8 @@ func (r *Router) receiveMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.
 // surfaced (a router charges the TTL once per hop, not once per label).
 func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.Packet, decrement bool) {
 	top, _ := pkt.MPLS.Top()
-	entry, ok := r.lfib[top.Label]
-	if !ok {
+	entry := r.lfibEntry(top.Label)
+	if entry == nil {
 		r.Stats.Dropped++
 		return
 	}
@@ -528,7 +571,7 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 			fwd.IP.TTL = lseTTL
 			fwd.SetLineageIP(topProp)
 		}
-		if r.local[fwd.IP.Dst] {
+		if r.IsLocal(fwd.IP.Dst) {
 			r.deliverLocal(net, in, fwd)
 			net.PacketPool().Release(fwd)
 			return
@@ -541,7 +584,7 @@ func (r *Router) disposeUHP(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 		r.forward(net, fwd)
 		return
 	}
-	if r.local[fwd.IP.Dst] {
+	if r.IsLocal(fwd.IP.Dst) {
 		r.deliverLocal(net, in, fwd)
 		net.PacketPool().Release(fwd)
 		return

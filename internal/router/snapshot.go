@@ -1,21 +1,26 @@
 package router
 
 import (
-	"maps"
-
+	"wormhole/internal/netaddr"
 	"wormhole/internal/netsim"
 )
 
-// CloneArena bump-allocates the variable-length table data router
-// snapshots need — next-hop and label-hop slices — out of a few contiguous
+// CloneArena bump-allocates everything a router snapshot needs — the
+// Router structs themselves, interface records, local-address lists,
+// route/binding/LFIB tables, next-hop and label-hop slices, and the trie
+// nodes behind the FIB and binding indexes — out of a few contiguous
 // slabs sized by one linear counting pass. One arena serves every router
-// of a fabric snapshot: a Small-scale fabric clones tens of thousands of
-// hops, and allocating each slice (or even each router's slab)
-// individually costs an allocator round-trip apiece, with the resulting
-// pointer spray dominating snapshot time in GC scanning.
+// of a fabric snapshot: replica routers are index ranges into fabric-wide
+// arrays rather than per-router heap objects, so Snapshot() degenerates
+// to a handful of slab memcpys plus interface-pointer remaps, and the GC
+// scans a few large objects instead of hundreds of thousands of small
+// ones.
 //
 // Appends stay within the pre-counted capacities, so sub-slices carved
 // from the slabs are stable and may be retained by the cloned tables.
+// Every carve is capacity-clipped: a replica that later grows a table
+// (churn reconvergence installing a new prefix) reallocates privately
+// instead of clobbering its arena neighbor.
 //
 // It also resolves source→replica interface pointers locally: a router's
 // tables only ever reference its own handful of interfaces (the invariant
@@ -24,10 +29,17 @@ import (
 // repeat the same egress — beats the Cloner's fabric-wide map on every
 // lookup.
 type CloneArena struct {
-	nhops  []NextHop
-	lhops  []LabelHop
-	unders []uint32
-	lfib   []LFIBEntry
+	routers []Router
+	ifrecs  []netsim.Iface
+	ifptrs  []*netsim.Iface
+	locals  []netaddr.Addr
+	routes  []Route
+	binds   []Binding
+	nhops   []NextHop
+	lhops   []LabelHop
+	unders  []uint32
+	lfib    []LFIBEntry
+	tries   *netaddr.TrieArena[int32]
 
 	oldIfs           []*netsim.Iface
 	newIfs           []*netsim.Iface
@@ -37,7 +49,7 @@ type CloneArena struct {
 // NewCloneArena sizes an arena for snapshots of all the given routers
 // with linear passes over their table arenas.
 func NewCloneArena(rs []*Router) *CloneArena {
-	var nNH, nLH, nU, nLFIB int
+	var nIf, nPtr, nLocal, nRoute, nBind, nNH, nLH, nU, nLFIB, nTrie int
 	countLabelHops := func(hops []LabelHop) {
 		nLH += len(hops)
 		for _, h := range hops {
@@ -45,23 +57,50 @@ func NewCloneArena(rs []*Router) *CloneArena {
 		}
 	}
 	for _, r := range rs {
+		nPtr += len(r.ifaces)
+		nIf += len(r.ifaces)
+		if r.loopback != nil {
+			nIf++
+		}
+		nLocal += len(r.locals)
+		nRoute += len(r.routes)
+		nBind += len(r.binds)
 		for i := range r.routes {
 			nNH += len(r.routes[i].NextHops)
 		}
 		for i := range r.binds {
 			countLabelHops(r.binds[i].NextHops)
 		}
-		for _, e := range r.lfib {
-			countLabelHops(e.NextHops)
+		for i := range r.lfib {
+			countLabelHops(r.lfib[i].NextHops)
 		}
 		nLFIB += len(r.lfib)
+		nTrie += r.fib.NodeCount() + r.bindings.NodeCount()
 	}
 	return &CloneArena{
-		nhops:  make([]NextHop, 0, nNH),
-		lhops:  make([]LabelHop, 0, nLH),
-		unders: make([]uint32, 0, nU),
-		lfib:   make([]LFIBEntry, 0, nLFIB),
+		routers: make([]Router, 0, len(rs)),
+		ifrecs:  make([]netsim.Iface, 0, nIf),
+		ifptrs:  make([]*netsim.Iface, 0, nPtr),
+		locals:  make([]netaddr.Addr, 0, nLocal),
+		routes:  make([]Route, 0, nRoute),
+		binds:   make([]Binding, 0, nBind),
+		nhops:   make([]NextHop, 0, nNH),
+		lhops:   make([]LabelHop, 0, nLH),
+		unders:  make([]uint32, 0, nU),
+		lfib:    make([]LFIBEntry, 0, nLFIB),
+		tries:   netaddr.NewTrieArena[int32](nTrie),
 	}
+}
+
+// takeIface carves one interface record from the slab. Records beyond the
+// reserved capacity fall back to private allocations (the slab must not
+// reallocate: earlier pointers are retained by the fabric).
+func (ar *CloneArena) takeIface() *netsim.Iface {
+	if len(ar.ifrecs) == cap(ar.ifrecs) {
+		return &netsim.Iface{}
+	}
+	ar.ifrecs = append(ar.ifrecs, netsim.Iface{})
+	return &ar.ifrecs[len(ar.ifrecs)-1]
 }
 
 // beginRouter loads the interface old→new pairs for the router being
@@ -104,69 +143,90 @@ func (r *Router) Snapshot(c *netsim.Cloner) *Router {
 }
 
 // SnapshotInto deep-copies the router onto a replica fabric being built by
-// c, carving table data out of ar. Everything the data plane reads is
-// copied — personality, config, FIB, bindings, LFIB, counters — with
-// interface pointers remapped onto freshly created replica interfaces (a
-// router's tables only ever reference its own interfaces, so all mappings
-// exist before the tables are cloned).
+// c, carving the replica and its table data out of ar. Everything the
+// data plane reads is copied — personality, config, FIB, bindings, LFIB,
+// counters — with interface pointers remapped onto freshly carved replica
+// interfaces (a router's tables only ever reference its own interfaces,
+// so all mappings exist before the tables are cloned).
 //
-// The index tries clone as memcpys (they hold arena indices, not
-// pointers); the route and binding arenas copy with one sequential sweep
-// each, remapping egress interfaces as they go.
+// The index tries clone as memcpy carves of the shared trie arena (they
+// hold arena indices, not pointers); the route, binding, and dense LFIB
+// arenas copy with one sequential sweep each, remapping egress interfaces
+// as they go.
 //
 // ControlHandler is deliberately not copied: it closes over source-side
 // protocol state. Callers that run in-band control planes must rebuild
 // replicas through the generator instead (gen.Internet.Rebuild).
 func (r *Router) SnapshotInto(c *netsim.Cloner, ar *CloneArena) *Router {
-	nr := &Router{
-		name:      r.name,
-		os:        r.os,
-		cfg:       r.cfg,
-		asn:       r.asn,
-		local:     maps.Clone(r.local),
-		lfib:      make(map[uint32]*LFIBEntry, len(r.lfib)),
-		nextLabel: r.nextLabel,
-		lastICMP:  r.lastICMP,
-		icmpSent:  r.icmpSent,
-		Stats:     r.Stats,
+	var nr *Router
+	if len(ar.routers) < cap(ar.routers) {
+		ar.routers = append(ar.routers, Router{})
+		nr = &ar.routers[len(ar.routers)-1]
+	} else {
+		nr = &Router{}
 	}
+	nr.name = r.name
+	nr.os = r.os
+	nr.cfg = r.cfg
+	nr.asn = r.asn
+	nr.nextLabel = r.nextLabel
+	nr.lastICMP = r.lastICMP
+	nr.icmpSent = r.icmpSent
+	nr.Stats = r.Stats
+
+	lstart := len(ar.locals)
+	ar.locals = append(ar.locals, r.locals...)
+	nr.locals = ar.locals[lstart:len(ar.locals):len(ar.locals)]
+
 	if r.loopback != nil {
-		nr.loopback = &netsim.Iface{
-			Owner: nr, Name: r.loopback.Name,
-			Addr: r.loopback.Addr, Prefix: r.loopback.Prefix,
-		}
-		c.MapIface(r.loopback, nr.loopback)
+		lo := ar.takeIface()
+		lo.Owner, lo.Name, lo.Addr, lo.Prefix = nr, r.loopback.Name, r.loopback.Addr, r.loopback.Prefix
+		nr.loopback = lo
+		c.MapIface(r.loopback, lo)
 	}
-	nr.ifaces = make([]*netsim.Iface, len(r.ifaces))
-	for i, ifc := range r.ifaces {
-		ni := &netsim.Iface{Owner: nr, Name: ifc.Name, Addr: ifc.Addr, Prefix: ifc.Prefix}
-		nr.ifaces[i] = ni
+	pstart := len(ar.ifptrs)
+	for _, ifc := range r.ifaces {
+		ni := ar.takeIface()
+		ni.Owner, ni.Name, ni.Addr, ni.Prefix = nr, ifc.Name, ifc.Addr, ifc.Prefix
+		ar.ifptrs = append(ar.ifptrs, ni)
 		c.MapIface(ifc, ni)
 	}
+	nr.ifaces = ar.ifptrs[pstart:len(ar.ifptrs):len(ar.ifptrs)]
+
 	ar.beginRouter(r, nr)
-	nr.fib = r.fib.Clone(nil)
-	nr.routes = make([]Route, len(r.routes))
+	nr.fib = r.fib.CloneInto(ar.tries, nil)
+	rstart := len(ar.routes)
 	for i := range r.routes {
 		rt := &r.routes[i]
 		start := len(ar.nhops)
 		for _, nh := range rt.NextHops {
 			ar.nhops = append(ar.nhops, NextHop{Out: ar.iface(nh.Out), Gateway: nh.Gateway})
 		}
-		nr.routes[i] = Route{
+		ar.routes = append(ar.routes, Route{
 			Origin:     rt.Origin,
 			BGPNextHop: rt.BGPNextHop,
 			NextHops:   ar.nhops[start:len(ar.nhops):len(ar.nhops)],
-		}
+		})
 	}
-	nr.bindings = r.bindings.Clone(nil)
-	nr.binds = make([]Binding, len(r.binds))
+	nr.routes = ar.routes[rstart:len(ar.routes):len(ar.routes)]
+
+	nr.bindings = r.bindings.CloneInto(ar.tries, nil)
+	bstart := len(ar.binds)
 	for i := range r.binds {
 		b := &r.binds[i]
-		nr.binds[i] = Binding{FEC: b.FEC, NextHops: ar.remapLabelHops(b.NextHops)}
+		ar.binds = append(ar.binds, Binding{FEC: b.FEC, NextHops: ar.remapLabelHops(b.NextHops)})
 	}
-	for in, e := range r.lfib {
-		nr.lfib[in] = ar.remapLFIB(e)
+	nr.binds = ar.binds[bstart:len(ar.binds):len(ar.binds)]
+
+	fstart := len(ar.lfib)
+	ar.lfib = append(ar.lfib, r.lfib...)
+	nr.lfib = ar.lfib[fstart:len(ar.lfib):len(ar.lfib)]
+	for i := range nr.lfib {
+		if hops := nr.lfib[i].NextHops; len(hops) > 0 {
+			nr.lfib[i].NextHops = ar.remapLabelHops(hops)
+		}
 	}
+
 	c.PutNode(r, nr)
 	return nr
 }
@@ -183,11 +243,4 @@ func (ar *CloneArena) remapLabelHops(hops []LabelHop) []LabelHop {
 		ar.lhops = append(ar.lhops, nh)
 	}
 	return ar.lhops[start:len(ar.lhops):len(ar.lhops)]
-}
-
-func (ar *CloneArena) remapLFIB(e *LFIBEntry) *LFIBEntry {
-	ar.lfib = append(ar.lfib, LFIBEntry{InLabel: e.InLabel, PopLocal: e.PopLocal})
-	out := &ar.lfib[len(ar.lfib)-1]
-	out.NextHops = ar.remapLabelHops(e.NextHops)
-	return out
 }

@@ -27,14 +27,20 @@
 #     detaches every replica, delta keeps them attached — and where the
 #     measured margin is widest (structural, not noise).
 #
+#  4. Memory (PR 7): the bytes/router footprint of one retained replica
+#     at the Large (~10⁴ router) rung must stay under a committed
+#     ceiling. The struct-of-arrays arenas exist to keep replica cost
+#     flat; per-object cloning creeping back in shows up here first.
+#
 # Tolerances: the 2w cache-on row must reach TOLERANCE% of 1w (97%
-# absorbs scheduler jitter at runs=4 on a loaded box; the pre-fix
+# absorbs scheduler jitter at runs=8 on a loaded box; the pre-fix
 # inversion was -37%). The sweep-on cold row must reach COLD_FLOOR% of
 # the per-probe baseline (120% is far below the ~2.3x steady-state win,
 # but well above noise). The churned delta row must reach CHURN_FLOOR%
 # of the churned flush-world row at 2 workers (100%: delta must at
 # least match the baseline; measured ~140% — it wins by keeping the
 # pool and the shared-table subscription warm).
+# The Large replica must stay under MEM_CEILING heap bytes per router.
 #
 # Usage: ./scripts/bench_guard.sh   (repo root; also run by check.sh)
 set -eu
@@ -42,15 +48,29 @@ set -eu
 TOLERANCE=97
 COLD_FLOOR=120
 CHURN_FLOOR=100
+# Heap bytes per router for one retained Large replica: measured ~4.7k
+# with the fabric-wide arenas (was >20k with per-object cloning); 7k
+# leaves headroom for real feature growth while catching any return of
+# per-router heap objects.
+MEM_CEILING=7000
 OUT=.bench_guard.json
-trap 'rm -f "$OUT"' EXIT
+OUT_MEM=.bench_guard_mem.json
+trap 'rm -f "$OUT" "$OUT_MEM"' EXIT
 
-go run ./cmd/wormhole bench -scale small -runs 4 -workers 1,2 -out "$OUT"
+# campaign_gates runs the bench matrix once and evaluates the three
+# throughput gates. runs=8: each gate divides two noisy throughputs, and
+# at runs=4 single-CPU scheduler jitter produced false failures (observed
+# spread ±20% per row); eight runs per row damps the per-invocation
+# noise. The rows are measured sequentially, so host-level CPU
+# throttling that sets in mid-measurement skews the late (2-worker) rows
+# low — the caller retries once before believing a failure.
+campaign_gates() {
+    go run ./cmd/wormhole bench -scale small -runs 8 -workers 1,2 -out "$OUT"
 
-# The report's campaign rows carry "workers", "flow_cache", "sweep",
-# "churn", "churn_flush_world", and "probes_per_sec" in a stable field
-# order; key the rates on all five.
-awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" -v chfloor="$CHURN_FLOOR" '
+    # The report's campaign rows carry "workers", "flow_cache", "sweep",
+    # "churn", "churn_flush_world", and "probes_per_sec" in a stable
+    # field order; key the rates on all five.
+    awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" -v chfloor="$CHURN_FLOOR" '
     /"workers":/       { gsub(/[^0-9]/, ""); w = $0 }
     /"flow_cache": true/  { cached = 1 }
     /"flow_cache": false/ { cached = 0 }
@@ -100,3 +120,34 @@ awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" -v chfloor="$CHURN_FLOOR" '
         }
     }
 ' "$OUT"
+}
+
+# A genuine regression (the pre-fix inversion was -37%) fails both
+# attempts; a transient throttled window fails at most one.
+if ! campaign_gates; then
+    echo "bench_guard: retrying the campaign gates once (transient load?)"
+    campaign_gates
+fi
+
+# Memory gate: build the Large rung once (no campaign) and check the
+# retained-replica footprint reported in the scales row.
+go run ./cmd/wormhole bench -scales large -scales-only -out "$OUT_MEM"
+
+awk -v ceiling="$MEM_CEILING" '
+    /"bytes_per_router":/ {
+        gsub(/[^0-9.]/, "")
+        bpr = $0 + 0
+        found = 1
+    }
+    END {
+        if (!found) {
+            print "bench_guard: missing bytes_per_router in the scales row"
+            exit 1
+        }
+        printf "bench_guard: large replica %.0f bytes/router (ceiling %d)\n", bpr, ceiling
+        if (bpr > ceiling) {
+            print "bench_guard: FAIL — replica bytes/router exceeded the committed ceiling"
+            exit 1
+        }
+    }
+' "$OUT_MEM"

@@ -1,20 +1,26 @@
 #!/bin/sh
 # check.sh — the full local gate, in the order CI would run it:
-# build everything, vet, run the test suite with coverage aggregation
-# (per-package floors on the engine packages guard against silently
-# shedding tests), a short native-fuzz smoke over the sweep derivation
-# model, then the race tier (TestRaceTier shells out to `go test -race`
-# over the concurrency-heavy packages and is skipped automatically under
-# -short), and finally the scaling guard (bench_guard.sh fails if the
-# 2-worker cached campaign regresses below the 1-worker row, if the
-# sweep-on cold path stops beating per-probe, or if delta-invalidation
-# falls below flush-the-world under churn).
+# build everything, vet, then the performance guard (bench_guard.sh
+# fails if the 2-worker cached campaign regresses below the 1-worker
+# row, if the sweep-on cold path stops beating per-probe, if
+# delta-invalidation falls below flush-the-world under churn, or if the
+# Large replica's bytes/router exceeds the committed ceiling) — run
+# first because its throughput ratios are timing-sensitive and the
+# compile-heavy coverage/race phases below leave a single-CPU box in a
+# throttled window that skews them. Then the test suite with coverage
+# aggregation (per-package floors on the engine packages guard against
+# silently shedding tests), a short native-fuzz smoke over the sweep
+# derivation model, and the race tier (TestRaceTier shells out to
+# `go test -race` over the concurrency-heavy packages and is skipped
+# automatically under -short).
 #
 # Usage: ./scripts/check.sh
 set -eux
 
 go build ./...
 go vet ./...
+
+./scripts/bench_guard.sh
 
 # Full suite with an aggregated coverage profile, then per-package floors
 # on the engine packages. The floors sit safely under the measured values
@@ -46,4 +52,3 @@ check_floor campaign 85
 go test ./internal/netsim/ -run='^$' -fuzz=FuzzLineageBackwardScan -fuzztime=10s
 
 go test -race -run TestRaceTier .
-./scripts/bench_guard.sh

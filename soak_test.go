@@ -16,7 +16,12 @@ func TestLargeCampaignSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	in, err := gen.Build(experiments.Large.Params(4242))
+	// Explicit parameters (the pre-ladder "large": biggest flat-builder
+	// world) rather than experiments.Large, which now names the ~10⁴-router
+	// hierarchical rung and has its own scale tests.
+	p := gen.DefaultParams(4242)
+	p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 5, 20, 60, 15
+	in, err := gen.Build(p)
 	if err != nil {
 		t.Fatal(err)
 	}
