@@ -220,21 +220,25 @@ func TestBenchSmoke(t *testing.T) {
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
 	}
-	// Two worker counts × (baseline, sweep-only, sweep+cache,
-	// churn-delta, churn-flush).
-	if len(rep.Campaign) != 10 {
-		t.Fatalf("want 10 campaign entries, got %d", len(rep.Campaign))
+	// Two worker counts × (ICMP baseline, ICMP sweep-only, ICMP
+	// sweep+cache, churn-delta, churn-flush, UDP baseline, UDP
+	// sweep+cache).
+	if len(rep.Campaign) != 14 {
+		t.Fatalf("want 14 campaign entries, got %d", len(rep.Campaign))
 	}
-	wantWorkers := []int{1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
-	wantCache := []bool{false, false, true, true, true, false, false, true, true, true}
-	wantSweep := []bool{false, true, true, true, true, false, true, true, true, true}
-	wantChurn := []bool{false, false, false, true, true, false, false, false, true, true}
-	wantFlush := []bool{false, false, false, false, true, false, false, false, false, true}
+	wantWorkers := []int{1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2}
+	wantMethod := []string{"icmp", "icmp", "icmp", "icmp", "icmp", "udp", "udp",
+		"icmp", "icmp", "icmp", "icmp", "icmp", "udp", "udp"}
+	wantCache := []bool{false, false, true, true, true, false, true, false, false, true, true, true, false, true}
+	wantSweep := []bool{false, true, true, true, true, false, true, false, true, true, true, true, false, true}
+	wantChurn := []bool{false, false, false, true, true, false, false, false, false, false, true, true, false, false}
+	wantFlush := []bool{false, false, false, false, true, false, false, false, false, false, false, true, false, false}
 	for i, cr := range rep.Campaign {
-		if cr.Workers != wantWorkers[i] || cr.FlowCache != wantCache[i] || cr.Sweep != wantSweep[i] ||
+		if cr.Workers != wantWorkers[i] || cr.Method != wantMethod[i] ||
+			cr.FlowCache != wantCache[i] || cr.Sweep != wantSweep[i] ||
 			cr.Churn != wantChurn[i] || cr.ChurnFlushWorld != wantFlush[i] || cr.Runs != 1 {
-			t.Errorf("entry %d: workers=%d cache=%v sweep=%v churn=%v flush=%v runs=%d",
-				i, cr.Workers, cr.FlowCache, cr.Sweep, cr.Churn, cr.ChurnFlushWorld, cr.Runs)
+			t.Errorf("entry %d: workers=%d method=%s cache=%v sweep=%v churn=%v flush=%v runs=%d",
+				i, cr.Workers, cr.Method, cr.FlowCache, cr.Sweep, cr.Churn, cr.ChurnFlushWorld, cr.Runs)
 		}
 		if cr.Churn && cr.ChurnEventsPerRun == 0 {
 			t.Errorf("entry %d: churn armed but no events fired: %+v", i, cr)
@@ -301,7 +305,8 @@ func TestBenchSmoke(t *testing.T) {
 		back.Scales[0].BytesPerRouter != rep.Scales[0].BytesPerRouter {
 		t.Fatalf("JSON round-trip mangled the scale rows: %+v", back.Scales)
 	}
-	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[5].Workers != 2 ||
+	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[7].Workers != 2 ||
+		back.Campaign[5].Method != "udp" || back.Campaign[6].Method != "udp" ||
 		!back.Campaign[3].Churn || back.Campaign[3].ChurnFlushWorld ||
 		!back.Campaign[4].ChurnFlushWorld ||
 		back.Campaign[3].ChurnEventsPerRun != rep.Campaign[3].ChurnEventsPerRun ||

@@ -16,6 +16,7 @@ import (
 	"wormhole/internal/campaign"
 	"wormhole/internal/experiments"
 	"wormhole/internal/gen"
+	"wormhole/internal/probe"
 )
 
 // Config selects what to measure.
@@ -82,6 +83,12 @@ type CampaignReport struct {
 	// billing scheduler thrash from oversubscribed Ps to high worker
 	// counts.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Method is the traceroute probe modality the row ran ("icmp" or
+	// "udp"). The udp rows measure the port-cycle slot cold path: a UDP
+	// trace touches a different flow key per probe, so its cache and
+	// sweep coverage comes from branch-class aliasing rather than
+	// single-flow memoization.
+	Method string `json:"method"`
 	// FlowCache reports whether the flow-trajectory cache was enabled.
 	FlowCache bool `json:"flow_cache"`
 	// Sweep reports whether the single-injection TTL sweep was enabled.
@@ -131,6 +138,12 @@ type CampaignReport struct {
 	SweepWalksPerRun     uint64 `json:"sweep_walks_per_run"`
 	SweepRepliesPerRun   uint64 `json:"sweep_replies_per_run"`
 	SweepFallbacksPerRun uint64 `json:"sweep_fallbacks_per_run"`
+	// SweepBypassesPerRun counts traces the adaptive bypass ran per-probe
+	// because their hinted reach depth promised too few derived replies;
+	// SweepAliasesPerRun counts UDP port-cycle slots that adopted a
+	// master walk's trajectory instead of walking themselves.
+	SweepBypassesPerRun uint64 `json:"sweep_bypasses_per_run"`
+	SweepAliasesPerRun  uint64 `json:"sweep_aliases_per_run"`
 	// ChurnEventsPerRun is the number of churn events fired per campaign
 	// (zero when Churn is false).
 	ChurnEventsPerRun uint64 `json:"churn_events_per_run"`
@@ -200,19 +213,24 @@ func Run(cfg Config) (*Report, error) {
 
 	camCfg := cfg.Scale.CampaignConfig()
 	for _, w := range workers {
-		// Per-probe baseline, sweep-only cold path, the full fast path, and
-		// the two churned fast-path rows (delta-invalidation vs the
-		// flush-the-world baseline on an identical schedule).
+		// ICMP: per-probe baseline, sweep-only cold path, the full fast
+		// path, and the two churned fast-path rows (delta-invalidation vs
+		// the flush-the-world baseline on an identical schedule). UDP:
+		// per-probe baseline and the full fast path — the pair that prices
+		// the port-cycle slot cold path.
 		for _, combo := range []struct {
+			method                          probe.Method
 			cache, sweep, churn, flushWorld bool
 		}{
-			{false, false, false, false},
-			{false, true, false, false},
-			{true, true, false, false},
-			{true, true, true, false},
-			{true, true, true, true},
+			{probe.ICMPParis, false, false, false, false},
+			{probe.ICMPParis, false, true, false, false},
+			{probe.ICMPParis, true, true, false, false},
+			{probe.ICMPParis, true, true, true, false},
+			{probe.ICMPParis, true, true, true, true},
+			{probe.UDPParis, false, false, false, false},
+			{probe.UDPParis, true, true, false, false},
 		} {
-			cr, err := measureCampaign(in, camCfg, w, cfg.Runs, combo.cache, combo.sweep, combo.churn, combo.flushWorld)
+			cr, err := measureCampaign(in, camCfg, w, cfg.Runs, combo.method, combo.cache, combo.sweep, combo.churn, combo.flushWorld)
 			if err != nil {
 				return nil, err
 			}
@@ -259,12 +277,14 @@ func measureClone(in *gen.Internet, iters int) (CloneReport, error) {
 	return rep, nil
 }
 
-func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, flowCache, sweep, churn, flushWorld bool) (CampaignReport, error) {
+func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, method probe.Method, flowCache, sweep, churn, flushWorld bool) (CampaignReport, error) {
 	rep := CampaignReport{
-		Workers: workers, Runs: runs, FlowCache: flowCache, Sweep: sweep,
+		Workers: workers, Runs: runs, Method: method.String(),
+		FlowCache: flowCache, Sweep: sweep,
 		Churn: churn, ChurnFlushWorld: churn && flushWorld,
 	}
 	cfg := base
+	cfg.Method = method
 	cfg.DisableFlowCache = !flowCache
 	cfg.DisableSweep = !sweep
 	if churn {
@@ -302,7 +322,7 @@ func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, 
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var probes, hits, misses, ffs, shared uint64
-	var walks, synth, falls, churnEvents uint64
+	var walks, synth, falls, bypasses, aliases, churnEvents uint64
 	var replica, boot time.Duration
 	for i := 0; i < runs; i++ {
 		c, err := campaign.RunParallel(in, cfg, campaign.ParallelConfig{Workers: workers})
@@ -317,9 +337,12 @@ func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, 
 		misses += c.FlowCache.Misses
 		ffs += c.FlowCache.FastForwards
 		shared += c.FlowCache.SharedHits
-		walks += c.Sweep.Walks
-		synth += c.Sweep.Replies
-		falls += c.Sweep.Fallbacks
+		sw := c.Sweep.Total()
+		walks += sw.Walks
+		synth += sw.Replies
+		falls += sw.Fallbacks
+		bypasses += sw.Bypasses
+		aliases += sw.Aliases
 		churnEvents += c.ChurnEvents
 		replica += c.Phase.Replica
 		boot += c.Phase.Bootstrap
@@ -340,6 +363,8 @@ func measureCampaign(in *gen.Internet, base campaign.Config, workers, runs int, 
 	rep.SweepWalksPerRun = walks / uint64(runs)
 	rep.SweepRepliesPerRun = synth / uint64(runs)
 	rep.SweepFallbacksPerRun = falls / uint64(runs)
+	rep.SweepBypassesPerRun = bypasses / uint64(runs)
+	rep.SweepAliasesPerRun = aliases / uint64(runs)
 	rep.ChurnEventsPerRun = churnEvents / uint64(runs)
 	if probes > 0 {
 		rep.NsPerProbe = float64(wall.Nanoseconds()) / float64(probes)

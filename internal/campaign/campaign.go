@@ -90,6 +90,10 @@ type Config struct {
 	// (zero = no cap). Sampling happens after the canonical sort, so
 	// serial and parallel engines probe the identical subset.
 	MaxTargets int
+	// Method selects the traceroute probe modality for every VP:
+	// probe.ICMPParis (the zero value, the default) or probe.UDPParis.
+	// Pings (alias resolution, fingerprinting) stay ICMP either way.
+	Method probe.Method
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -238,6 +242,7 @@ func prepare(in *gen.Internet, cfg Config) *Campaign {
 	// repeated runs.
 	for _, vp := range in.VPs {
 		vp.Prober.FirstTTL = 1
+		vp.Prober.Method = cfg.Method
 	}
 	t0 := time.Now()
 	sent0 := sentByVPs(in.VPs)
@@ -307,18 +312,12 @@ func addFlow(dst *netsim.FlowCacheStats, d netsim.FlowCacheStats) {
 
 // sweepDelta subtracts two sweep-engine counter snapshots.
 func sweepDelta(a, b netsim.SweepStats) netsim.SweepStats {
-	return netsim.SweepStats{
-		Walks:     a.Walks - b.Walks,
-		Replies:   a.Replies - b.Replies,
-		Fallbacks: a.Fallbacks - b.Fallbacks,
-	}
+	return a.Sub(b)
 }
 
 // addSweep accumulates sweep-engine counters.
 func addSweep(dst *netsim.SweepStats, d netsim.SweepStats) {
-	dst.Walks += d.Walks
-	dst.Replies += d.Replies
-	dst.Fallbacks += d.Fallbacks
+	dst.Add(d)
 }
 
 // vpForTeam maps a team index to its vantage point (the paper's 5-team

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"testing"
+
+	"wormhole/internal/probe"
 )
 
 // churnTestConfig is the campaign configuration the churn tests share: a
@@ -20,10 +22,20 @@ func churnTestConfig() Config {
 // byte-identical — hops, reply TTLs, label stacks, RTTs, probe and reply
 // counters, per-shard virtual-clock totals — to the uncached, unswept
 // oracle, across the serial engine, snapshot and rebuild replicas,
-// 1/2/8-worker pools, and both invalidation modes (scoped delta eviction
-// and the flush-the-world baseline).
+// 1/2/8-worker pools, both invalidation modes (scoped delta eviction and
+// the flush-the-world baseline), and both probe methods. The UDP run
+// additionally exercises eviction of aliased port-cycle slots: scoped
+// deltas evict a master walk's entry out from under every slot sharing
+// it, and the lazily pruned master index must re-walk, not serve stale
+// trajectories.
 func TestChurnEquivalenceGolden(t *testing.T) {
+	t.Run("icmp", func(t *testing.T) { testChurnEquivalence(t, probe.ICMPParis) })
+	t.Run("udp", func(t *testing.T) { testChurnEquivalence(t, probe.UDPParis) })
+}
+
+func testChurnEquivalence(t *testing.T, method probe.Method) {
 	cfg := churnTestConfig()
+	cfg.Method = method
 
 	oracleCfg := cfg
 	oracleCfg.DisableFlowCache = true

@@ -86,11 +86,12 @@ type ParallelConfig struct {
 // any worker count.
 //
 // The identity holds because per-probe fabric behaviour is independent of
-// probing history for the campaign's ICMP Paris method (no loss
-// injection, bandwidth modeling, or ICMP rate limiting is active in
-// generated worlds, and the ECMP flow hash sees only fields that are
-// constant per prober). UDPParis varies its destination port with global
-// probe history, so only statistical equivalence holds there.
+// probing history for both Paris methods (no loss injection, bandwidth
+// modeling, or ICMP rate limiting is active in generated worlds). ICMP
+// Paris keeps the ECMP flow hash constant per prober; UDP Paris cycles
+// its destination port with the per-prober token counter, which restarts
+// from the same seed on every replica, so the slot sequence — and every
+// slot walk and derived reply — replays identically too.
 func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, error) {
 	workers := pcfg.Workers
 	if workers <= 0 {
@@ -177,6 +178,7 @@ func (c *Campaign) prepareParallel(pool *workerPool, table *netsim.SharedFlowTab
 	in, cfg := c.In, c.Cfg
 	for _, vp := range in.VPs {
 		vp.Prober.FirstTTL = 1
+		vp.Prober.Method = cfg.Method
 	}
 	pool.mirrorProbers(in.VPs)
 

@@ -4,17 +4,24 @@ import (
 	"testing"
 
 	"wormhole/internal/netsim"
+	"wormhole/internal/probe"
 )
 
 // TestSweepEquivalenceGolden is the acceptance test for the
 // single-injection TTL sweep: a campaign with the sweep enabled — cache
-// on or off, serial or parallel, snapshot or rebuild replicas — must be
-// byte-identical (hops, RTTs, reply TTLs, RFC 4950 stacks, probe/reply
-// counters, per-shard virtual-clock totals) to the per-probe oracle with
-// both engines disabled.
+// on or off, serial or parallel, snapshot or rebuild replicas, ICMP or
+// UDP Paris — must be byte-identical (hops, RTTs, reply TTLs, RFC 4950
+// stacks, probe/reply counters, per-shard virtual-clock totals) to the
+// per-probe oracle with both engines disabled.
 func TestSweepEquivalenceGolden(t *testing.T) {
+	t.Run("icmp", func(t *testing.T) { testSweepEquivalence(t, probe.ICMPParis) })
+	t.Run("udp", func(t *testing.T) { testSweepEquivalence(t, probe.UDPParis) })
+}
+
+func testSweepEquivalence(t *testing.T, method probe.Method) {
 	cfg := DefaultConfig()
 	cfg.HDNThreshold = 6
+	cfg.Method = method
 
 	oracleCfg := cfg
 	oracleCfg.DisableFlowCache = true
@@ -29,29 +36,50 @@ func TestSweepEquivalenceGolden(t *testing.T) {
 		t.Fatalf("sweep-disabled oracle has sweep activity: %+v", oracle.Sweep)
 	}
 
-	// Serial, sweep on with the cache off: the cold path the sweep
-	// accelerates. The sweep-only memo must not masquerade as cache
-	// activity — the FlowCache counters stay untouched.
+	// Serial, sweep on with the cache off. For ICMP this is the cold path
+	// the sweep accelerates, and the sweep-only memo must not masquerade
+	// as cache activity. A UDP sweep memoizes across the port cycle, which
+	// the single-slot cache-off fallback entry cannot hold, so there the
+	// engine must stay inert and the campaign runs per-probe.
 	coldCfg := cfg
 	coldCfg.DisableFlowCache = true
 	cold := Run(testInternet(t, 101), coldCfg)
 	if got := dumpExactCampaign(t, cold); got != want {
 		t.Errorf("serial sweep-on cache-off diverged from oracle\n%s", firstDiff(want, got))
 	}
-	if cold.Sweep.Walks == 0 || cold.Sweep.Replies == 0 {
-		t.Errorf("sweep enabled but inert on the cold path: %+v", cold.Sweep)
+	if method == probe.ICMPParis {
+		if cold.Sweep.ICMP.Walks == 0 || cold.Sweep.ICMP.Replies == 0 {
+			t.Errorf("sweep enabled but inert on the cold path: %+v", cold.Sweep)
+		}
+	} else if w := cold.Sweep.UDP.Walks; w != 0 {
+		t.Errorf("UDP sweep walked without the flow cache: %+v", cold.Sweep)
 	}
 	if cold.FlowCache != (netsim.FlowCacheStats{}) {
 		t.Errorf("cache disabled but sweep moved its counters: %+v", cold.FlowCache)
 	}
 
-	// Serial, both engines on (the default configuration).
+	// Serial, both engines on (the default configuration). UDP walks are
+	// charged to the UDP counters only, and the port-cycle slots of each
+	// trace must alias onto its master walks rather than walking
+	// themselves.
 	both := Run(testInternet(t, 101), cfg)
 	if got := dumpExactCampaign(t, both); got != want {
 		t.Errorf("serial sweep+cache diverged from oracle\n%s", firstDiff(want, got))
 	}
-	if both.Sweep.Walks == 0 {
-		t.Errorf("sweep enabled but no walks with the cache on: %+v", both.Sweep)
+	if method == probe.ICMPParis {
+		if both.Sweep.ICMP.Walks == 0 {
+			t.Errorf("sweep enabled but no walks with the cache on: %+v", both.Sweep)
+		}
+	} else {
+		if both.Sweep.UDP.Walks == 0 || both.Sweep.UDP.Replies == 0 {
+			t.Errorf("UDP slot sweep inert with the cache on: %+v", both.Sweep)
+		}
+		if both.Sweep.UDP.Aliases == 0 {
+			t.Errorf("UDP slots never aliased onto a master walk: %+v", both.Sweep)
+		}
+		if both.Sweep.ICMP.Walks != 0 {
+			t.Errorf("UDP campaign charged ICMP walks: %+v", both.Sweep)
+		}
 	}
 
 	// Parallel matrix: worker counts, both replica modes, and the
@@ -77,7 +105,8 @@ func TestSweepEquivalenceGolden(t *testing.T) {
 		if got := dumpExactCampaign(t, c); got != want {
 			t.Errorf("%s: diverged from per-probe oracle\n%s", tc.name, firstDiff(want, got))
 		}
-		if c.Sweep.Walks == 0 {
+		// UDP sweeps only through the cache; cache-off rows run per-probe.
+		if udpInert := method == probe.UDPParis && tc.noCache; !udpInert && c.Sweep.Total().Walks == 0 {
 			t.Errorf("%s: sweep enabled but no walks: %+v", tc.name, c.Sweep)
 		}
 		if tc.noCache && c.FlowCache != (netsim.FlowCacheStats{}) {
@@ -105,7 +134,7 @@ func TestSweepRepeatRunsCovered(t *testing.T) {
 	if got := dumpExactCampaign(t, second); got != want {
 		t.Errorf("warm sweep rerun diverged from oracle\n%s", firstDiff(want, got))
 	}
-	if second.Sweep.Fallbacks > first.Sweep.Fallbacks {
+	if second.Sweep.Total().Fallbacks > first.Sweep.Total().Fallbacks {
 		t.Errorf("warm rerun should fall back no more than the cold run: first %+v, second %+v",
 			first.Sweep, second.Sweep)
 	}

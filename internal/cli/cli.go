@@ -18,7 +18,9 @@ import (
 	"wormhole/internal/gen"
 	"wormhole/internal/lab"
 	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
 	"wormhole/internal/pcap"
+	"wormhole/internal/probe"
 	"wormhole/internal/reveal"
 	"wormhole/internal/stats"
 	"wormhole/internal/topo"
@@ -187,6 +189,7 @@ func cmdCampaign(args []string) error {
 	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
+	method := fs.String("method", "icmp", "traceroute probe method: icmp (Paris echo) or udp (classic port-cycling)")
 	noFlowCache := fs.Bool("no-flow-cache", false, "disable the flow-trajectory probe cache (results are identical either way)")
 	noSweep := fs.Bool("no-sweep", false, "disable the single-injection TTL sweep (results are identical either way)")
 	churn := fs.Float64("churn", 0, "expected link fail/reconverge/repair cycles per shard (0 = static topology)")
@@ -215,6 +218,14 @@ func cmdCampaign(args []string) error {
 		return err
 	}
 	ccfg := campaign.DefaultConfig()
+	switch *method {
+	case "icmp":
+		ccfg.Method = probe.ICMPParis
+	case "udp":
+		ccfg.Method = probe.UDPParis
+	default:
+		return fmt.Errorf("unknown probe method %q (want icmp or udp)", *method)
+	}
 	ccfg.DisableFlowCache = *noFlowCache
 	ccfg.DisableSweep = *noSweep
 	ccfg.ChurnRate = *churn
@@ -246,8 +257,16 @@ func cmdCampaign(args []string) error {
 			fc.Hits, fc.SharedHits, fc.Misses, fc.FastForwards, fc.Invalidations)
 	}
 	if !*noSweep {
-		printf("ttl sweep: %d walks, %d derived replies, %d fallbacks\n",
-			c.Sweep.Walks, c.Sweep.Replies, c.Sweep.Fallbacks)
+		for _, mod := range []struct {
+			name string
+			c    netsim.SweepCounters
+		}{{"icmp", c.Sweep.ICMP}, {"udp", c.Sweep.UDP}} {
+			if mod.c == (netsim.SweepCounters{}) {
+				continue
+			}
+			printf("ttl sweep [%s]: %d walks, %d derived replies, %d fallbacks, %d bypasses, %d slot aliases\n",
+				mod.name, mod.c.Walks, mod.c.Replies, mod.c.Fallbacks, mod.c.Bypasses, mod.c.Aliases)
+		}
 	}
 	byTech := map[reveal.Technique]int{}
 	hidden := 0
@@ -426,8 +445,8 @@ func cmdBench(args []string) error {
 				churn = "flush"
 			}
 		}
-		printf("campaign workers=%d (%d effective) cache=%-3s sweep=%-3s churn=%-5s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
-			cr.Workers, cr.EffectiveWorkers, cache, sweep, churn, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
+		printf("campaign workers=%d (%d effective) method=%-4s cache=%-3s sweep=%-3s churn=%-5s procs=%d: %.0f probes/s, %.0f ns/probe, %.1f allocs/probe, %.2fms/run (replica %.2fms, bootstrap %.2fms)",
+			cr.Workers, cr.EffectiveWorkers, cr.Method, cache, sweep, churn, cr.GoMaxProcs, cr.ProbesPerSec, cr.NsPerProbe, cr.AllocsPerProbe,
 			cr.WallMSPerRun, cr.ReplicaMS, cr.BootstrapMS)
 		if cr.Churn {
 			printf(" (%d churn events)", cr.ChurnEventsPerRun)
@@ -437,8 +456,9 @@ func cmdBench(args []string) error {
 				cr.CacheHitsPerRun, cr.CacheSharedHitsPerRun, cr.CacheMissesPerRun, cr.CacheFFPerRun)
 		}
 		if cr.Sweep {
-			printf(" (%d walks, %d derived, %d fallbacks)",
-				cr.SweepWalksPerRun, cr.SweepRepliesPerRun, cr.SweepFallbacksPerRun)
+			printf(" (%d walks, %d derived, %d fallbacks, %d bypasses, %d aliases)",
+				cr.SweepWalksPerRun, cr.SweepRepliesPerRun, cr.SweepFallbacksPerRun,
+				cr.SweepBypassesPerRun, cr.SweepAliasesPerRun)
 		}
 		printf("\n")
 	}

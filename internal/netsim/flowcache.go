@@ -161,6 +161,16 @@ type flowEntry struct {
 	// observations are valid locally until the repair evicts them, but
 	// must never be published to a shared table.
 	tainted bool
+
+	// branches and port exist only on swept UDP trajectories (sweep.go).
+	// branches is the walk's deduplicated ECMP decision list; any
+	// port-cycle slot whose flow hash reproduces it shares this entry by
+	// pointer (udpAlias). port is the branch class's canonical
+	// destination port — the lowest cycle port satisfying branches —
+	// used as the slot component of reply-shape keys so shapes are
+	// learned once per class instead of once per raw port.
+	branches []branchRec
+	port     uint16
 }
 
 // flowRec is the in-flight recording state for the probe currently being
@@ -211,6 +221,15 @@ type FlowCache struct {
 	soKey        FlowKey
 	soE          *flowEntry
 	soOK         bool
+
+	// hints maps (vp, destination) to the last observed reach TTL —
+	// the yield predictor behind SweepBegin's adaptive walk bypass.
+	// masters indexes completed UDP walks by port-erased flow key for
+	// slot aliasing; recBranches is the scratch the in-flight walk's
+	// ECMP decisions accumulate in before SweepFinish stamps them.
+	hints       map[hintKey]uint8
+	masters     map[FlowKey][]FlowKey
+	recBranches []branchRec
 
 	// hotKey/hotE memoize the last FlowLookup so the FlowProbe that
 	// follows a miss reuses the entry without re-hashing the key. hotE may
@@ -285,10 +304,14 @@ func (n *Network) InvalidateFlowCache() {
 	}
 	if f.sweepEnabled {
 		// Sweep state is derived from the same control plane: drop the
-		// per-trace entry and every learned reply shape, and poison any
-		// in-flight walk or resumed probe.
+		// per-trace entry, every learned reply shape, the reach hints and
+		// the master-walk index, and poison any in-flight walk or resumed
+		// probe.
 		f.soE, f.soOK = nil, false
 		f.shapes = nil
+		f.hints = nil
+		f.masters = nil
+		f.recBranches = f.recBranches[:0]
 		f.needScan = true
 		if f.rec.active {
 			f.rec.bad = true
@@ -371,6 +394,25 @@ func (n *Network) FlowLookup(key FlowKey, ttl uint8) (ProbeObs, bool) {
 	e := f.entries[key]
 	f.hotKey, f.hotE, f.hotOK = key, e, true
 	if e == nil || e.valid[ttl>>6]&(1<<(ttl&63)) == 0 {
+		if key.Proto == packet.ProtoUDP && f.sweepEnabled {
+			// Slot path: adopt a master walk for a first-contact slot, then
+			// derive this TTL's reply from the shared trajectory on demand.
+			if e == nil {
+				if e = n.udpAlias(key); e != nil {
+					f.hotE = e
+					if e.valid[ttl>>6]&(1<<(ttl&63)) != 0 {
+						f.stats.Hits++
+						return e.replies[ttl], true
+					}
+				}
+			}
+			if e != nil && e.swept {
+				if obs, ok := n.deriveSlot(e, key, ttl); ok {
+					f.stats.Hits++
+					return obs, true
+				}
+			}
+		}
 		if f.shared != nil {
 			if obs, ok := n.sharedLookup(key, ttl, e); ok {
 				return obs, true
@@ -548,6 +590,7 @@ func (n *Network) FlowFinish(ttl uint8, obs ProbeObs) {
 	applyTouched(e, tl, tlOK)
 	n.taintCheck(e, tlOK)
 	n.memoize(e, rec.key, ttl, obs, false)
+	n.learnReachHint(rec.key, ttl, &obs)
 	f.touchReset()
 }
 

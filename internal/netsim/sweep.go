@@ -55,8 +55,8 @@ import (
 // the sweep collapses each trace from h full drains to one walk plus h
 // materializations.
 
-// SweepStats counts sweep-engine outcomes.
-type SweepStats struct {
+// SweepCounters counts sweep-engine outcomes for one probe modality.
+type SweepCounters struct {
 	// Walks counts full-TTL sweep walks injected.
 	Walks uint64
 	// Replies counts per-TTL observations synthesized from a walk without
@@ -67,6 +67,71 @@ type SweepStats struct {
 	// swept trajectory (ambiguous expiry, unlearned reply shape, floor
 	// violation), plus walks poisoned mid-drain.
 	Fallbacks uint64
+	// Bypasses counts traces whose walk was skipped by the adaptive
+	// yield heuristic: a learned reach hint said the trace would derive
+	// too few replies to pay for the walk, so it ran per-probe.
+	Bypasses uint64
+	// Aliases counts flow keys served by pointer from another slot's
+	// master walk after branch validation (UDP port-cycle slots whose
+	// flow hash reproduces every ECMP decision the walk recorded).
+	Aliases uint64
+}
+
+// SweepStats splits the sweep counters by probe modality: ICMP Paris
+// walks one trajectory per (flow, destination); UDP Paris walks one per
+// (flow, destination, port-cycle slot class) and aliases the slots that
+// share a branch class.
+type SweepStats struct {
+	ICMP SweepCounters
+	UDP  SweepCounters
+}
+
+// Total folds both modalities into one counter set.
+func (s SweepStats) Total() SweepCounters {
+	return SweepCounters{
+		Walks:     s.ICMP.Walks + s.UDP.Walks,
+		Replies:   s.ICMP.Replies + s.UDP.Replies,
+		Fallbacks: s.ICMP.Fallbacks + s.UDP.Fallbacks,
+		Bypasses:  s.ICMP.Bypasses + s.UDP.Bypasses,
+		Aliases:   s.ICMP.Aliases + s.UDP.Aliases,
+	}
+}
+
+// Sub returns the per-field difference s − o (campaign phase deltas).
+func (s SweepStats) Sub(o SweepStats) SweepStats {
+	return SweepStats{ICMP: s.ICMP.sub(o.ICMP), UDP: s.UDP.sub(o.UDP)}
+}
+
+// Add accumulates o into s field by field (shard merges).
+func (s *SweepStats) Add(o SweepStats) {
+	s.ICMP.add(o.ICMP)
+	s.UDP.add(o.UDP)
+}
+
+func (c SweepCounters) sub(o SweepCounters) SweepCounters {
+	return SweepCounters{
+		Walks:     c.Walks - o.Walks,
+		Replies:   c.Replies - o.Replies,
+		Fallbacks: c.Fallbacks - o.Fallbacks,
+		Bypasses:  c.Bypasses - o.Bypasses,
+		Aliases:   c.Aliases - o.Aliases,
+	}
+}
+
+func (c *SweepCounters) add(o SweepCounters) {
+	c.Walks += o.Walks
+	c.Replies += o.Replies
+	c.Fallbacks += o.Fallbacks
+	c.Bypasses += o.Bypasses
+	c.Aliases += o.Aliases
+}
+
+// sweepCtr selects the modality's counter set for a flow.
+func (f *FlowCache) sweepCtr(proto packet.Protocol) *SweepCounters {
+	if proto == packet.ProtoUDP {
+		return &f.sweep.UDP
+	}
+	return &f.sweep.ICMP
 }
 
 // shapeKey identifies a reply-synthesis context: the interface the probe
@@ -78,12 +143,23 @@ type SweepStats struct {
 // probe's flow hash — which covers the destination — so two flows
 // expiring at the same (iface, stack) can ride different LSP branches.
 // Stacks deeper than the inline array are not memoized.
+//
+// port is the slot component for UDP flows: the probe's cycling
+// destination port changes the flow hash, so two slots expiring at the
+// same (iface, stack) can ride different LSP branches home — the shape is
+// only a pure function of the context once the slot is in the key. Raw
+// ports would fragment learning across the 128-port cycle, so the key
+// holds the flow's *canonical* branch-class port (flowEntry.port): every
+// slot whose hash reproduces the walk's recorded ECMP decisions shares
+// the trajectory, the reply ride, and therefore the shape. ICMP keys keep
+// port zero.
 type shapeKey struct {
 	in     *Iface
 	vp     netaddr.Addr
 	dst    netaddr.Addr
 	proto  packet.Protocol
 	id     uint16
+	port   uint16
 	depth  uint8
 	labels [4]uint32
 }
@@ -113,8 +189,8 @@ type shapeObs struct {
 }
 
 // SetSweepEnabled turns the single-injection TTL sweep on or off.
-// Enabling schedules a purity scan; disabling drops the per-trace entry
-// and every learned reply shape.
+// Enabling schedules a purity scan; disabling drops the per-trace entry,
+// every learned reply shape, the reach hints, and the master-walk index.
 func (n *Network) SetSweepEnabled(on bool) {
 	f := &n.flows
 	f.sweepEnabled = on
@@ -123,6 +199,9 @@ func (n *Network) SetSweepEnabled(on bool) {
 	} else {
 		f.soE, f.soOK = nil, false
 		f.shapes = nil
+		f.hints = nil
+		f.masters = nil
+		f.recBranches = f.recBranches[:0]
 	}
 }
 
@@ -201,9 +280,11 @@ func shapeKeyOf(in *Iface, pkt *packet.Packet) (shapeKey, bool) {
 // shapeKeyAt rebuilds the synthesis-context key from a recorded step and
 // the flow it belongs to. The transport id is the flow key's A field:
 // the ICMP echo identifier or the UDP source port, exactly what
-// shapeKeyOf read from the live packet.
-func shapeKeyAt(st *trajStep, key FlowKey) (shapeKey, bool) {
-	k := shapeKey{in: st.to, vp: key.Src, dst: key.Dst, proto: key.Proto, id: key.A, depth: uint8(len(st.mpls))}
+// shapeKeyOf read from the live packet. port is the owning entry's
+// canonical branch-class port (zero for ICMP), matching the patch
+// learnShape applies on the learning side.
+func shapeKeyAt(st *trajStep, key FlowKey, port uint16) (shapeKey, bool) {
+	k := shapeKey{in: st.to, vp: key.Src, dst: key.Dst, proto: key.Proto, id: key.A, port: port, depth: uint8(len(st.mpls))}
 	if len(st.mpls) > len(k.labels) {
 		return shapeKey{}, false
 	}
@@ -222,6 +303,17 @@ func (n *Network) learnShape(rec *flowRec, obs ProbeObs, tl []int32, tlOK bool) 
 	f := &n.flows
 	if !f.sweepEnabled || !rec.expSeen || rec.expDeep {
 		return
+	}
+	if rec.key.Proto == packet.ProtoUDP {
+		// UDP shapes are keyed on the canonical branch-class port, which
+		// only exists once the flow has a completed master walk: the walk
+		// itself and its resumed fallback probes learn, plain recordings
+		// (bypassed traces) do not. shapeKeyOf left the port zero.
+		e := rec.entry
+		if e == nil || !e.swept || e.port == 0 {
+			return
+		}
+		rec.expKey.port = e.port
 	}
 	so := shapeObs{
 		answered: obs.Answered,
@@ -258,8 +350,25 @@ func (n *Network) SweepBegin(key FlowKey, first, max uint8) bool {
 	if first > max || !n.sweepActive() || f.rec.active {
 		return false
 	}
+	if key.Proto == packet.ProtoUDP && !n.flowActive() {
+		// UDP walks are slot-keyed: a master walk plus its port-cycle
+		// aliases need the full entries map, which the cache-off sweep's
+		// single per-trace slot cannot hold. Cache-off UDP stays per-probe.
+		return false
+	}
 	if n.flowActive() {
 		e := f.entries[key]
+		if key.Proto == packet.ProtoUDP {
+			if e == nil {
+				e = n.udpAlias(key)
+			}
+			if e != nil && e.swept {
+				// This slot already has (or shares) a master walk; gaps in
+				// its coverage are served lazily or fall back per probe —
+				// re-walking the same trajectory cannot close them.
+				return false
+			}
+		}
 		if f.shared != nil {
 			// Adopt any published coverage before deciding: a fully covered
 			// flow skips the walk outright.
@@ -279,9 +388,19 @@ func (n *Network) SweepBegin(key FlowKey, first, max uint8) bool {
 				adoptTouched(e, se)
 			}
 		}
-		return e == nil || !e.coveredTrace(first, max)
+		if e != nil && e.coveredTrace(first, max) {
+			return false
+		}
+	} else if f.soOK && f.soE != nil && f.soKey == key && f.soE.coveredTrace(first, max) {
+		return false
 	}
-	if f.soOK && f.soE != nil && f.soKey == key && f.soE.coveredTrace(first, max) {
+	if h, ok := f.hints[hintKey{src: key.Src, dst: key.Dst}]; ok && int(h)-int(first)+1 <= sweepBypassYield {
+		// Adaptive bypass: a previous trace of this (vp, destination)
+		// reached at TTL h, so this trace expects at most h-first+1
+		// derived replies — too few to pay for a full-depth walk plus its
+		// backward scans. The trace runs per-probe, which is always
+		// byte-identical; the hint only spends or saves time.
+		f.sweepCtr(key.Proto).Bypasses++
 		return false
 	}
 	return true
@@ -344,7 +463,8 @@ func (n *Network) SweepWalk(out *Iface, pkt *packet.Packet, key FlowKey) time.Du
 	e.tailMinT = 0
 	pkt.Mark = 1
 	pkt.SetLineageIP(true)
-	f.sweep.Walks++
+	f.sweepCtr(key.Proto).Walks++
+	f.recBranches = f.recBranches[:0]
 	start := n.clock
 	f.rec = flowRec{active: true, entry: e, key: key, start: start}
 	n.touchRemote(out)
@@ -369,38 +489,69 @@ func (n *Network) SweepFinish(key FlowKey, first uint8, obs ProbeObs) {
 	}
 	e := rec.entry
 	f.rec = flowRec{}
+	ctr := f.sweepCtr(key.Proto)
 	if rec.bad {
 		// Poisoned walk (budget exhaustion or mid-drain invalidation): the
 		// trace falls back to per-probe simulation.
 		f.touchReset()
+		f.recBranches = f.recBranches[:0]
 		e.steps = e.steps[:0]
 		e.swept = false
-		f.sweep.Fallbacks++
+		ctr.Fallbacks++
 		return
 	}
 	e.swept = true
 	e.terminalLocal = rec.localSeen
 	e.tailMinT = rec.minT
+	if key.Proto == packet.ProtoUDP {
+		// Stamp the walk's ECMP decision list and resolve the branch
+		// class's canonical port before any shape is learned from this
+		// recording, then index the walk so sibling slots can alias it.
+		e.branches = append(e.branches[:0], f.recBranches...)
+		e.port = canonPort(key, e.branches)
+		n.registerMaster(key)
+	}
+	f.recBranches = f.recBranches[:0]
 	tl, tlOK := f.takeTouched()
 	n.learnShape(&rec, obs, tl, tlOK)
 	applyTouched(e, tl, tlOK)
 	n.taintCheck(e, tlOK)
 	f.touchReset()
 	n.memoize(e, key, e.t0, obs, false)
-	for t := int(e.t0) - 1; t >= int(first); t-- {
+	if key.Proto == packet.ProtoUDP {
+		// UDP derivation is lazy (FlowLookup's deriveSlot): the expiry
+		// shapes for a fresh destination are learned by this very trace's
+		// fallback probes, so an eager pass here would run before any
+		// shape exists and permanently miss. The walk's own observation
+		// above is the only eager memo.
+		return
+	}
+	// Ascending with an early stop at the first destination-reached
+	// reply: the traceroute loop stops there too, so replies above it
+	// would be derived and never consumed (the sweep-only regression on
+	// shallow traces). Gaps below it still fall back per probe.
+	for t := int(first); t < int(e.t0); t++ {
 		ttl := uint8(t)
 		if e.valid[t>>6]&(1<<(uint(t)&63)) != 0 {
+			o := &e.replies[t]
+			if o.Answered && (o.ICMPType == packet.ICMPEchoReply || o.ICMPType == packet.ICMPDestUnreach) {
+				break
+			}
 			continue
 		}
 		sc := n.sweepScan(e, ttl)
 		switch {
 		case sc.kind == scanReach:
 			n.memoize(e, key, ttl, obs, true)
-			f.sweep.Replies++
+			ctr.Replies++
+			n.learnReachHint(key, ttl, &obs)
+			if obs.Answered && (obs.ICMPType == packet.ICMPEchoReply || obs.ICMPType == packet.ICMPDestUnreach) {
+				return
+			}
 		case sc.kind == scanExpire && sc.exact:
 			if comp, ok := n.composeExpiry(e, key, sc.step, ttl); ok {
 				n.memoize(e, key, ttl, comp, true)
-				f.sweep.Replies++
+				ctr.Replies++
 			}
 		}
 	}
@@ -490,7 +641,7 @@ func (n *Network) sweepScan(e *flowEntry, ttl uint8) scanResult {
 // stack from the recorded snapshot patched down by the TTL delta.
 func (n *Network) composeExpiry(e *flowEntry, key FlowKey, k int, ttl uint8) (ProbeObs, bool) {
 	st := &e.steps[k]
-	sk, ok := shapeKeyAt(st, key)
+	sk, ok := shapeKeyAt(st, key, e.port)
 	if !ok {
 		return ProbeObs{}, false
 	}
@@ -535,7 +686,7 @@ func (n *Network) composeExpiry(e *flowEntry, key FlowKey, k int, ttl uint8) (Pr
 // expiry's shape learned), so the gap closes for the next trace.
 func (n *Network) sweepResume(out *Iface, pkt *packet.Packet, e *flowEntry, key FlowKey, ttl uint8) time.Duration {
 	f := &n.flows
-	f.sweep.Fallbacks++
+	f.sweepCtr(key.Proto).Fallbacks++
 	start := n.clock
 	pkt.Mark = 1
 	f.rec = flowRec{active: true, resume: true, entry: e, key: key, start: start}
@@ -565,4 +716,226 @@ func (n *Network) sweepResume(out *Iface, pkt *packet.Packet, e *flowEntry, key 
 		return n.clock - start
 	}
 	return n.Inject(out, pkt)
+}
+
+// ---- UDP port-cycle slots ----
+//
+// A UDP Paris probe cycles its destination port over the 128 ports above
+// UDPBasePort, changing the ECMP flow hash per probe: no single walk
+// covers a UDP trace the way it covers an ICMP one. But the hash only
+// *matters* where a router actually fans out. A walk records every ECMP
+// decision it takes (router.notedNextHop/notedLabelHop → NoteFlowBranch)
+// as (fan-out, index) pairs; any other slot whose own hash reproduces
+// every recorded index takes the identical trajectory — forward path,
+// reply rides at expiring LSRs (the time-exceeded is forwarded by the
+// probe's own LFIB entry and hash, the same decision the walk recorded at
+// that router's switch stage), and terminal delivery — so its flow key is
+// aliased to the master's entry by pointer. One walk covers a whole
+// branch class of the cycle; with no fan-outs on the path, one walk
+// covers all 128 slots.
+
+// UDPBasePort is the classic traceroute destination-port base; probes
+// cycle over the udpCycle ports above it, one slot per probe token.
+const UDPBasePort = 33434
+
+// udpCycle is the length of the destination-port cycle.
+const udpCycle = 128
+
+// sweepBypassYield is the adaptive-bypass threshold: a trace whose reach
+// hint promises at most this many derived replies skips the walk and
+// runs per-probe. At or below this depth the walk's full-path drain plus
+// its backward scans cost more than the handful of live probes it would
+// replace (the shallow re-traces of the campaign's bootstrap).
+const sweepBypassYield = 3
+
+// maxFlowMasters caps the master walks indexed per (vp, destination,
+// source port): beyond it new walks still memoize for their own slot but
+// are not offered for aliasing, bounding the per-lookup validation scan.
+// A path with b binary fan-outs has at most 2^b branch classes, so real
+// topologies saturate far below the cap.
+const maxFlowMasters = 16
+
+// hintKey indexes the reach-depth hints the adaptive bypass consults.
+type hintKey struct {
+	src, dst netaddr.Addr
+}
+
+// branchRec is one recorded ECMP decision of a master walk: the probe's
+// flow hash selected index idx of an n-way fan-out. Decisions are
+// deduplicated by fan-out width — on one walk the hash is constant, so
+// equal widths always yield equal indices.
+type branchRec struct {
+	n, idx uint16
+}
+
+// NoteFlowBranch records an ECMP decision taken while forwarding the
+// marked walk probe of an in-flight UDP sweep recording. Routers call it
+// from their hop-selection sites; everything else (ICMP walks, resumed
+// fallbacks, unmarked traffic) is filtered out here or by the caller's
+// Mark check.
+func (n *Network) NoteFlowBranch(fan, idx uint16) {
+	f := &n.flows
+	if !f.sweepEnabled || !f.rec.active || f.rec.resume || f.rec.key.Proto != packet.ProtoUDP {
+		return
+	}
+	for _, b := range f.recBranches {
+		if b.n == fan {
+			return
+		}
+	}
+	f.recBranches = append(f.recBranches, branchRec{n: fan, idx: idx})
+}
+
+// slotHash computes the ECMP flow hash a probe of this flow would carry
+// with the given destination port — the same packet.FlowHash the routers
+// apply, over a synthetic header.
+func slotHash(key FlowKey, port uint16) uint32 {
+	udp := packet.UDP{SrcPort: key.A, DstPort: port}
+	pkt := packet.Packet{
+		IP:  packet.IPv4{Src: key.Src, Dst: key.Dst, Protocol: key.Proto},
+		UDP: &udp,
+	}
+	return packet.FlowHash(&pkt)
+}
+
+// slotSatisfies reports whether a destination port's flow hash reproduces
+// every ECMP decision in the recorded branch list.
+func slotSatisfies(key FlowKey, port uint16, branches []branchRec) bool {
+	if len(branches) == 0 {
+		return true
+	}
+	h := slotHash(key, port)
+	for _, b := range branches {
+		if uint16(h%uint32(b.n)) != b.idx {
+			return false
+		}
+	}
+	return true
+}
+
+// canonPort resolves a branch class to its canonical port: the lowest
+// cycle port satisfying every recorded branch. The walking slot itself
+// always satisfies its own decisions, so the scan cannot come up empty.
+// Canonical ports are stable across traces and walks — they depend only
+// on the branch signature and the flow's hashed fields — which is what
+// lets reply shapes learned under one slot serve every slot of the class.
+func canonPort(key FlowKey, branches []branchRec) uint16 {
+	if len(branches) == 0 {
+		return UDPBasePort
+	}
+	for s := 0; s < udpCycle; s++ {
+		if p := uint16(UDPBasePort + s); slotSatisfies(key, p, branches) {
+			return p
+		}
+	}
+	return key.B
+}
+
+// registerMaster indexes a completed UDP walk under its port-erased base
+// key so sibling slots can find it for aliasing.
+func (n *Network) registerMaster(key FlowKey) {
+	f := &n.flows
+	bk := key
+	bk.B = 0
+	mks := f.masters[bk]
+	for _, mk := range mks {
+		if mk == key {
+			return
+		}
+	}
+	if len(mks) >= maxFlowMasters {
+		return
+	}
+	if f.masters == nil {
+		f.masters = make(map[FlowKey][]FlowKey)
+	}
+	f.masters[bk] = append(mks, key)
+}
+
+// udpAlias resolves a missing flow key against the flow's master walks:
+// on a branch-class match the master's entry is adopted by pointer, so
+// the alias shares the trajectory, the memoized replies, and — because
+// eviction is keyed on the shared entry's provenance — the same churn
+// fate. Masters whose entries were evicted are pruned here, lazily.
+func (n *Network) udpAlias(key FlowKey) *flowEntry {
+	f := &n.flows
+	if len(f.masters) == 0 || !n.sweepActive() {
+		return nil
+	}
+	bk := key
+	bk.B = 0
+	mks := f.masters[bk]
+	if len(mks) == 0 {
+		return nil
+	}
+	kept := mks[:0]
+	var found *flowEntry
+	for _, mk := range mks {
+		me := f.entries[mk]
+		if me == nil || !me.swept {
+			continue
+		}
+		kept = append(kept, mk)
+		if found == nil && slotSatisfies(key, key.B, me.branches) {
+			found = me
+		}
+	}
+	if len(kept) == 0 {
+		delete(f.masters, bk)
+	} else {
+		f.masters[bk] = kept
+	}
+	if found == nil {
+		return nil
+	}
+	f.entries[key] = found
+	f.sweep.UDP.Aliases++
+	return found
+}
+
+// deriveSlot synthesizes the (key, ttl) observation from a swept UDP
+// trajectory on demand — the lazy counterpart of SweepFinish's eager
+// ICMP pass. Laziness is load-bearing, not an optimization: the reply
+// shapes for a fresh destination are learned by the first trace's own
+// fallback probes, after its SweepFinish has run, so only a per-lookup
+// derivation ever sees them. The result is memoized, so each (slot
+// class, TTL) pays the scan once.
+func (n *Network) deriveSlot(e *flowEntry, key FlowKey, ttl uint8) (ProbeObs, bool) {
+	if !e.swept || ttl >= e.t0 || e.valid[e.t0>>6]&(1<<(e.t0&63)) == 0 {
+		return ProbeObs{}, false
+	}
+	f := &n.flows
+	sc := n.sweepScan(e, ttl)
+	switch {
+	case sc.kind == scanReach:
+		obs := e.replies[e.t0]
+		n.memoize(e, key, ttl, obs, true)
+		f.sweep.UDP.Replies++
+		n.learnReachHint(key, ttl, &obs)
+		return obs, true
+	case sc.kind == scanExpire && sc.exact:
+		if comp, ok := n.composeExpiry(e, key, sc.step, ttl); ok {
+			n.memoize(e, key, ttl, comp, true)
+			f.sweep.UDP.Replies++
+			return comp, true
+		}
+	}
+	return ProbeObs{}, false
+}
+
+// learnReachHint remembers the TTL at which a (vp, destination) pair's
+// probes reach the destination, feeding SweepBegin's adaptive bypass.
+// Hints are heuristic: they steer walk-or-not decisions only, never
+// bytes, so they are not churn-scoped — a stale hint after reconvergence
+// costs at most a suboptimal walk decision until relearned.
+func (n *Network) learnReachHint(key FlowKey, ttl uint8, obs *ProbeObs) {
+	f := &n.flows
+	if !f.sweepEnabled || !obs.Answered ||
+		(obs.ICMPType != packet.ICMPEchoReply && obs.ICMPType != packet.ICMPDestUnreach) {
+		return
+	}
+	if f.hints == nil {
+		f.hints = make(map[hintKey]uint8)
+	}
+	f.hints[hintKey{src: key.Src, dst: key.Dst}] = ttl
 }

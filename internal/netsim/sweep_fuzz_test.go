@@ -119,6 +119,95 @@ func decodeFuzzEntry(data []byte) (*flowEntry, bool) {
 	return e, true
 }
 
+// FuzzUDPSlotClasses fuzzes the UDP port-cycle branch-class algebra that
+// lets one walk cover many slots (sweep.go): a walk from some slot
+// records its ECMP decisions as (fan-out, index) pairs, and any slot
+// whose own flow hash reproduces every index is aliased onto the walk's
+// trajectory, with reply shapes keyed on the class's canonical port. The
+// fuzzer builds the branch list a walk from an arbitrary slot would
+// record — arbitrary flow identity, arbitrary fan-out widths, indices
+// from the real packet.FlowHash — and checks the invariants the aliasing
+// relies on:
+//
+//   - reflexivity: the walking slot satisfies its own recording;
+//   - the canonical port is an in-cycle slot that itself satisfies the
+//     recording (the canonPort scan can never fall through);
+//   - class consistency: every satisfying slot would have recorded the
+//     identical branch list, and resolves to the identical canonical
+//     port — whichever slot of a class walks first, aliases adopt the
+//     same trajectory and learn shapes under the same key.
+//
+// A violation of the last invariant means a reply shape learned under
+// one trace could be served to a slot on a different ECMP path — the
+// silent cross-path corruption the equivalence goldens would only catch
+// if a campaign happened to roll the colliding ports.
+func FuzzUDPSlotClasses(f *testing.F) {
+	f.Add(uint32(0x0a000001), uint32(0x0a630007), uint16(0x1234), byte(3), []byte{2, 4, 3})
+	f.Add(uint32(0xc0a80101), uint32(0x08080808), uint16(0xbeef), byte(127), []byte{})
+	f.Add(uint32(1), uint32(2), uint16(0), byte(0), []byte{16, 16, 2, 5, 9})
+	f.Fuzz(func(t *testing.T, src, dst uint32, flowID uint16, slot byte, fans []byte) {
+		key := FlowKey{
+			Src:   netaddr.Addr(src),
+			Dst:   netaddr.Addr(dst),
+			Proto: packet.ProtoUDP,
+			A:     flowID,
+			B:     UDPBasePort + uint16(slot)%udpCycle,
+		}
+		// Record the walk the way NoteFlowBranch would: fan-outs are 2–8
+		// wide, deduplicated by width (one walk has one hash, so equal
+		// widths always repeat the same index).
+		record := func(port uint16) []branchRec {
+			h := slotHash(key, port)
+			var bs []branchRec
+			for _, fb := range fans {
+				n := uint16(2 + fb%7)
+				dup := false
+				for _, b := range bs {
+					if b.n == n {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					bs = append(bs, branchRec{n: n, idx: uint16(h % uint32(n))})
+				}
+			}
+			return bs
+		}
+		branches := record(key.B)
+		if !slotSatisfies(key, key.B, branches) {
+			t.Fatalf("walking slot %d fails its own recording %+v", key.B, branches)
+		}
+		cp := canonPort(key, branches)
+		if cp < UDPBasePort || cp >= UDPBasePort+udpCycle {
+			t.Fatalf("canonical port %d outside the cycle", cp)
+		}
+		if !slotSatisfies(key, cp, branches) {
+			t.Fatalf("canonical port %d does not satisfy %+v", cp, branches)
+		}
+		for s := 0; s < udpCycle; s++ {
+			p := uint16(UDPBasePort + s)
+			if !slotSatisfies(key, p, branches) {
+				continue
+			}
+			peer := record(p)
+			if len(peer) != len(branches) {
+				t.Fatalf("slot %d records %d branches, walker recorded %d", p, len(peer), len(branches))
+			}
+			for i := range peer {
+				if peer[i] != branches[i] {
+					t.Fatalf("slot %d records %+v at %d, walker recorded %+v — same class, different decisions",
+						p, peer[i], i, branches[i])
+				}
+			}
+			if cp2 := canonPort(key, peer); cp2 != cp {
+				t.Fatalf("slot %d resolves canonical port %d, walker resolved %d — shape keys would fragment",
+					p, cp2, cp)
+			}
+		}
+	})
+}
+
 // refScan is the reference interpreter: a forward walk over the recorded
 // trajectory with every propagated field re-derived from the affine
 // model, value(ttl) = recorded + (ttl − t0) when the lineage bit is set

@@ -31,19 +31,17 @@ func TestNextTokenNeverZeroAndUnique(t *testing.T) {
 	}
 }
 
-// TestTracerouteAcrossTokenWrap replays a full traceroute with the
+// TestTracerouteAcrossTokenWrap replays a full TTL ladder with the
 // sequence counter parked just below the 16-bit wrap: the zero token must
-// be skipped and every reply still matched.
+// be skipped and every reply still matched. The ladder drives probe()
+// directly — Traceroute reseeds the sequence per trace, which would
+// un-park it.
 func TestTracerouteAcrossTokenWrap(t *testing.T) {
 	l := buildLine(t, 3)
 	l.prober.seq = 0xFFFE
-	tr := l.prober.Traceroute(l.host.Addr())
-	if !tr.Reached || len(tr.Hops) != 4 {
-		t.Fatalf("trace across wrap failed: reached=%v hops=%+v", tr.Reached, tr.Hops)
-	}
-	for _, h := range tr.Hops {
-		if h.Anonymous() {
-			t.Errorf("hop %d unmatched across token wrap", h.ProbeTTL)
+	for ttl := uint8(1); ttl <= 4; ttl++ {
+		if obs := l.prober.probe(l.host.Addr(), ttl, ICMPParis); !obs.Answered {
+			t.Errorf("probe at TTL %d unmatched across token wrap", ttl)
 		}
 	}
 	if l.prober.Sent != l.prober.Recv {

@@ -77,9 +77,18 @@ const (
 	UDPParis
 )
 
+func (m Method) String() string {
+	if m == UDPParis {
+		return "udp"
+	}
+	return "icmp"
+}
+
 // udpBasePort is the classic traceroute destination-port base; probes
-// cycle over the 128 ports above it, one flow per port.
-const udpBasePort = 33434
+// cycle over the 128 ports above it, one flow per port. The sweep engine
+// aliases those per-port flows back into branch classes, so the value is
+// shared with netsim.
+const udpBasePort = netsim.UDPBasePort
 
 // Prober issues probes from a vantage-point host. It is not safe for
 // concurrent use; campaigns run one Prober per vantage point sequentially
@@ -134,6 +143,25 @@ func New(net *netsim.Network, host *netsim.Host) *Prober {
 	p := &Prober{Net: net, Host: host, FirstTTL: 1, MaxTTL: 30, GapLimit: 5, Attempts: 1, FlowID: 0x1234}
 	host.Handler = p.handle
 	return p
+}
+
+// traceSeed returns the deterministic token-stream seed of one trace
+// (FNV-1a over the flow identity). Seeding per trace — rather than
+// letting one sequence roll across the prober's lifetime — makes every
+// trace a pure function of (source, destination, flow ID): the UDP
+// destination-port sequence, and therefore the ECMP path of every UDP
+// probe, no longer depends on how many probes ran before, so campaigns
+// are byte-identical however bootstrap jobs and shards are partitioned
+// across workers, and a re-trace of the same destination replays the
+// same port slots straight into the flow cache.
+func (p *Prober) traceSeed(dst netaddr.Addr) uint32 {
+	h := uint32(2166136261)
+	for _, w := range [3]uint32{uint32(p.Host.Addr()), uint32(dst), uint32(p.FlowID)} {
+		for s := 24; s >= 0; s -= 8 {
+			h = (h ^ (w >> s & 0xff)) * 16777619
+		}
+	}
+	return h
 }
 
 // nextToken returns the next probe token: a non-zero uint16 drawn from the
@@ -196,6 +224,23 @@ func (p *Prober) buildProbe(dst netaddr.Addr, ttl uint8, method Method, token ui
 	return pkt
 }
 
+// replyObs converts a matched reply packet (or nil, for a timeout) into
+// the observation the flow cache memoizes.
+func replyObs(reply *packet.Packet, elapsed time.Duration) netsim.ProbeObs {
+	obs := netsim.ProbeObs{Advance: elapsed}
+	if reply != nil {
+		obs.Answered = true
+		obs.From = reply.IP.Src
+		obs.ReplyTTL = reply.IP.TTL
+		obs.ICMPType = reply.ICMP.Type
+		obs.ICMPCode = reply.ICMP.Code
+		if reply.ICMP.Ext != nil {
+			obs.MPLS = reply.ICMP.Ext.LabelStack
+		}
+	}
+	return obs
+}
+
 // probe issues one probe of the given method and TTL toward dst, going
 // through the fabric's flow-trajectory cache: a memoized (flow, TTL)
 // reply is replayed without touching the event loop; otherwise the probe
@@ -223,6 +268,32 @@ func (p *Prober) probe(dst netaddr.Addr, ttl uint8, method Method) netsim.ProbeO
 		}
 		return obs
 	}
+	if method == UDPParis && ttl < p.MaxTTL && p.Net.SweepBegin(key, ttl, p.MaxTTL) {
+		// First contact with this slot's branch class: walk the slot once
+		// at MaxTTL so the engine can derive the lower-TTL replies of this
+		// and every aliased slot. Unlike the eager ICMP sweep, the walk
+		// runs lazily inside the probe and reuses the probe's own token —
+		// the slot IS the token, and drawing a fresh one would shift every
+		// later probe's port off the per-probe oracle's sequence.
+		wpkt := p.buildProbe(dst, p.MaxTTL, UDPParis, token)
+		p.pending = await{id: wpkt.UDP.SrcPort, seq: wpkt.UDP.DstPort, ipid: token}
+		p.waiting = true
+		recv := p.Recv
+		elapsed := p.Net.SweepWalk(p.Host.If, wpkt, key)
+		wreply := p.pending.reply
+		p.waiting = false
+		p.pending = await{}
+		p.Recv = recv
+		p.Net.SweepFinish(key, ttl, replyObs(wreply, elapsed))
+		if obs, ok := p.Net.FlowLookup(key, ttl); ok {
+			p.Sent++
+			p.Net.AdvanceClock(obs.Advance)
+			if obs.Answered {
+				p.Recv++
+			}
+			return obs
+		}
+	}
 	pkt := p.buildProbe(dst, ttl, method, token)
 	if pkt.UDP != nil {
 		p.pending = await{id: pkt.UDP.SrcPort, seq: pkt.UDP.DstPort, ipid: token}
@@ -235,26 +306,18 @@ func (p *Prober) probe(dst netaddr.Addr, ttl uint8, method Method) netsim.ProbeO
 	reply := p.pending.reply
 	p.waiting = false
 	p.pending = await{}
-	obs := netsim.ProbeObs{Advance: elapsed}
-	if reply != nil {
-		obs.Answered = true
-		obs.From = reply.IP.Src
-		obs.ReplyTTL = reply.IP.TTL
-		obs.ICMPType = reply.ICMP.Type
-		obs.ICMPCode = reply.ICMP.Code
-		if reply.ICMP.Ext != nil {
-			obs.MPLS = reply.ICMP.Ext.LabelStack
-		}
-	}
+	obs := replyObs(reply, elapsed)
 	p.Net.FlowFinish(ttl, obs)
 	return obs
 }
 
 // sweep offers the trace to the fabric's single-injection sweep engine:
 // one walk at MaxTTL records the flow's whole trajectory, from which the
-// engine derives the per-TTL replies the loop below will consume as
-// memo hits. Only ICMP Paris qualifies — the UDP port cycle varies the
-// flow key per probe, so no single walk covers a UDP trace. Inactive
+// engine derives the per-TTL replies the loop below will consume as memo
+// hits. Only ICMP Paris sweeps eagerly here — its flow key is constant
+// over the trace, so one up-front walk covers every probe. The UDP port
+// cycle varies the flow key per probe; its walks run lazily inside
+// probe(), one per branch class the trace actually touches. Inactive
 // engines (impure fabric, sweep disabled, memo already covering the
 // trace) make this a no-op and the trace runs per-probe.
 func (p *Prober) sweep(dst netaddr.Addr) {
@@ -278,23 +341,13 @@ func (p *Prober) sweep(dst netaddr.Addr) {
 	p.waiting = false
 	p.pending = await{}
 	p.Recv = recv
-	obs := netsim.ProbeObs{Advance: elapsed}
-	if reply != nil {
-		obs.Answered = true
-		obs.From = reply.IP.Src
-		obs.ReplyTTL = reply.IP.TTL
-		obs.ICMPType = reply.ICMP.Type
-		obs.ICMPCode = reply.ICMP.Code
-		if reply.ICMP.Ext != nil {
-			obs.MPLS = reply.ICMP.Ext.LabelStack
-		}
-	}
-	p.Net.SweepFinish(key, p.FirstTTL, obs)
+	p.Net.SweepFinish(key, p.FirstTTL, replyObs(reply, elapsed))
 }
 
 // Traceroute traces toward dst.
 func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
 	tr := &Trace{Src: p.Host.Addr(), Dst: dst}
+	p.seq = p.traceSeed(dst)
 	p.sweep(dst)
 	gaps := 0
 	attempts := p.Attempts

@@ -3,6 +3,7 @@ package probe
 import (
 	"testing"
 
+	"wormhole/internal/netsim"
 	"wormhole/internal/packet"
 )
 
@@ -42,7 +43,7 @@ func TestSweepTraceMatchesPerProbe(t *testing.T) {
 	on := b.prober.Traceroute(b.host.Addr())
 
 	tracesEqual(t, off, on)
-	if s := b.net.SweepStats(); s.Walks != 1 {
+	if s := b.net.SweepStats(); s.ICMP.Walks != 1 {
 		t.Errorf("want exactly one sweep walk, got %+v", s)
 	}
 	if a.prober.Sent != b.prober.Sent || a.prober.Recv != b.prober.Recv {
@@ -65,14 +66,15 @@ func TestSweepPurityFallbackLossyLink(t *testing.T) {
 	if len(tr.Hops) == 0 {
 		t.Fatal("trace produced no hops")
 	}
-	if s := l.net.SweepStats(); s.Walks != 0 || s.Replies != 0 {
+	if s := l.net.SweepStats().Total(); s.Walks != 0 || s.Replies != 0 {
 		t.Errorf("sweep engaged on an impure fabric: %+v", s)
 	}
 }
 
-// TestSweepUDPFallsBackPerProbe pins that UDP Paris traces never sweep:
-// the port cycle varies the flow key per probe, so the walk's trajectory
-// would not cover them.
+// TestSweepUDPFallsBackPerProbe pins that without the flow cache a UDP
+// Paris trace never sweeps: slot walks memoize per (slot, TTL) across the
+// port cycle, which the single-slot cache-off fallback entry cannot hold,
+// so the engine stays inert and the trace runs per-probe.
 func TestSweepUDPFallsBackPerProbe(t *testing.T) {
 	l := buildLine(t, 3)
 	l.net.SetSweepEnabled(true)
@@ -84,7 +86,40 @@ func TestSweepUDPFallsBackPerProbe(t *testing.T) {
 	if tr.Hops[len(tr.Hops)-1].ICMPType != packet.ICMPDestUnreach {
 		t.Errorf("UDP trace should end in port-unreachable: %+v", tr.Hops[len(tr.Hops)-1])
 	}
-	if s := l.net.SweepStats(); s.Walks != 0 {
-		t.Errorf("UDP trace swept: %+v", s)
+	if s := l.net.SweepStats().Total(); s.Walks != 0 {
+		t.Errorf("UDP trace swept without the flow cache: %+v", s)
+	}
+}
+
+// TestSweepUDPTraceMatchesPerProbe pins the probe-level contract of the
+// UDP slot walk on a pure fabric with the flow cache on: the first probe
+// of the trace triggers one walk, lower TTLs replay as derived memo hits,
+// and the trace — Sent/Recv accounting and virtual clock included — is
+// identical to the per-probe run.
+func TestSweepUDPTraceMatchesPerProbe(t *testing.T) {
+	a := buildLine(t, 3)
+	a.prober.Method = UDPParis
+	off := a.prober.Traceroute(a.host.Addr())
+
+	b := buildLine(t, 3)
+	b.prober.Method = UDPParis
+	b.net.SetFlowCacheEnabled(true)
+	b.net.SetSweepEnabled(true)
+	on := b.prober.Traceroute(b.host.Addr())
+
+	tracesEqual(t, off, on)
+	s := b.net.SweepStats()
+	if s.UDP.Walks == 0 || s.UDP.Replies == 0 {
+		t.Errorf("UDP slot sweep did not engage: %+v", s)
+	}
+	if s.ICMP != (netsim.SweepCounters{}) {
+		t.Errorf("UDP trace charged ICMP sweep counters: %+v", s)
+	}
+	if a.prober.Sent != b.prober.Sent || a.prober.Recv != b.prober.Recv {
+		t.Errorf("accounting differs: per-probe Sent/Recv %d/%d, sweep %d/%d",
+			a.prober.Sent, a.prober.Recv, b.prober.Sent, b.prober.Recv)
+	}
+	if a.net.Now() != b.net.Now() {
+		t.Errorf("virtual clock differs: per-probe %v, sweep %v", a.net.Now(), b.net.Now())
 	}
 }

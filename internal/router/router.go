@@ -384,7 +384,7 @@ func (r *Router) forward(net *netsim.Network, pkt *packet.Packet) {
 		r.impose(net, pkt, e.binding)
 		return
 	}
-	nh := pickNextHop(e.rt.NextHops, pkt)
+	nh := notedNextHop(net, e.rt.NextHops, pkt)
 	r.Stats.Forwarded++
 	net.Transmit(nh.Out, pkt)
 }
@@ -424,7 +424,7 @@ func (r *Router) lookupBinding(matched netaddr.Prefix, rt *Route, dst netaddr.Ad
 // impose pushes the FEC's label (or forwards unlabeled for implicit null)
 // and transmits.
 func (r *Router) impose(net *netsim.Network, pkt *packet.Packet, b *Binding) {
-	hop := pickLabelHop(b.NextHops, pkt)
+	hop := notedLabelHop(net, b.NextHops, pkt)
 	r.Stats.Forwarded++
 	lseTTL := uint8(255)
 	lseProp := false // lineage of the imposed TTL: 255 is a constant seed
@@ -492,7 +492,7 @@ func (r *Router) switchMPLS(net *netsim.Network, in *netsim.Iface, pkt *packet.P
 		return
 	}
 
-	hop := pickLabelHop(entry.NextHops, pkt)
+	hop := notedLabelHop(net, entry.NextHops, pkt)
 	fwd := net.PacketPool().Clone(pkt)
 	switch hop.Label {
 	case OutLabelImplicitNull:
@@ -622,7 +622,7 @@ func (r *Router) mplsExpired(net *netsim.Network, in *netsim.Iface, pkt *packet.
 		r.Originate(net, te)
 		return
 	}
-	hop := pickLabelHop(entry.NextHops, pkt)
+	hop := notedLabelHop(net, entry.NextHops, pkt)
 	switch hop.Label {
 	case OutLabelImplicitNull:
 		if len(pkt.MPLS) > 1 {
@@ -718,7 +718,7 @@ func (r *Router) deliverLocal(net *netsim.Network, in *netsim.Iface, pkt *packet
 			// Source the unreachable from the interface the reply leaves
 			// through (Mercator's alias signal).
 			if _, rt, ok := r.LookupRoute(pkt.IP.Src); ok {
-				src = pickNextHop(rt.NextHops, pkt).Out.Addr
+				src = notedNextHop(net, rt.NextHops, pkt).Out.Addr
 			}
 		}
 		reply := pool.Packet()

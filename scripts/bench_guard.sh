@@ -32,6 +32,14 @@
 #     ceiling. The struct-of-arrays arenas exist to keep replica cost
 #     flat; per-object cloning creeping back in shows up here first.
 #
+#  5. UDP cold path (PR 8): the UDP sweep+cache row must beat the UDP
+#     per-probe baseline by a real margin at 1 worker. UDP Paris cycles
+#     its destination port per probe, so this coverage comes entirely
+#     from the port-cycle slot machinery — per-slot walks, branch-class
+#     aliasing, canonical-port reply shapes; if the gate fails, UDP
+#     campaigns have silently regressed to per-probe simulation while
+#     the ICMP gates stay green.
+#
 # Tolerances: the 2w cache-on row must reach TOLERANCE% of 1w (97%
 # absorbs scheduler jitter at runs=8 on a loaded box; the pre-fix
 # inversion was -37%). The sweep-on cold row must reach COLD_FLOOR% of
@@ -39,7 +47,8 @@
 # but well above noise). The churned delta row must reach CHURN_FLOOR%
 # of the churned flush-world row at 2 workers (100%: delta must at
 # least match the baseline; measured ~140% — it wins by keeping the
-# pool and the shared-table subscription warm).
+# pool and the shared-table subscription warm). The UDP sweep+cache row
+# must reach UDP_FLOOR% of the UDP per-probe baseline at 1 worker.
 # The Large replica must stay under MEM_CEILING heap bytes per router.
 #
 # Usage: ./scripts/bench_guard.sh   (repo root; also run by check.sh)
@@ -48,6 +57,7 @@ set -eu
 TOLERANCE=97
 COLD_FLOOR=120
 CHURN_FLOOR=100
+UDP_FLOOR=150
 # Heap bytes per router for one retained Large replica: measured ~4.7k
 # with the fabric-wide arenas (was >20k with per-object cloning); 7k
 # leaves headroom for real feature growth while catching any return of
@@ -67,11 +77,13 @@ trap 'rm -f "$OUT" "$OUT_MEM"' EXIT
 campaign_gates() {
     go run ./cmd/wormhole bench -scale small -runs 8 -workers 1,2 -out "$OUT"
 
-    # The report's campaign rows carry "workers", "flow_cache", "sweep",
-    # "churn", "churn_flush_world", and "probes_per_sec" in a stable
-    # field order; key the rates on all five.
-    awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" -v chfloor="$CHURN_FLOOR" '
+    # The report's campaign rows carry "workers", "method", "flow_cache",
+    # "sweep", "churn", "churn_flush_world", and "probes_per_sec" in a
+    # stable field order; key the rates on all six.
+    awk -v tol="$TOLERANCE" -v cold="$COLD_FLOOR" -v chfloor="$CHURN_FLOOR" -v udpfloor="$UDP_FLOOR" '
     /"workers":/       { gsub(/[^0-9]/, ""); w = $0 }
+    /"method": "icmp"/ { m = "icmp" }
+    /"method": "udp"/  { m = "udp" }
     /"flow_cache": true/  { cached = 1 }
     /"flow_cache": false/ { cached = 0 }
     /"sweep": true/    { sweep = 1 }
@@ -82,40 +94,51 @@ campaign_gates() {
     /"churn_flush_world": false/ { flush = 0 }
     /"probes_per_sec":/ {
         gsub(/[^0-9.]/, "")
-        rate[w "," cached "," sweep "," churn "," flush] = $0 + 0
+        rate[w "," m "," cached "," sweep "," churn "," flush] = $0 + 0
     }
     END {
-        if (!(("1,1,1,0,0") in rate) || !(("2,1,1,0,0") in rate)) {
+        if (!(("1,icmp,1,1,0,0") in rate) || !(("2,icmp,1,1,0,0") in rate)) {
             print "bench_guard: missing cache-on rows for workers 1 and 2"
             exit 1
         }
-        pct = 100 * rate["2,1,1,0,0"] / rate["1,1,1,0,0"]
+        pct = 100 * rate["2,icmp,1,1,0,0"] / rate["1,icmp,1,1,0,0"]
         printf "bench_guard: cache-on %.0f probes/s at 1w, %.0f at 2w (%.1f%%, floor %d%%)\n", \
-            rate["1,1,1,0,0"], rate["2,1,1,0,0"], pct, tol
+            rate["1,icmp,1,1,0,0"], rate["2,icmp,1,1,0,0"], pct, tol
         if (pct < tol) {
             print "bench_guard: FAIL — 2-worker campaign regressed below 1 worker"
             exit 1
         }
-        if (!(("1,0,0,0,0") in rate) || !(("1,0,1,0,0") in rate)) {
+        if (!(("1,icmp,0,0,0,0") in rate) || !(("1,icmp,0,1,0,0") in rate)) {
             print "bench_guard: missing cache-off rows for the cold-path gate"
             exit 1
         }
-        coldpct = 100 * rate["1,0,1,0,0"] / rate["1,0,0,0,0"]
+        coldpct = 100 * rate["1,icmp,0,1,0,0"] / rate["1,icmp,0,0,0,0"]
         printf "bench_guard: cold path %.0f probes/s per-probe, %.0f sweep-on (%.1f%%, floor %d%%)\n", \
-            rate["1,0,0,0,0"], rate["1,0,1,0,0"], coldpct, cold
+            rate["1,icmp,0,0,0,0"], rate["1,icmp,0,1,0,0"], coldpct, cold
         if (coldpct < cold) {
             print "bench_guard: FAIL — sweep-on cold path no longer beats per-probe"
             exit 1
         }
-        if (!(("2,1,1,1,0") in rate) || !(("2,1,1,1,1") in rate)) {
+        if (!(("2,icmp,1,1,1,0") in rate) || !(("2,icmp,1,1,1,1") in rate)) {
             print "bench_guard: missing churn rows for the invalidation gate"
             exit 1
         }
-        churnpct = 100 * rate["2,1,1,1,0"] / rate["2,1,1,1,1"]
+        churnpct = 100 * rate["2,icmp,1,1,1,0"] / rate["2,icmp,1,1,1,1"]
         printf "bench_guard: churn %.0f probes/s flush-world, %.0f delta at 2w (%.1f%%, floor %d%%)\n", \
-            rate["2,1,1,1,1"], rate["2,1,1,1,0"], churnpct, chfloor
+            rate["2,icmp,1,1,1,1"], rate["2,icmp,1,1,1,0"], churnpct, chfloor
         if (churnpct < chfloor) {
             print "bench_guard: FAIL — delta-invalidation fell below flush-the-world under churn"
+            exit 1
+        }
+        if (!(("1,udp,0,0,0,0") in rate) || !(("1,udp,1,1,0,0") in rate)) {
+            print "bench_guard: missing udp rows for the slot cold-path gate"
+            exit 1
+        }
+        udppct = 100 * rate["1,udp,1,1,0,0"] / rate["1,udp,0,0,0,0"]
+        printf "bench_guard: udp cold path %.0f probes/s per-probe, %.0f sweep+cache (%.1f%%, floor %d%%)\n", \
+            rate["1,udp,0,0,0,0"], rate["1,udp,1,1,0,0"], udppct, udpfloor
+        if (udppct < udpfloor) {
+            print "bench_guard: FAIL — udp sweep+cache no longer beats the udp per-probe baseline"
             exit 1
         }
     }

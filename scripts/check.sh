@@ -3,14 +3,16 @@
 # build everything, vet, then the performance guard (bench_guard.sh
 # fails if the 2-worker cached campaign regresses below the 1-worker
 # row, if the sweep-on cold path stops beating per-probe, if
-# delta-invalidation falls below flush-the-world under churn, or if the
-# Large replica's bytes/router exceeds the committed ceiling) — run
+# delta-invalidation falls below flush-the-world under churn, if the
+# UDP sweep+cache row stops beating the UDP per-probe baseline, or if
+# the Large replica's bytes/router exceeds the committed ceiling) — run
 # first because its throughput ratios are timing-sensitive and the
 # compile-heavy coverage/race phases below leave a single-CPU box in a
 # throttled window that skews them. Then the test suite with coverage
 # aggregation (per-package floors on the engine packages guard against
-# silently shedding tests), a short native-fuzz smoke over the sweep
-# derivation model, and the race tier (TestRaceTier shells out to
+# silently shedding tests), short native-fuzz smokes over the sweep
+# derivation model and the UDP port-cycle branch-class algebra, and the
+# race tier (TestRaceTier shells out to
 # `go test -race` over the concurrency-heavy packages and is skipped
 # automatically under -short).
 #
@@ -46,9 +48,11 @@ check_floor() {
 check_floor netsim 50
 check_floor campaign 85
 
-# Native-fuzz smoke: ten seconds of the backward-scan differential
-# fuzzer. Regressions in the lineage model surface here long before a
-# campaign happens to probe the right flow.
+# Native-fuzz smokes: ten seconds each of the backward-scan differential
+# fuzzer and the UDP slot-class fuzzer. Regressions in the lineage model
+# or the port-cycle aliasing algebra surface here long before a campaign
+# happens to probe the right flow or roll the colliding ports.
 go test ./internal/netsim/ -run='^$' -fuzz=FuzzLineageBackwardScan -fuzztime=10s
+go test ./internal/netsim/ -run='^$' -fuzz=FuzzUDPSlotClasses -fuzztime=10s
 
 go test -race -run TestRaceTier .
