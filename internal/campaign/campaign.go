@@ -94,6 +94,26 @@ type Config struct {
 	// probe.ICMPParis (the zero value, the default) or probe.UDPParis.
 	// Pings (alias resolution, fingerprinting) stay ICMP either way.
 	Method probe.Method
+	// Stream switches bootstrap target selection from the stride sample
+	// (which enumerates every router address — and, on a lazy world,
+	// materializes every stub) to the streaming scheduler: a seeded
+	// pseudo-random permutation over the probeable target space, drained
+	// in bounded batches under MaxBootstrapTargets and PrefixBudget.
+	// Memory is flat in the universe size, and the accepted sequence is a
+	// pure function of (space, StreamSeed) — identical on every engine.
+	// MaxTargets capping switches to the same permuted selection.
+	Stream bool
+	// PrefixBudget caps how many targets the streaming scheduler accepts
+	// per budget prefix (the target's AS aggregate); zero = no budget.
+	// Only meaningful with Stream.
+	PrefixBudget int
+	// StreamBatch is the streaming scheduler's drain granularity (zero
+	// selects the default, 256 targets per batch). Batch size never
+	// changes campaign output — only scheduling overhead.
+	StreamBatch int
+	// StreamSeed seeds the target-space permutation. The same (space,
+	// seed) always yields the same target sequence.
+	StreamSeed int64
 }
 
 // DefaultConfig mirrors the paper at synthetic scale, with an adaptive
@@ -159,6 +179,15 @@ type Campaign struct {
 	// ChurnEvents counts the topology churn events fired across all
 	// shards (zero when ChurnRate is zero).
 	ChurnEvents uint64
+	// Lazy is the source fabric's resident-set accounting after the run
+	// (Resident == Total on eager worlds), with FaultIns/FaultInNS as
+	// campaign deltas summed over the source fabric and every worker
+	// replica — the materialization work this campaign caused.
+	Lazy gen.LazyStats
+	// ReplicaResident sums the worker replicas' resident router counts
+	// (zero for the serial engine): the fabric state actually paged in
+	// across the whole pool.
+	ReplicaResident int
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.
@@ -209,6 +238,7 @@ func (c *Campaign) BootstrapProbes() uint64 { return c.bootProbes }
 // processed one after another. Output is byte-identical to RunParallel at
 // any worker count.
 func Run(in *gen.Internet, cfg Config) *Campaign {
+	lz0 := in.LazyStats()
 	c := prepare(in, cfg)
 	hdnAddr := c.hdnByAddr()
 	plan := gen.BuildChurnPlan(in, cfg.ChurnRate, cfg.ChurnSeed)
@@ -225,6 +255,9 @@ func Run(in *gen.Internet, cfg Config) *Campaign {
 	c.Workers = 1
 	c.ShardWorkers = 1
 	c.merge(results)
+	c.Lazy = in.LazyStats()
+	c.Lazy.FaultIns -= lz0.FaultIns
+	c.Lazy.FaultInNS -= lz0.FaultInNS
 	return c
 }
 
@@ -402,6 +435,11 @@ func (c *Campaign) bootstrapAddrs() []netaddr.Addr {
 
 func (c *Campaign) bootstrap() {
 	c.ITDK = topo.New(c.resolver())
+	if c.Cfg.Stream {
+		c.bootstrapStream()
+		c.finishBootstrapGraph()
+		return
+	}
 	addrs := c.bootstrapAddrs()
 	vps := c.In.VPs
 	spread := c.Cfg.BootstrapSpread
@@ -467,7 +505,11 @@ func (c *Campaign) selectTargets() {
 	// the sorted list alone, so every engine probes the same targets.
 	// teamOf keeps entries for sampled-out addresses; only c.Targets
 	// drives the shards.
-	c.Targets = strideSample(c.Targets, c.Cfg.MaxTargets)
+	if c.Cfg.Stream {
+		c.Targets = c.streamSampleTargets(c.Targets)
+	} else {
+		c.Targets = strideSample(c.Targets, c.Cfg.MaxTargets)
+	}
 }
 
 // Revelations returns the distinct successful revelations.

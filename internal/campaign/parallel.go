@@ -129,6 +129,17 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 	pool := newWorkerPool(replicas)
 	defer pool.close()
 
+	// Pooled replicas carry fault-in counters across campaigns; snapshot
+	// them so Campaign.Lazy reports only this run's materialization work.
+	lz0 := in.LazyStats()
+	var repFault0 int
+	var repNS0 int64
+	for _, r := range replicas {
+		s := r.LazyStats()
+		repFault0 += s.FaultIns
+		repNS0 += s.FaultInNS
+	}
+
 	c.prepareParallel(pool, table)
 
 	shards := c.buildShards(pcfg.ShardBy)
@@ -168,6 +179,15 @@ func RunParallel(in *gen.Internet, cfg Config, pcfg ParallelConfig) (*Campaign, 
 	c.Phase.Probe = time.Since(t0)
 
 	c.merge(results)
+	c.Lazy = in.LazyStats()
+	c.Lazy.FaultIns -= lz0.FaultIns + repFault0
+	c.Lazy.FaultInNS -= lz0.FaultInNS + repNS0
+	for _, r := range replicas {
+		s := r.LazyStats()
+		c.ReplicaResident += s.Resident
+		c.Lazy.FaultIns += s.FaultIns
+		c.Lazy.FaultInNS += s.FaultInNS
+	}
 	return c, nil
 }
 
@@ -220,6 +240,11 @@ func (c *Campaign) bootstrapSharded(pool *workerPool) {
 	// here, before any worker drives a replica, exactly as the serial
 	// engine resolves before its first traceroute.
 	c.ITDK = topo.New(c.resolver())
+	if c.Cfg.Stream {
+		c.bootstrapStreamSharded(pool)
+		c.finishBootstrapGraph()
+		return
+	}
 	addrs := c.bootstrapAddrs()
 	vps := c.In.VPs
 	spread := c.Cfg.BootstrapSpread

@@ -115,6 +115,8 @@ func parseScale(s string) (experiments.Scale, error) {
 		return experiments.Large, nil
 	case "huge":
 		return experiments.Huge, nil
+	case "giga":
+		return experiments.Giga, nil
 	default:
 		return 0, fmt.Errorf("unknown scale %q", s)
 	}
@@ -217,7 +219,12 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	ccfg := campaign.DefaultConfig()
+	// The scale owns its campaign regime: small/medium run the default
+	// config unchanged, large/huge sample bootstrap and probing targets,
+	// giga streams them — probing the full universe from every VP at the
+	// big rungs is a different experiment (and on the lazy rung would
+	// materialize all 10⁶ routers).
+	ccfg := scale.CampaignConfig()
 	switch *method {
 	case "icmp":
 		ccfg.Method = probe.ICMPParis
@@ -239,6 +246,17 @@ func cmdCampaign(args []string) error {
 		return err
 	}
 	printf("internet: %d ASes, %d VPs\n", len(in.ASes), len(in.VPs))
+	if st := c.Lazy; st.Resident != st.Total || st.FaultIns > 0 {
+		printf("lazy fabric: resident %d of %d routers (%d of %d stubs), %d fault-ins",
+			st.Resident, st.Total, st.ResidentStubs, st.TotalStubs, st.FaultIns)
+		if st.FaultIns > 0 {
+			printf(" (%.2f ms total)", float64(st.FaultInNS)/1e6)
+		}
+		if c.ReplicaResident > 0 {
+			printf(", %d resident across %d replicas", c.ReplicaResident, c.Workers)
+		}
+		printf("\n")
+	}
 	printf("observed graph: %d nodes, %d edges, density %.4f\n",
 		c.ITDK.NumNodes(), c.ITDK.NumEdges(), c.ITDK.Density())
 	printf("HDNs (threshold %d): %d\n", c.Cfg.HDNThreshold, len(c.HDNs))
@@ -418,8 +436,12 @@ func cmdBench(args []string) error {
 		return err
 	}
 	for _, sr := range rep.Scales {
-		printf("scale %-6s: %6d routers, build %.0fms, snapshot %.1fms, %.0f bytes/router\n",
+		printf("scale %-6s: %7d routers, build %.0fms, snapshot %.1fms, %.0f bytes/router",
 			sr.Scale, sr.Routers, sr.BuildMS, sr.SnapshotMS, sr.BytesPerRouter)
+		if sr.ResidentRouters != sr.Routers {
+			printf(" (%d resident, fault-in %.3fms)", sr.ResidentRouters, sr.FaultInMS)
+		}
+		printf("\n")
 	}
 	if *scalesOnly {
 		if err := benchrun.WriteJSON(*outPath, rep); err != nil {
@@ -479,7 +501,7 @@ func multiSeedCampaign(first int64, n int, scaleName string) error {
 	for i := 0; i < n; i++ {
 		list = append(list, first+int64(i))
 	}
-	sums := campaign.RunSeeds(list, scale.Params(0), campaign.DefaultConfig())
+	sums := campaign.RunSeeds(list, scale.Params(0), scale.CampaignConfig())
 	printf("%-8s %-7s %-7s %-6s %-8s %-8s %-12s %-6s\n",
 		"seed", "nodes", "edges", "HDNs", "targets", "probes", "revelations", "hops")
 	for _, s := range sums {

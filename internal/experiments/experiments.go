@@ -49,9 +49,14 @@ const (
 	// Large is ~10⁴ routers through the streamed hierarchical builder;
 	// campaigns sample targets to stay tractable.
 	Large
-	// Huge is ~10⁵ routers — the ladder's top rung, exercised only by
-	// scale benches and explicitly opted-in tests (WORMHOLE_HUGE=1).
+	// Huge is ~10⁵ routers — exercised only by scale benches and
+	// explicitly opted-in tests (WORMHOLE_HUGE=1).
 	Huge
+	// Giga is ~10⁶ routers: a lazy stub universe (gen.Params.LazyStubs)
+	// probed by the streaming scheduler, so only the few thousand stubs a
+	// sampled campaign touches ever construct. Opted into by
+	// WORMHOLE_GIGA=1.
+	Giga
 )
 
 func (s Scale) String() string {
@@ -64,6 +69,8 @@ func (s Scale) String() string {
 		return "large"
 	case Huge:
 		return "huge"
+	case Giga:
+		return "giga"
 	default:
 		return fmt.Sprintf("scale-%d", int(s))
 	}
@@ -85,6 +92,16 @@ func (s Scale) Params(seed int64) gen.Params {
 		p.TransitCore = [2]int{3, 5}
 		p.TransitEdge = [2]int{3, 5}
 		p.TransitPeerProb = 8.0 / 400
+	case Giga:
+		// ~1.008·10⁶ routers in the universe (400k stubs × 2.5 avg +
+		// ~8k core); LazyStubs keeps all but the campaign-touched stubs
+		// as 40-byte descriptors.
+		p.NumTier1, p.NumTransit, p.NumStub, p.NumVPs = 12, 1000, 400000, 50
+		p.TransitCore = [2]int{3, 5}
+		p.TransitEdge = [2]int{3, 5}
+		p.StubRouters = [2]int{2, 3}
+		p.TransitPeerProb = 8.0 / 1000
+		p.LazyStubs = true
 	}
 	return p
 }
@@ -103,6 +120,14 @@ func (s Scale) CampaignConfig() campaign.Config {
 	case Huge:
 		cfg.MaxBootstrapTargets = 2000
 		cfg.MaxTargets = 1000
+	case Giga:
+		// The streaming scheduler is mandatory here: a stride sample
+		// would enumerate (and on a lazy world, materialize) all 10⁶
+		// router addresses. One target per AS keeps the sweep wide.
+		cfg.Stream = true
+		cfg.PrefixBudget = 1
+		cfg.MaxBootstrapTargets = 4000
+		cfg.MaxTargets = 1500
 	}
 	return cfg
 }

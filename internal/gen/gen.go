@@ -121,6 +121,16 @@ type Params struct {
 	// setting it explicitly lets tests exercise the streamed path at
 	// small scale. Incompatible with InBandControlPlane.
 	Hierarchical bool
+
+	// LazyStubs defers stub construction past Build: the hierarchical
+	// builder keeps only a per-stub descriptor (seed, provider attachment,
+	// router count) and a stub's routers, tables, and routes materialize
+	// on first touch — the first probe toward its /20, or a ground-truth
+	// resolution inside it (see lazy.go). VP stubs are always built
+	// eagerly. The materialized world is byte-identical to the eager build
+	// of the same Params: construction replays from the stub's own seeded
+	// rng either way. Implies Hierarchical.
+	LazyStubs bool
 }
 
 // DefaultParams mirrors the survey shares at a simulable scale.
@@ -197,6 +207,15 @@ type ASInfo struct {
 	// index is the AS's position in Internet.ASes, stable across
 	// snapshots; the shared address index records it instead of pointers.
 	index int32
+
+	// lazyRecs holds the ground-truth address records a post-build
+	// fault-in registered for this stub (its own interfaces plus both ends
+	// of its provider cross-links — all inside the stub's /20). The sorted
+	// global index is sealed at Build and shared across replicas by
+	// reference, so late registrations live here instead; lookupAddr scans
+	// this (≤ a dozen entries) after matching the block. Append-once at
+	// materialization, immutable after.
+	lazyRecs []addrRec
 
 	// childFloor bounds subnet30 allocation from above, in addresses from
 	// the aggregate base: everything at or past it is reserved (loopback
@@ -289,6 +308,11 @@ type Internet struct {
 
 	rng *rand.Rand
 
+	// lazy is the hierarchical builder's stub-universe plan (see lazy.go):
+	// per-stub descriptors, the fault-in resident set, and the post-seal
+	// address records. Nil for flat worlds.
+	lazy *lazyState
+
 	// pool caches built replicas across parallel campaigns (see pool.go).
 	pool replicaPool
 }
@@ -315,11 +339,24 @@ type AddrInfo struct {
 	AS     *ASInfo
 }
 
-// lookupAddr binary-searches the sorted ground-truth index.
+// lookupAddr binary-searches the sorted ground-truth index, falling back
+// to the lazy stub universe: an address inside a not-yet-resident stub's
+// /20 faults the stub in (resolution is ground truth — it must agree with
+// what a probe toward the address would materialize) and is then resolved
+// against the stub's local record list.
 func (in *Internet) lookupAddr(a netaddr.Addr) (addrRec, bool) {
 	i := sort.Search(len(in.addrRecs), func(i int) bool { return in.addrRecs[i].addr >= a })
 	if i < len(in.addrRecs) && in.addrRecs[i].addr == a {
 		return in.addrRecs[i], true
+	}
+	if si, ok := in.stubByAddr(a); ok {
+		in.ensureStub(si)
+		as := in.ASes[in.lazy.descs[si].asIndex]
+		for _, rec := range as.lazyRecs {
+			if rec.addr == a {
+				return rec, true
+			}
+		}
 	}
 	return addrRec{}, false
 }
@@ -355,8 +392,11 @@ func (in *Internet) ASByNum(num uint32) *ASInfo {
 
 // RouterAddrs returns every registered router interface address (loopbacks
 // included), in deterministic order. Campaigns draw probing targets from
-// this set.
+// this set. On a lazy world it materializes the whole universe first —
+// full enumeration defeats laziness by definition; streaming campaigns
+// use ProbeSpace instead, which enumerates without constructing.
 func (in *Internet) RouterAddrs() []netaddr.Addr {
+	in.materializeAll()
 	// Every registered router address has exactly one ground-truth row, so
 	// the index length is the exact output size.
 	out := make([]netaddr.Addr, 0, len(in.addrRecs))
@@ -382,7 +422,7 @@ func Build(p Params) (*Internet, error) {
 	}
 	// Decided locally, never written back into p: Params must round-trip
 	// unchanged through Build (Rebuild replays the stored copy).
-	hier := p.Hierarchical || p.NumTier1+p.NumTransit+p.NumStub > flatASLimit
+	hier := p.Hierarchical || p.LazyStubs || p.NumTier1+p.NumTransit+p.NumStub > flatASLimit
 	if hier {
 		return buildHierarchical(p)
 	}
@@ -458,7 +498,7 @@ func Build(p Params) (*Internet, error) {
 	vpStubs := rng.Perm(len(stubs))
 	for i := 0; i < p.NumVPs && i < len(vpStubs); i++ {
 		as := stubs[vpStubs[i]]
-		in.attachVP(p, as, i)
+		in.attachVP(in.rng, p, as, i)
 	}
 
 	// 4. Control planes: IGP per AS, LDP where MPLS, then BGP.
@@ -524,12 +564,15 @@ func rngRange(rng *rand.Rand, r [2]int) int {
 	return r[0] + rng.Intn(r[1]-r[0]+1)
 }
 
-func (in *Internet) delay(p Params) time.Duration {
+// delay draws a link delay from rng — the builder's rng for eager
+// construction, a stub's own seeded rng during (lazy or eager)
+// materialization, so the draw stream is identical either way.
+func delay(rng *rand.Rand, p Params) time.Duration {
 	span := p.MaxDelay - p.MinDelay
 	if span <= 0 {
 		return p.MinDelay
 	}
-	return p.MinDelay + time.Duration(in.rng.Int63n(int64(span)))
+	return p.MinDelay + time.Duration(rng.Int63n(int64(span)))
 }
 
 // flatASLimit is the most ASes the flat builder handles; beyond it Build
@@ -652,7 +695,7 @@ func (in *Internet) stubProfile(p Params) Profile {
 }
 
 // personalityFor picks a router OS per the AS vendor profile.
-func (in *Internet) personalityFor(prof Profile) (router.Personality, router.LDPPolicy) {
+func personalityFor(rng *rand.Rand, prof Profile) (router.Personality, router.LDPPolicy) {
 	switch prof.Vendor {
 	case VendorCisco:
 		return router.Cisco, router.LDPAllPrefixes
@@ -661,7 +704,7 @@ func (in *Internet) personalityFor(prof Profile) (router.Personality, router.LDP
 	case VendorLegacy:
 		return router.Legacy, router.LDPAllPrefixes
 	default: // mixed: per-router draw, Cisco-leaning, with a legacy tail
-		v := in.rng.Float64()
+		v := rng.Float64()
 		switch {
 		case v < 0.45:
 			return router.Cisco, router.LDPAllPrefixes
@@ -679,7 +722,7 @@ func (in *Internet) buildAS(p Params, num uint32, tier Tier, prof Profile) *ASIn
 	x := in.rng.Float64()
 	y := in.rng.Float64()
 	as := in.newAS(num, prof, aggregateOf(num), x, y)
-	in.buildASTopology(p, as, tier)
+	in.buildASTopology(in.rng, p, as, tier)
 	return as
 }
 
@@ -703,22 +746,30 @@ func (in *Internet) newAS(num uint32, prof Profile, agg netaddr.Prefix, x, y flo
 	return as
 }
 
-// buildASTopology populates the AS with its two-level PoP topology: router
-// creation, loopbacks, core ring/chain wiring, edge attachment.
-func (in *Internet) buildASTopology(p Params, as *ASInfo, tier Tier) {
-	num := as.Num
+// buildASTopology populates the AS with its two-level PoP topology,
+// drawing the router counts and every construction decision from rng.
+func (in *Internet) buildASTopology(rng *rand.Rand, p Params, as *ASInfo, tier Tier) {
 	var nCore, nEdge int
 	switch tier {
 	case Tier1:
-		nCore, nEdge = rngRange(in.rng, p.Tier1Core), rngRange(in.rng, p.Tier1Edge)
+		nCore, nEdge = rngRange(rng, p.Tier1Core), rngRange(rng, p.Tier1Edge)
 	case Transit:
-		nCore, nEdge = rngRange(in.rng, p.TransitCore), rngRange(in.rng, p.TransitEdge)
+		nCore, nEdge = rngRange(rng, p.TransitCore), rngRange(rng, p.TransitEdge)
 	default:
-		nCore, nEdge = rngRange(in.rng, p.StubRouters), 0
+		nCore, nEdge = rngRange(rng, p.StubRouters), 0
 	}
+	in.buildASRouters(rng, p, as, nCore, nEdge, tier)
+}
+
+// buildASRouters is buildASTopology with the router counts decided by the
+// caller: the lazy stub planner draws a stub's count from the build rng
+// up front (so the universe is enumerable without construction) and
+// replays the construction later from the stub's own seeded rng.
+func (in *Internet) buildASRouters(rng *rand.Rand, p Params, as *ASInfo, nCore, nEdge int, tier Tier) {
+	num := as.Num
 
 	mk := func(kind string, i int) *router.Router {
-		pers, pol := in.personalityFor(as.Profile)
+		pers, pol := personalityFor(rng, as.Profile)
 		cfg := router.Config{
 			TTLPropagate: as.Profile.Propagate,
 			MPLSEnabled:  as.Profile.MPLS,
@@ -744,7 +795,7 @@ func (in *Internet) buildASTopology(p Params, as *ASInfo, tier Tier) {
 		sub := as.subnet30()
 		ai := a.AddIface(fmt.Sprintf("to-%s", b.Name()), sub.Nth(1), sub)
 		bi := b.AddIface(fmt.Sprintf("to-%s", a.Name()), sub.Nth(2), sub)
-		in.Net.Connect(ai, bi, in.delay(p))
+		in.Net.Connect(ai, bi, delay(rng, p))
 		in.register(ai, a, as)
 		in.register(bi, b, as)
 	}
@@ -767,7 +818,7 @@ func (in *Internet) buildASTopology(p Params, as *ASInfo, tier Tier) {
 	// Edges attach to one or two core routers.
 	for i, e := range as.Edge {
 		wire(e, as.Core[i%len(as.Core)])
-		if in.rng.Float64() < 0.4 && len(as.Core) > 1 {
+		if rng.Float64() < 0.4 && len(as.Core) > 1 {
 			wire(e, as.Core[(i+1)%len(as.Core)])
 		}
 	}
@@ -781,21 +832,32 @@ func (in *Internet) register(ifc *netsim.Iface, r *router.Router, as *ASInfo) {
 	if !ok {
 		panic(fmt.Sprintf("gen: register before AddNode for %s", r.Name()))
 	}
-	in.addrRecs = append(in.addrRecs, addrRec{addr: ifc.Addr, node: idx, as: as.index})
+	rec := addrRec{addr: ifc.Addr, node: idx, as: as.index}
+	// Post-build fault-ins record into the materializing stub's local
+	// index: the shared addrRecs slice is referenced by every snapshot
+	// replica and must never grow after Build seals it. Every address a
+	// fault-in registers (stub interfaces, both ends of its provider
+	// cross-links) lives inside the stub's own /20, so lookupAddr finds
+	// the records by block.
+	if lz := in.lazy; lz != nil && lz.recSink != nil {
+		*lz.recSink = append(*lz.recSink, rec)
+		return
+	}
+	in.addrRecs = append(in.addrRecs, rec)
 }
 
 // borderOf picks a border-capable router (edge router when present).
-func (in *Internet) borderOf(as *ASInfo) *router.Router {
+func borderOf(rng *rand.Rand, as *ASInfo) *router.Router {
 	if len(as.Edge) > 0 {
-		return as.Edge[in.rng.Intn(len(as.Edge))]
+		return as.Edge[rng.Intn(len(as.Edge))]
 	}
-	return as.Core[in.rng.Intn(len(as.Core))]
+	return as.Core[rng.Intn(len(as.Core))]
 }
 
 // interASDelay returns the propagation delay of a link between two ASes:
 // the base jitter plus a geographic component when regional delays are on.
-func (in *Internet) interASDelay(p Params, a, b *ASInfo) time.Duration {
-	d := in.delay(p)
+func interASDelay(rng *rand.Rand, p Params, a, b *ASInfo) time.Duration {
+	d := delay(rng, p)
 	if !p.Regional || p.RegionDelay <= 0 {
 		return d
 	}
@@ -814,27 +876,27 @@ func (in *Internet) connectASes(p Params, a, b *ASInfo, rel bgp.Relationship) *b
 	if b.Num < a.Num {
 		owner = b
 	}
-	return in.connectASesOwned(p, a, b, rel, owner)
+	return in.connectASesOwned(in.rng, p, a, b, rel, owner)
 }
 
-func (in *Internet) connectASesOwned(p Params, a, b *ASInfo, rel bgp.Relationship, owner *ASInfo) *bgp.Session {
-	ra, rb := in.borderOf(a), in.borderOf(b)
+func (in *Internet) connectASesOwned(rng *rand.Rand, p Params, a, b *ASInfo, rel bgp.Relationship, owner *ASInfo) *bgp.Session {
+	ra, rb := borderOf(rng, a), borderOf(rng, b)
 	sub := owner.subnet30()
 	ai := ra.AddIface(fmt.Sprintf("x-as%d", b.Num), sub.Nth(1), sub)
 	bi := rb.AddIface(fmt.Sprintf("x-as%d", a.Num), sub.Nth(2), sub)
-	in.Net.Connect(ai, bi, in.interASDelay(p, a, b))
+	in.Net.Connect(ai, bi, interASDelay(rng, p, a, b))
 	in.register(ai, ra, a)
 	in.register(bi, rb, b)
 	return &bgp.Session{A: ra, B: rb, AIf: ai, BIf: bi, Rel: rel}
 }
 
-func (in *Internet) attachVP(p Params, as *ASInfo, idx int) {
+func (in *Internet) attachVP(rng *rand.Rand, p Params, as *ASInfo, idx int) {
 	sub := as.subnet30()
-	r := as.Core[in.rng.Intn(len(as.Core))]
+	r := as.Core[rng.Intn(len(as.Core))]
 	host := netsim.NewHost(fmt.Sprintf("vp%d", idx), sub.Nth(2), sub)
 	ri := r.AddIface(fmt.Sprintf("to-vp%d", idx), sub.Nth(1), sub)
 	in.Net.AddNode(host)
-	in.Net.Connect(ri, host.If, in.delay(p))
+	in.Net.Connect(ri, host.If, delay(rng, p))
 	in.register(ri, r, as)
 	if err := in.Net.RegisterIface(host.If); err != nil {
 		panic(err)

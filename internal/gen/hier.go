@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"wormhole/internal/bgp"
 	"wormhole/internal/igp"
@@ -92,7 +93,7 @@ func buildHierarchical(p Params) (*Internet, error) {
 		if floor != 0 {
 			as.childFloor = floor
 		}
-		in.buildASTopology(p, as, tier)
+		in.buildASTopology(rng, p, as, tier)
 		return as
 	}
 	tier1s := make([]*ASInfo, 0, p.NumTier1)
@@ -163,7 +164,6 @@ func buildHierarchical(p Params) (*Internet, error) {
 	if err := bgp.Compute(&bgp.Topology{ASes: bgpCore, Sessions: coreSessions}); err != nil {
 		return nil, err
 	}
-	bgpTransit := bgpCore[len(tier1s):]
 
 	// 4. Vantage-point slots: distinct stubs chosen up front so streaming
 	// can attach each VP the moment its stub exists.
@@ -173,10 +173,22 @@ func buildHierarchical(p Params) (*Internet, error) {
 		vpSlot[vpPerm[i]] = i
 	}
 
-	// 5. Stream the stubs. Consecutive stubs share a geographic grid cell
-	// (regional locality); each is built, wired to its providers,
-	// converged, and BGP-attached independently, then its SPF result is
-	// dropped — ground truth recomputes it lazily if ever asked.
+	// 5. Plan every stub from the build rng: coordinates, providers,
+	// profile, router count, a private construction seed, and the carved
+	// /20 — everything the eager build would have decided globally, and
+	// nothing that requires construction. Consecutive stubs share a
+	// geographic grid cell (regional locality). Construction itself
+	// (materializeStub) replays from the private seed, so it produces the
+	// same routers whether it runs in the loop below or at first touch
+	// months of probes later.
+	lz := &lazyState{
+		deferred: p.LazyStubs,
+		descs:    make([]stubDesc, 0, p.NumStub),
+	}
+	for _, as := range coreASes {
+		lz.coreRouters += len(as.Core) + len(as.Edge)
+	}
+	in.lazy = lz
 	regions := (p.NumStub + stubRegionSize - 1) / stubRegionSize
 	grid := int(math.Ceil(math.Sqrt(float64(regions))))
 	if grid < 1 {
@@ -205,37 +217,47 @@ func buildHierarchical(p Params) (*Internet, error) {
 
 		prof := in.stubProfile(p)
 		prof.Tier = Stub
+		nCore := rngRange(rng, p.StubRouters)
+		seed := rng.Int63()
 		as := in.newAS(num, prof, transits[provIdx[0]].carveChild20(), x, y)
 		num++
-		in.buildASTopology(p, as, Stub)
 
-		// Cross-links are numbered out of the stub's own /20 so the
-		// provider side needs no extra routes: its customer route for the
-		// /20 covers both ends of the link.
-		links := make([]bgp.StubLink, 0, nProv)
-		for k := 0; k < nProv; k++ {
-			s := in.connectASesOwned(p, as, transits[provIdx[k]], bgp.ACustomerOfB, as)
-			links = append(links, bgp.StubLink{S: s, Provider: bgpTransit[provIdx[k]]})
+		d := stubDesc{
+			seed:    seed,
+			asIndex: as.index,
+			nProv:   int32(nProv),
+			nCore:   int32(nCore),
+			vp:      -1,
 		}
+		d.prov[0] = transits[provIdx[0]].index
+		d.prov[1] = transits[provIdx[1]].index
 		if v, ok := vpSlot[i]; ok {
-			in.attachVP(p, as, v)
+			d.vp = int32(v)
 		}
+		lz.descs = append(lz.descs, d)
+		lz.stubRouters += nCore
+	}
+	lz.spans = make([]stubSpan, len(lz.descs))
+	for si, d := range lz.descs {
+		lz.spans[si] = stubSpan{start: in.ASes[d.asIndex].Aggregate.Addr(), si: int32(si)}
+	}
+	sort.Slice(lz.spans, func(i, j int) bool { return lz.spans[i].start < lz.spans[j].start })
+	lz.resident = make(bitset, (len(lz.descs)+63)/64)
+	lz.residentRouters = lz.coreRouters
 
-		dom := &igp.Domain{Routers: as.Routers()}
-		spf, err := dom.Compute()
-		if err != nil {
-			return nil, fmt.Errorf("gen: AS%d SPF: %w", as.Num, err)
+	// 6. Materialize: everything for the eager build, only the VP stubs
+	// for a lazy one — the rest faults in on first touch via the hook.
+	for si := range lz.descs {
+		if p.LazyStubs && lz.descs[si].vp < 0 {
+			continue
 		}
-		as.spf = spf
-		bgp.AttachStub(&bgp.AS{
-			Num:      as.Num,
-			Routers:  as.Routers(),
-			Prefixes: []netaddr.Prefix{as.Aggregate},
-			SPF:      spf,
-		}, links)
-		as.spf = nil
-		as.spfMode = spfRecompute
+		in.materializeStub(int32(si))
+		in.markResident(int32(si))
 	}
 	in.finishAddrIndex()
+	lz.sealed = true
+	if p.LazyStubs {
+		in.Net.SetFaultInHook(in.faultInAddr)
+	}
 	return in, nil
 }

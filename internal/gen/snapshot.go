@@ -102,6 +102,11 @@ func (in *Internet) Snapshot() (*Internet, error) {
 		na.childFloor = as.childFloor
 		na.nextSubnet = as.nextSubnet
 		na.nextLo = as.nextLo
+		// Post-seal address records are per-stub and append-once at
+		// materialization — shared by reference. (Node indices inside are
+		// clone invariants, like addrRecs: the stub was resident at
+		// snapshot time, so its nodes were cloned in order.)
+		na.lazyRecs = as.lazyRecs
 
 		start := len(ptrSlab)
 		for _, r := range as.Core {
@@ -154,6 +159,25 @@ func (in *Internet) Snapshot() (*Internet, error) {
 		pr.Attempts = vp.Prober.Attempts
 		pr.FlowID = vp.Prober.FlowID
 		out.VPs = append(out.VPs, &VP{Host: host, Prober: pr, AS: out.asByNum[vp.AS.Num]})
+	}
+	if lz := in.lazy; lz != nil {
+		// Descriptors and the block index are immutable universe state —
+		// shared. The resident set is copied: replicas fault stubs in
+		// independently of the source and of each other.
+		out.lazy = &lazyState{
+			descs:           lz.descs,
+			spans:           lz.spans,
+			deferred:        lz.deferred,
+			sealed:          true,
+			resident:        append(bitset(nil), lz.resident...),
+			residentStubs:   lz.residentStubs,
+			residentRouters: lz.residentRouters,
+			coreRouters:     lz.coreRouters,
+			stubRouters:     lz.stubRouters,
+		}
+		if lz.deferred {
+			out.Net.SetFaultInHook(out.faultInAddr)
+		}
 	}
 	return out, nil
 }

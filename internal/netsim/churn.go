@@ -225,16 +225,43 @@ func (n *Network) batchNode(nd Node) {
 }
 
 // InvalidateFlowCacheScoped is the delta-invalidation entry point routers
-// call from their mutation hooks. Inside a churn batch the mutation is
+// call from their mutation hooks. Inside a fault-in bracket the mutation
+// is swallowed entirely (see BeginFaultIn). Inside a churn batch it is
 // collected into the event's eviction scope; outside one it falls back to
 // the full flush, so mutations between campaigns keep their pre-churn
 // semantics exactly.
 func (n *Network) InvalidateFlowCacheScoped(nd Node) {
+	if n.faultInDepth > 0 {
+		return
+	}
 	if !n.churn.batching {
 		n.InvalidateFlowCache()
 		return
 	}
 	n.batchNode(nd)
+}
+
+// BeginFaultIn opens a fault-in bracket: until the matching EndFaultIn,
+// router mutation hooks neither flush the flow cache nor bump topoGen.
+//
+// The bracket exists for lazy-fabric materialization (gen's fault-in
+// stubs). Materializing a stub is purely *additive* from the cache's
+// point of view: the new routers and links are clean (no loss, no rate
+// limiting — purity is preserved), and the only mutations on
+// already-built routers are customer routes for the stub's fresh address
+// block. The fault-in hook fires before the first probe toward that
+// block, so no cached trajectory, reply shape, or shared-table entry can
+// reference it — there is nothing to evict, and suppressing the flush
+// keeps every warm cache (and the TopoGen-keyed replica pool) intact.
+// The mutating routers' local route caches are still flushed by their
+// own mutation hooks, which is all the correctness the new routes need.
+func (n *Network) BeginFaultIn() { n.faultInDepth++ }
+
+// EndFaultIn closes the bracket opened by BeginFaultIn.
+func (n *Network) EndFaultIn() {
+	if n.faultInDepth > 0 {
+		n.faultInDepth--
+	}
 }
 
 // ScopeGen returns the node's scope generation: the number of scoped

@@ -161,6 +161,14 @@ type Network struct {
 	// replicas start quiescent.
 	churn churnState
 
+	// faultIn, when set, is the lazy-fabric materialization hook: probers
+	// call FaultIn(dst) before injecting a trace's first probe, giving the
+	// generator the chance to materialize the stub AS owning dst before
+	// any packet can enter its address block. faultInDepth brackets an
+	// in-progress materialization (see BeginFaultIn in churn.go).
+	faultIn      func(netaddr.Addr)
+	faultInDepth int
+
 	// linkBlock is the tail of the fabric's link arena: Connect carves
 	// Link structs out of append-within-capacity blocks, so a fabric with
 	// L links costs O(L/blockSize) allocations instead of L. Blocks are
@@ -211,6 +219,20 @@ func (n *Network) PacketPool() *packet.Pool { return &n.pool }
 // may retain it past Receive (the prober stores matched replies). Safe on
 // packets that were never pooled.
 func (n *Network) AdoptPacket(p *packet.Packet) { n.pool.Adopt(p) }
+
+// SetFaultInHook installs (or clears) the lazy-fabric fault-in hook.
+// Probers invoke it through FaultIn with a trace's destination before the
+// first probe toward it is injected.
+func (n *Network) SetFaultInHook(h func(netaddr.Addr)) { n.faultIn = h }
+
+// FaultIn gives the fabric's owner a chance to materialize lazily-built
+// state covering addr before a probe is sent toward it. A no-op unless a
+// hook is installed (eager fabrics never pay for it).
+func (n *Network) FaultIn(addr netaddr.Addr) {
+	if n.faultIn != nil {
+		n.faultIn(addr)
+	}
+}
 
 // AddNode registers a node with the fabric.
 func (n *Network) AddNode(node Node) {

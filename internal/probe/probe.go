@@ -346,6 +346,9 @@ func (p *Prober) sweep(dst netaddr.Addr) {
 
 // Traceroute traces toward dst.
 func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
+	// Lazy fabrics materialize the destination's stub before the first
+	// packet toward it exists (a no-op on eager fabrics).
+	p.Net.FaultIn(dst)
 	tr := &Trace{Src: p.Host.Addr(), Dst: dst}
 	p.seq = p.traceSeed(dst)
 	p.sweep(dst)
@@ -388,6 +391,7 @@ func (p *Prober) Traceroute(dst netaddr.Addr) *Trace {
 // Ping sends one echo request with the given TTL (0 means 64) and reports
 // the reply. Pings are always ICMP, whatever the traceroute method.
 func (p *Prober) Ping(dst netaddr.Addr, ttl uint8) (PingReply, bool) {
+	p.Net.FaultIn(dst)
 	if ttl == 0 {
 		ttl = 64
 	}

@@ -40,6 +40,18 @@
 #     campaigns have silently regressed to per-probe simulation while
 #     the ICMP gates stay green.
 #
+#  6. Giga (PR 9, opt-in via WORMHOLE_GIGA=1): the ~10⁶-router lazy
+#     rung must build inside its wall-clock budget with only a sliver
+#     of the stub universe resident, and the retained replica must stay
+#     under its own bytes/RESIDENT-router ceiling. The ceiling is far
+#     above Large's: the Giga resident set is almost entirely the
+#     transit core, and a core router's BGP/LDP state scales with the
+#     ~10³ core-AS aggregates it holds routes and labels for — measured
+#     ~110 k bytes each, versus Large's stub-dominated ~4.7 k. The gate
+#     catches replicas silently re-acquiring universe-sized state (the
+#     descriptor table, the span index, or worse, materialized stubs).
+#     Opt-in because the build alone takes ~25 s.
+#
 # Tolerances: the 2w cache-on row must reach TOLERANCE% of 1w (97%
 # absorbs scheduler jitter at runs=8 on a loaded box; the pre-fix
 # inversion was -37%). The sweep-on cold row must reach COLD_FLOOR% of
@@ -63,9 +75,17 @@ UDP_FLOOR=150
 # leaves headroom for real feature growth while catching any return of
 # per-router heap objects.
 MEM_CEILING=7000
+# Wall-clock budget for the Giga lazy build (ms).
+GIGA_BUILD_MS=60000
+# Heap bytes per RESIDENT router for one retained Giga replica: the
+# resident set is the BGP/LDP-rich core (~110k measured, see gate 6's
+# comment); 160k leaves growth headroom while catching any return of
+# per-replica universe-sized state.
+GIGA_MEM_CEILING=160000
 OUT=.bench_guard.json
 OUT_MEM=.bench_guard_mem.json
-trap 'rm -f "$OUT" "$OUT_MEM"' EXIT
+OUT_GIGA=.bench_guard_giga.json
+trap 'rm -f "$OUT" "$OUT_MEM" "$OUT_GIGA"' EXIT
 
 # campaign_gates runs the bench matrix once and evaluates the three
 # throughput gates. runs=8: each gate divides two noisy throughputs, and
@@ -174,3 +194,37 @@ awk -v ceiling="$MEM_CEILING" '
         }
     }
 ' "$OUT_MEM"
+
+# Giga gate, opt-in: build the lazy ~10⁶ rung (no campaign) and check
+# the build budget, the resident-router heap ceiling, and that the lazy
+# builder actually deferred the stub universe.
+if [ "${WORMHOLE_GIGA:-}" != "" ]; then
+    go run ./cmd/wormhole bench -scales giga -scales-only -out "$OUT_GIGA"
+
+    awk -v ceiling="$GIGA_MEM_CEILING" -v budget="$GIGA_BUILD_MS" '
+        /"build_ms":/         { v = $0; gsub(/[^0-9.]/, "", v); build = v + 0 }
+        /"resident_routers":/ { v = $0; gsub(/[^0-9]/, "", v); resident = v + 0 }
+        /"routers":/          { v = $0; gsub(/[^0-9]/, "", v); total = v + 0 }
+        /"bytes_per_router":/ { v = $0; gsub(/[^0-9.]/, "", v); bpr = v + 0; found = 1 }
+        END {
+            if (!found) {
+                print "bench_guard: missing giga scales row"
+                exit 1
+            }
+            printf "bench_guard: giga build %.0fms (budget %dms), %d of %d routers resident, %.0f bytes/resident-router (ceiling %d)\n", \
+                build, budget, resident, total, bpr, ceiling
+            if (build > budget) {
+                print "bench_guard: FAIL — giga build exceeded its wall-clock budget"
+                exit 1
+            }
+            if (bpr > ceiling) {
+                print "bench_guard: FAIL — giga replica exceeded the bytes/resident-router ceiling"
+                exit 1
+            }
+            if (resident * 50 > total) {
+                print "bench_guard: FAIL — giga build materialized too much of the universe (laziness broken)"
+                exit 1
+            }
+        }
+    ' "$OUT_GIGA"
+fi

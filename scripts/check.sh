@@ -56,3 +56,10 @@ go test ./internal/netsim/ -run='^$' -fuzz=FuzzLineageBackwardScan -fuzztime=10s
 go test ./internal/netsim/ -run='^$' -fuzz=FuzzUDPSlotClasses -fuzztime=10s
 
 go test -race -run TestRaceTier .
+
+# Opt-in Giga acceptance: WORMHOLE_GIGA=1 ./scripts/check.sh also runs
+# the ~10⁶-router end-to-end test (the bench guard above already ran its
+# build/memory gate under the same switch).
+if [ "${WORMHOLE_GIGA:-}" != "" ]; then
+    go test -run TestGigaScale -v .
+fi
