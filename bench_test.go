@@ -203,6 +203,7 @@ func TestBenchSmoke(t *testing.T) {
 		CloneIters: 1,
 		Workers:    []int{1, 2},
 		Scales:     []experiments.Scale{experiments.Small},
+		Dist:       []int{2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -216,6 +217,20 @@ func TestBenchSmoke(t *testing.T) {
 	if sr := rep.Scales[0]; sr.Scale != "small" || sr.Routers <= 0 ||
 		sr.BuildMS <= 0 || sr.SnapshotMS <= 0 || sr.BytesPerRouter <= 0 {
 		t.Fatalf("bad scale row: %+v", sr)
+	}
+	if sr := rep.Scales[0]; sr.EncodeMS <= 0 || sr.DecodeMS <= 0 || sr.WireMB <= 0 {
+		t.Fatalf("scale row missing wire-codec columns: %+v", sr)
+	}
+	// One distributed row: goroutine workers (nil DistSpawn → 1 process)
+	// driving the real socket protocol at Scale.
+	if len(rep.Dist) != 1 {
+		t.Fatalf("want 1 dist row, got %d", len(rep.Dist))
+	}
+	if dr := rep.Dist[0]; dr.Workers != 2 || dr.Processes != 1 || dr.Runs != 1 ||
+		dr.EncodeMS <= 0 || dr.DecodeMS <= 0 || dr.StreamMB <= 0 ||
+		dr.ProbesPerRun == 0 || dr.WallMSPerRun <= 0 || dr.ProbesPerSec <= 0 ||
+		dr.ResidentRoutersPerWorker <= 0 {
+		t.Fatalf("bad dist row: %+v", dr)
 	}
 	if rep.Clone.StructuralMS <= 0 || rep.Clone.RebuildMS <= 0 || rep.Clone.Speedup <= 0 {
 		t.Fatalf("bad clone report: %+v", rep.Clone)
@@ -302,8 +317,13 @@ func TestBenchSmoke(t *testing.T) {
 	}
 	if len(back.Scales) != 1 || back.Scales[0].Scale != "small" ||
 		back.Scales[0].Routers != rep.Scales[0].Routers ||
-		back.Scales[0].BytesPerRouter != rep.Scales[0].BytesPerRouter {
+		back.Scales[0].BytesPerRouter != rep.Scales[0].BytesPerRouter ||
+		back.Scales[0].EncodeMS != rep.Scales[0].EncodeMS {
 		t.Fatalf("JSON round-trip mangled the scale rows: %+v", back.Scales)
+	}
+	if len(back.Dist) != 1 || back.Dist[0].Workers != rep.Dist[0].Workers ||
+		back.Dist[0].StreamMB != rep.Dist[0].StreamMB {
+		t.Fatalf("JSON round-trip mangled the dist rows: %+v", back.Dist)
 	}
 	if back.Scale != rep.Scale || len(back.Campaign) != len(rep.Campaign) || back.Campaign[7].Workers != 2 ||
 		back.Campaign[5].Method != "udp" || back.Campaign[6].Method != "udp" ||

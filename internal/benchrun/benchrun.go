@@ -9,6 +9,7 @@ package benchrun
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"time"
@@ -39,6 +40,16 @@ type Config struct {
 	// ScalesOnly skips the clone and campaign measurements, emitting only
 	// the scale-ladder rows — what the bench guard's memory gate runs.
 	ScalesOnly bool
+	// Dist lists worker counts for the distributed-engine rows (empty =
+	// none). Each entry runs full campaigns through the coordinator/worker
+	// socket protocol at Scale and records the wire-codec and streaming
+	// costs alongside throughput.
+	Dist []int
+	// DistSpawn launches distributed workers. Nil spawns in-process
+	// goroutine workers (the protocol is identical; Processes reports 1);
+	// the CLI passes its process spawner, and Processes then reports the
+	// coordinator plus one OS process per worker.
+	DistSpawn func(worker int, network, addr string) error
 }
 
 // ScaleReport is one scale-ladder rung: how long the world takes to
@@ -62,6 +73,15 @@ type ScaleReport struct {
 	// through the fault-in path, over a 64-stub sample (zero on eager
 	// rungs).
 	FaultInMS float64 `json:"fault_in_ms"`
+	// EncodeMS/DecodeMS time the versioned wire codec on the warm fabric:
+	// EncodeWire to a blob, DecodeWire back to a live replica. The guard
+	// gates EncodeMS against SnapshotMS at the Large rung — the codec must
+	// stay within 2× of the in-process structural snapshot.
+	EncodeMS float64 `json:"encode_ms"`
+	DecodeMS float64 `json:"decode_ms"`
+	// WireMB is the encoded blob's size — what a distributed campaign
+	// ships to each worker in snapshot mode.
+	WireMB float64 `json:"wire_mb"`
 }
 
 // CloneReport compares the two replica paths.
@@ -160,6 +180,36 @@ type CampaignReport struct {
 	ChurnEventsPerRun uint64 `json:"churn_events_per_run"`
 }
 
+// DistReport is one distributed-engine row: a full campaign pushed
+// through the coordinator/worker socket protocol at one worker count.
+// Encode/decode price the world transfer's endpoints, StreamMB the
+// total socket traffic per campaign, and the throughput columns are
+// directly comparable to the in-process CampaignReport rows at the same
+// worker count (same scale, same config, flow cache and sweep on).
+type DistReport struct {
+	Workers int `json:"workers"`
+	// Processes is the OS-process footprint: 1 when the workers are
+	// in-process goroutines driving the socket protocol (the test spawn),
+	// coordinator + Workers when the CLI execs real worker processes.
+	Processes int `json:"processes"`
+	// EncodeMS/DecodeMS time the wire codec on the campaign fabric — the
+	// cost to produce the world blob and to reconstitute it worker-side.
+	EncodeMS float64 `json:"encode_ms"`
+	DecodeMS float64 `json:"decode_ms"`
+	// StreamMB is the mean bytes per campaign moved over the coordinator's
+	// sockets, both directions (world blobs out, traces and shard results
+	// back).
+	StreamMB     float64 `json:"stream_mb"`
+	Runs         int     `json:"runs"`
+	ProbesPerRun uint64  `json:"probes_per_run"`
+	WallMSPerRun float64 `json:"wall_ms_per_run"`
+	ProbesPerSec float64 `json:"probes_per_sec"`
+	// ResidentRoutersPerWorker is the mean resident-set size of one worker
+	// replica after its campaign — with bytes_per_router from the scale
+	// rows this prices each worker process's fabric footprint.
+	ResidentRoutersPerWorker int `json:"resident_routers_per_worker"`
+}
+
 // Report is the full benchmark output.
 type Report struct {
 	Scale string `json:"scale"`
@@ -169,6 +219,8 @@ type Report struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Clone      CloneReport      `json:"clone"`
 	Campaign   []CampaignReport `json:"campaign"`
+	// Dist holds the distributed-engine rows, when requested.
+	Dist []DistReport `json:"dist,omitempty"`
 	// Scales holds the scale-ladder rows, when requested.
 	Scales []ScaleReport `json:"scales,omitempty"`
 }
@@ -247,6 +299,95 @@ func Run(cfg Config) (*Report, error) {
 			}
 			rep.Campaign = append(rep.Campaign, cr)
 		}
+	}
+	for _, w := range cfg.Dist {
+		if w < 1 {
+			continue
+		}
+		dr, err := measureDist(in, camCfg, w, cfg.Runs, cfg.DistSpawn)
+		if err != nil {
+			return nil, err
+		}
+		rep.Dist = append(rep.Dist, dr)
+	}
+	return rep, nil
+}
+
+// goSpawnWorker is the in-process distributed worker: a goroutine that
+// dials the coordinator and runs the full socket protocol. The wire
+// traffic and probing are identical to a real worker process; only the
+// address space is shared.
+func goSpawnWorker(_ int, network, addr string) error {
+	go func() {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return
+		}
+		_ = campaign.ServeWorker(conn)
+	}()
+	return nil
+}
+
+// measureDist prices the distributed engine at one worker count: the
+// wire codec's encode/decode endpoints, then whole campaigns through the
+// socket protocol in snapshot-replica mode. One untimed campaign warms
+// the allocator exactly as the in-process rows do.
+func measureDist(in *gen.Internet, base campaign.Config, workers, runs int, spawn func(int, string, string) error) (DistReport, error) {
+	rep := DistReport{Workers: workers, Processes: 1, Runs: runs}
+	if spawn == nil {
+		spawn = goSpawnWorker
+	} else {
+		rep.Processes = workers + 1
+	}
+
+	// Codec endpoints, warm: one untimed encode pays allocator growth.
+	blob, err := in.EncodeWire()
+	if err != nil {
+		return rep, fmt.Errorf("benchrun: encode: %w", err)
+	}
+	runtime.GC()
+	start := time.Now()
+	if blob, err = in.EncodeWire(); err != nil {
+		return rep, fmt.Errorf("benchrun: encode: %w", err)
+	}
+	rep.EncodeMS = msPer(time.Since(start), 1)
+	start = time.Now()
+	if _, err := gen.DecodeWire(blob); err != nil {
+		return rep, fmt.Errorf("benchrun: decode: %w", err)
+	}
+	rep.DecodeMS = msPer(time.Since(start), 1)
+
+	dcfg := campaign.DistConfig{Workers: workers, Replica: campaign.ReplicaSnapshot, Spawn: spawn}
+	prev := runtime.GOMAXPROCS(0)
+	if target := min(workers, runtime.NumCPU()); target > prev {
+		runtime.GOMAXPROCS(target)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	if _, err := campaign.RunDistributed(in, base, dcfg); err != nil {
+		return rep, err
+	}
+	start = time.Now()
+	var probes, streamed uint64
+	var resident int
+	for i := 0; i < runs; i++ {
+		c, err := campaign.RunDistributed(in, base, dcfg)
+		if err != nil {
+			return rep, err
+		}
+		if len(c.Records) == 0 {
+			return rep, fmt.Errorf("benchrun: empty distributed campaign at workers=%d", workers)
+		}
+		probes += c.Probes
+		streamed += c.StreamBytes
+		resident += c.ReplicaResident
+	}
+	wall := time.Since(start)
+	rep.ProbesPerRun = probes / uint64(runs)
+	rep.WallMSPerRun = msPer(wall, runs)
+	rep.StreamMB = float64(streamed) / float64(runs) / (1 << 20)
+	rep.ResidentRoutersPerWorker = resident / runs / workers
+	if probes > 0 {
+		rep.ProbesPerSec = float64(probes) / wall.Seconds()
 	}
 	return rep, nil
 }
@@ -431,6 +572,29 @@ func measureScale(s experiments.Scale, seed int64) (ScaleReport, error) {
 	// are not billed to the retained replica.
 	if n := in.FaultInSample(64); n > 0 {
 		rep.FaultInMS = float64(in.LazyStats().FaultInNS-lz.FaultInNS) / float64(n) / 1e6
+	}
+
+	// Wire codec: warm encode/decode round-trip, same warm-up discipline
+	// as the snapshot measurement above.
+	blob, err := in.EncodeWire()
+	if err != nil {
+		return rep, fmt.Errorf("benchrun: encode at %s: %w", s, err)
+	}
+	rep.WireMB = float64(len(blob)) / (1 << 20)
+	runtime.GC()
+	start = time.Now()
+	if blob, err = in.EncodeWire(); err != nil {
+		return rep, fmt.Errorf("benchrun: encode at %s: %w", s, err)
+	}
+	rep.EncodeMS = msPer(time.Since(start), 1)
+	start = time.Now()
+	dec, err := gen.DecodeWire(blob)
+	if err != nil {
+		return rep, fmt.Errorf("benchrun: decode at %s: %w", s, err)
+	}
+	rep.DecodeMS = msPer(time.Since(start), 1)
+	if dec.TotalRouters() != in.TotalRouters() {
+		return rep, fmt.Errorf("benchrun: decode at %s lost routers: %d != %d", s, dec.TotalRouters(), in.TotalRouters())
 	}
 	return rep, nil
 }

@@ -188,6 +188,10 @@ type Campaign struct {
 	// (zero for the serial engine): the fabric state actually paged in
 	// across the whole pool.
 	ReplicaResident int
+	// StreamBytes counts every byte the coordinator moved over its worker
+	// sockets — world blobs out, traces and shard results back (zero for
+	// the in-process engines).
+	StreamBytes uint64
 
 	// Shards reports per-shard measurement statistics (probing phase
 	// only), in canonical shard order.

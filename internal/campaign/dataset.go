@@ -1,0 +1,25 @@
+package campaign
+
+import "wormhole/internal/tracefile"
+
+// Dataset converts the completed campaign into a serializable tracefile
+// dataset (the paper's published-dataset role). It lives here rather than
+// in tracefile so the serialization package stays a leaf: the distributed
+// engine streams records between processes in the same format.
+func (c *Campaign) Dataset(comment string) *tracefile.Dataset {
+	ds := tracefile.NewDataset(comment)
+	for _, rec := range c.Records {
+		r := tracefile.Record{
+			Trace:         tracefile.FromTrace(rec.Trace),
+			CandidateAS:   rec.CandidateAS,
+			EgressEchoTTL: rec.EgressEchoTTL,
+		}
+		if rec.Revelation != nil {
+			rv := tracefile.FromRevelation(rec.Revelation)
+			r.Revelation = &rv
+		}
+		ds.Records = append(ds.Records, r)
+	}
+	ds.Fingerprints = tracefile.FromFingerprints(c.Fingerprints)
+	return ds
+}

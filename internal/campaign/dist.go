@@ -1,0 +1,708 @@
+package campaign
+
+// The multi-process campaign engine: a coordinator plans the same
+// canonical partitions the in-process pool uses (contiguous bootstrap job
+// ranges, shard si on worker si mod ShardWorkers) and ships each worker
+// process a replica of the fabric — the wire-codec snapshot blob in
+// ReplicaSnapshot mode, the generator Params in ReplicaRebuild mode —
+// over a length-prefixed frame protocol on a Unix (or TCP) socket.
+// Workers probe their private fabric and stream tracefile-format records
+// back; the coordinator replays bootstrap traces in canonical job order
+// and folds shard results through the same merge the serial and
+// in-process-parallel engines use, so the distributed output is
+// byte-identical to both at any worker count. Trace content is
+// probing-order-invariant (the RunParallel contract), which is what makes
+// partition-shaped execution safe.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wormhole/internal/fingerprint"
+	"wormhole/internal/gen"
+	"wormhole/internal/netaddr"
+	"wormhole/internal/netsim"
+	"wormhole/internal/reveal"
+	"wormhole/internal/topo"
+	"wormhole/internal/tracefile"
+)
+
+// DistConfig tunes the distributed engine.
+type DistConfig struct {
+	// Workers is the number of worker processes (minimum 1).
+	Workers int
+	// Replica selects how the fabric reaches the workers: ReplicaSnapshot
+	// ships the wire-codec blob (decode, no generation replay),
+	// ReplicaRebuild ships the generator Params (each worker rebuilds).
+	Replica ReplicaMode
+	// ShardBy selects the target partitioning, as in ParallelConfig.
+	ShardBy ShardBy
+	// Network/Addr name the coordinator's listening socket. Empty Network
+	// selects a Unix socket in a private temp directory.
+	Network, Addr string
+	// Spawn launches worker i; the worker must dial (network, addr) and
+	// run ServeWorker on the connection. The CLI execs "wormhole worker";
+	// tests may spawn goroutines.
+	Spawn func(worker int, network, addr string) error
+	// JoinTimeout bounds how long the coordinator waits for all workers
+	// to connect (default 30s). StepTimeout bounds each frame read from a
+	// connected worker (default 5m) — a crashed worker fails fast via
+	// EOF; the deadline only guards true hangs.
+	JoinTimeout, StepTimeout time.Duration
+}
+
+// WorkerError is the typed failure of a distributed campaign: which
+// worker broke the protocol (died, timed out, sent garbage) and why. The
+// campaign is discarded cleanly — no partial results are merged.
+type WorkerError struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("campaign: worker %d: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// Frame protocol: [u32 length | u8 type | payload]. Payloads are JSON
+// except msgWorld, which carries the raw snapshot blob in snapshot mode.
+const (
+	msgHello       byte = iota + 1 // c→w: distHello
+	msgWorld                       // c→w: wire blob (snapshot) or Params JSON (rebuild)
+	msgBootstrap                   // c→w: []distJob, the worker's contiguous partition
+	msgTraces                      // w→c: []tracefile.Trace chunk, partition order
+	msgBootDone                    // w→c: distPhaseStats
+	msgShards                      // c→w: distShardMsg
+	msgShardResult                 // w→c: distShardResult, ascending shard index
+	msgWorkerDone                  // w→c: distWorkerDone
+)
+
+// maxFrame bounds a single frame; the world blob dominates (the Large
+// rung encodes to a few MB) and even the Giga rung stays far below this.
+const maxFrame = 1 << 31
+
+// distTraceChunk is the bootstrap streaming granularity: traces per
+// msgTraces frame. Chunking never changes output — the coordinator
+// replays in partition order regardless.
+const distTraceChunk = 256
+
+// distHello opens the session: the worker's identity, the campaign
+// configuration, and the main fabric's prober discipline to mirror.
+type distHello struct {
+	Index   int          `json:"index"`
+	Workers int          `json:"workers"`
+	Replica ReplicaMode  `json:"replica"`
+	Cfg     Config       `json:"cfg"`
+	Probers []distProber `json:"probers"`
+}
+
+// distProber mirrors the prober fields the in-process pool copies to
+// replica VPs (FirstTTL and Method are phase discipline, set separately).
+type distProber struct {
+	MaxTTL   uint8  `json:"max_ttl"`
+	GapLimit int    `json:"gap_limit"`
+	Attempts int    `json:"attempts"`
+	FlowID   uint16 `json:"flow_id"`
+}
+
+// distJob is one bootstrap traceroute: VP index and destination.
+type distJob struct {
+	VP  int    `json:"vp"`
+	Dst uint32 `json:"dst"`
+}
+
+// distPhaseStats is a worker's bootstrap-phase accounting delta.
+type distPhaseStats struct {
+	Probes     uint64                `json:"probes"`
+	BudgetHits uint64                `json:"budget_hits,omitempty"`
+	LoopDrops  uint64                `json:"loop_drops,omitempty"`
+	Flow       netsim.FlowCacheStats `json:"flow"`
+	Sweep      netsim.SweepStats     `json:"sweep"`
+}
+
+// distNode ships one HDN alias set; workers rebuild the candidate filter
+// map from these (distinct IDs preserved, so the same-router exclusion
+// compares identically).
+type distNode struct {
+	ID    int      `json:"id"`
+	ASN   uint32   `json:"asn"`
+	Addrs []uint32 `json:"addrs"`
+}
+
+// distShard assigns one canonical shard to the worker.
+type distShard struct {
+	Idx     int      `json:"idx"`
+	Team    int      `json:"team"`
+	Targets []uint32 `json:"targets"`
+}
+
+// distShardMsg is the probing-phase plan for one worker.
+type distShardMsg struct {
+	ShardWorkers int         `json:"shard_workers"`
+	Nodes        []distNode  `json:"nodes"`
+	Shards       []distShard `json:"shards"`
+}
+
+// distRecord is one campaign record in tracefile format, plus the
+// candidate flag the coordinator needs to re-derive Record.Candidate
+// (CandidateFromTrace is a pure function of the trace, so only presence
+// crosses the wire).
+type distRecord struct {
+	tracefile.Record
+	HasCandidate bool `json:"has_candidate,omitempty"`
+}
+
+// distShardResult is one shard's private output in wire form.
+type distShardResult struct {
+	Idx     int                     `json:"idx"`
+	Stats   ShardStats              `json:"stats"`
+	Records []distRecord            `json:"records"`
+	Fps     []tracefile.Fingerprint `json:"fps,omitempty"`
+}
+
+// distWorkerDone closes a worker's session with its lazy-fabric deltas.
+type distWorkerDone struct {
+	FaultIns  int   `json:"fault_ins,omitempty"`
+	FaultInNS int64 `json:"fault_in_ns,omitempty"`
+	Resident  int   `json:"resident,omitempty"`
+}
+
+// countConn wraps a worker connection and bills every byte moved to the
+// coordinator's stream counter. RunDistributed drives all connections
+// from one goroutine, so a plain counter suffices.
+type countConn struct {
+	net.Conn
+	n *uint64
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.n += uint64(n)
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	*c.n += uint64(n)
+	return n, err
+}
+
+func writeFrame(conn net.Conn, typ byte, payload []byte) error {
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = typ
+	_, err := conn.Write(append(hdr, payload...))
+	return err
+}
+
+func writeJSON(conn net.Conn, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, typ, payload)
+}
+
+func readFrame(conn net.Conn, timeout time.Duration) (byte, []byte, error) {
+	if timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("bad frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+func readJSON(conn net.Conn, want byte, timeout time.Duration, v any) error {
+	typ, payload, err := readFrame(conn, timeout)
+	if err != nil {
+		return err
+	}
+	if typ != want {
+		return fmt.Errorf("unexpected frame type %d (want %d)", typ, want)
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// distBootstrapJobs enumerates the canonical bootstrap job list — the
+// identical sequence the serial and in-process engines probe. The stream
+// scheduler's accepted sequence is a pure function of (space, seed), so
+// the coordinator can enumerate it without probing anything.
+func (c *Campaign) distBootstrapJobs() []distJob {
+	if len(c.In.VPs) == 0 {
+		return nil
+	}
+	if c.Cfg.Stream {
+		st := c.newTargetStream()
+		batch := c.streamBatchSize()
+		var jobs []distJob
+		for {
+			b := st.nextBatch(batch)
+			if len(b) == 0 {
+				break
+			}
+			for _, j := range b {
+				jobs = append(jobs, distJob{VP: j.vp, Dst: uint32(j.dst)})
+			}
+		}
+		return jobs
+	}
+	addrs := c.bootstrapAddrs()
+	vps := c.In.VPs
+	spread := c.Cfg.BootstrapSpread
+	if spread < 1 {
+		spread = 1
+	}
+	jobs := make([]distJob, 0, len(addrs)*spread)
+	for i, dst := range addrs {
+		for k := 0; k < spread && k < len(vps); k++ {
+			jobs = append(jobs, distJob{VP: (i + k) % len(vps), Dst: uint32(dst)})
+		}
+	}
+	return jobs
+}
+
+// RunDistributed executes the campaign with dcfg.Workers worker
+// processes. Output is byte-identical to Run and RunParallel on the same
+// Internet and Config, at any worker count and in both replica modes. On
+// any worker failure it returns a *WorkerError and no campaign: partial
+// results are discarded, never merged.
+func RunDistributed(in *gen.Internet, cfg Config, dcfg DistConfig) (*Campaign, error) {
+	workers := dcfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if dcfg.Spawn == nil {
+		return nil, errors.New("campaign: DistConfig.Spawn is required")
+	}
+	joinTO := dcfg.JoinTimeout
+	if joinTO <= 0 {
+		joinTO = 30 * time.Second
+	}
+	stepTO := dcfg.StepTimeout
+	if stepTO <= 0 {
+		stepTO = 5 * time.Minute
+	}
+
+	// Encode the world before any prober state mutates: the blob captures
+	// the fabric exactly as the serial engine would first observe it.
+	var world []byte
+	var err error
+	if dcfg.Replica == ReplicaRebuild {
+		if world, err = json.Marshal(in.Params()); err != nil {
+			return nil, fmt.Errorf("campaign: params encode: %w", err)
+		}
+	} else if world, err = in.EncodeWire(); err != nil {
+		return nil, fmt.Errorf("campaign: snapshot encode: %w", err)
+	}
+
+	network, addr := dcfg.Network, dcfg.Addr
+	if network == "" {
+		dir, err := os.MkdirTemp("", "wormhole-dist-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		network, addr = "unix", filepath.Join(dir, "coord.sock")
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: listen: %w", err)
+	}
+	defer ln.Close()
+
+	for i := 0; i < workers; i++ {
+		if err := dcfg.Spawn(i, network, addr); err != nil {
+			return nil, fmt.Errorf("campaign: spawn worker %d: %w", i, err)
+		}
+	}
+	var streamed uint64
+	conns := make([]net.Conn, 0, workers)
+	defer func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+	type deadliner interface{ SetDeadline(time.Time) error }
+	for i := 0; i < workers; i++ {
+		if d, ok := ln.(deadliner); ok {
+			d.SetDeadline(time.Now().Add(joinTO))
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, &WorkerError{Worker: i, Err: fmt.Errorf("join: %w", err)}
+		}
+		conns = append(conns, &countConn{Conn: conn, n: &streamed})
+	}
+
+	c := newCampaign(in, cfg)
+	c.Workers = workers
+	lz0 := in.LazyStats()
+	in.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	in.Net.SetSweepEnabled(!cfg.DisableSweep)
+
+	probers := make([]distProber, len(in.VPs))
+	for i, vp := range in.VPs {
+		p := vp.Prober
+		probers[i] = distProber{MaxTTL: p.MaxTTL, GapLimit: p.GapLimit, Attempts: p.Attempts, FlowID: p.FlowID}
+	}
+	for i, conn := range conns {
+		hello := distHello{Index: i, Workers: workers, Replica: dcfg.Replica, Cfg: cfg, Probers: probers}
+		if err := writeJSON(conn, msgHello, hello); err != nil {
+			return nil, &WorkerError{Worker: i, Err: err}
+		}
+		if err := writeFrame(conn, msgWorld, world); err != nil {
+			return nil, &WorkerError{Worker: i, Err: err}
+		}
+	}
+
+	// Bootstrap, mirroring prepare/prepareParallel: TTL-1 discipline on
+	// the main VPs (the resolver may probe them), canonical job list,
+	// contiguous partitions, replay in job order.
+	for _, vp := range in.VPs {
+		vp.Prober.FirstTTL = 1
+		vp.Prober.Method = cfg.Method
+	}
+	t0 := time.Now()
+	sent0 := sentByVPs(in.VPs)
+	fab0 := in.Net.FabricStats()
+	flow0 := in.Net.FlowCacheStats()
+	sweep0 := in.Net.SweepStats()
+	c.ITDK = topo.New(c.resolver())
+	jobs := c.distBootstrapJobs()
+	for p, conn := range conns {
+		lo, hi := len(jobs)*p/workers, len(jobs)*(p+1)/workers
+		if err := writeJSON(conn, msgBootstrap, jobs[lo:hi]); err != nil {
+			return nil, &WorkerError{Worker: p, Err: err}
+		}
+	}
+	bootStats := make([]distPhaseStats, workers)
+	for p, conn := range conns {
+		want := len(jobs)*(p+1)/workers - len(jobs)*p/workers
+		got := 0
+		for {
+			typ, payload, err := readFrame(conn, stepTO)
+			if err != nil {
+				return nil, &WorkerError{Worker: p, Err: fmt.Errorf("bootstrap: %w", err)}
+			}
+			if typ == msgBootDone {
+				if err := json.Unmarshal(payload, &bootStats[p]); err != nil {
+					return nil, &WorkerError{Worker: p, Err: err}
+				}
+				break
+			}
+			if typ != msgTraces {
+				return nil, &WorkerError{Worker: p, Err: fmt.Errorf("unexpected frame type %d in bootstrap", typ)}
+			}
+			var chunk []tracefile.Trace
+			if err := json.Unmarshal(payload, &chunk); err != nil {
+				return nil, &WorkerError{Worker: p, Err: err}
+			}
+			for _, wt := range chunk {
+				tr, err := wt.ToTrace()
+				if err != nil {
+					return nil, &WorkerError{Worker: p, Err: err}
+				}
+				c.ITDK.AddTrace(tr)
+				got++
+			}
+		}
+		if got != want {
+			return nil, &WorkerError{Worker: p, Err: fmt.Errorf("bootstrap returned %d traces, want %d", got, want)}
+		}
+	}
+	c.finishBootstrapGraph()
+	c.selectTargets()
+	c.bootProbes = sentByVPs(in.VPs) - sent0
+	fab1 := in.Net.FabricStats()
+	c.BudgetHits = fab1.BudgetExhausted - fab0.BudgetExhausted
+	c.LoopDrops = fab1.DroppedEvents - fab0.DroppedEvents
+	c.bootFlow = flowDelta(in.Net.FlowCacheStats(), flow0)
+	c.bootSweep = sweepDelta(in.Net.SweepStats(), sweep0)
+	for _, ws := range bootStats {
+		c.bootProbes += ws.Probes
+		c.BudgetHits += ws.BudgetHits
+		c.LoopDrops += ws.LoopDrops
+		addFlow(&c.bootFlow, ws.Flow)
+		addSweep(&c.bootSweep, ws.Sweep)
+	}
+	c.Phase.Bootstrap = time.Since(t0)
+	for _, vp := range in.VPs {
+		vp.Prober.FirstTTL = cfg.FirstTTL
+	}
+
+	// Probing phase: canonical shards, static shard→worker assignment
+	// (si mod ShardWorkers), exactly the in-process pool's schedule.
+	shards := c.buildShards(dcfg.ShardBy)
+	c.ShardWorkers = workers
+	if c.ShardWorkers > len(shards) {
+		c.ShardWorkers = len(shards)
+	}
+	if c.ShardWorkers < 1 {
+		c.ShardWorkers = 1
+	}
+	var nodes []distNode
+	for _, n := range c.HDNs {
+		dn := distNode{ID: int(n.ID), ASN: n.ASN, Addrs: make([]uint32, len(n.Addrs))}
+		for i, a := range n.Addrs {
+			dn.Addrs[i] = uint32(a)
+		}
+		nodes = append(nodes, dn)
+	}
+	mine := make([][]distShard, workers)
+	for si, sh := range shards {
+		w := si % c.ShardWorkers
+		ds := distShard{Idx: sh.idx, Team: sh.team, Targets: make([]uint32, len(sh.targets))}
+		for i, a := range sh.targets {
+			ds.Targets[i] = uint32(a)
+		}
+		mine[w] = append(mine[w], ds)
+	}
+	t0 = time.Now()
+	for p, conn := range conns {
+		msg := distShardMsg{ShardWorkers: c.ShardWorkers, Nodes: nodes, Shards: mine[p]}
+		if err := writeJSON(conn, msgShards, msg); err != nil {
+			return nil, &WorkerError{Worker: p, Err: err}
+		}
+	}
+	results := make([]*shardResult, len(shards))
+	var dones []distWorkerDone
+	for p, conn := range conns {
+		for range mine[p] {
+			var dres distShardResult
+			if err := readJSON(conn, msgShardResult, stepTO, &dres); err != nil {
+				return nil, &WorkerError{Worker: p, Err: fmt.Errorf("shard phase: %w", err)}
+			}
+			if dres.Idx < 0 || dres.Idx >= len(shards) || results[dres.Idx] != nil {
+				return nil, &WorkerError{Worker: p, Err: fmt.Errorf("bad shard index %d", dres.Idx)}
+			}
+			res, err := c.rebuildShardResult(shards[dres.Idx], &dres)
+			if err != nil {
+				return nil, &WorkerError{Worker: p, Err: err}
+			}
+			results[dres.Idx] = res
+		}
+		var done distWorkerDone
+		if err := readJSON(conn, msgWorkerDone, stepTO, &done); err != nil {
+			return nil, &WorkerError{Worker: p, Err: fmt.Errorf("finish: %w", err)}
+		}
+		dones = append(dones, done)
+	}
+	c.Phase.Probe = time.Since(t0)
+
+	c.merge(results)
+	c.Lazy = in.LazyStats()
+	c.Lazy.FaultIns -= lz0.FaultIns
+	c.Lazy.FaultInNS -= lz0.FaultInNS
+	for _, d := range dones {
+		c.ReplicaResident += d.Resident
+		c.Lazy.FaultIns += d.FaultIns
+		c.Lazy.FaultInNS += d.FaultInNS
+	}
+	c.StreamBytes = streamed
+	return c, nil
+}
+
+// rebuildShardResult reconstructs a shard's private output from its wire
+// form: traces parse back hop-for-hop, Candidate re-derives from the
+// identical trace, revelations parse with their technique and steps, and
+// the existing merge then canonicalizes exactly as in-process.
+func (c *Campaign) rebuildShardResult(sh shard, d *distShardResult) (*shardResult, error) {
+	res := &shardResult{sh: sh, fps: make(map[netaddr.Addr]fingerprint.Result), stats: d.Stats}
+	for i := range d.Records {
+		dr := &d.Records[i]
+		tr, err := dr.Trace.ToTrace()
+		if err != nil {
+			return nil, err
+		}
+		rec := &Record{VP: c.vpForTeam(sh.team), Trace: tr}
+		if dr.HasCandidate {
+			cand, ok := reveal.CandidateFromTrace(tr)
+			if !ok {
+				return nil, fmt.Errorf("shard %d: candidate does not re-derive from trace to %s", sh.idx, tr.Dst)
+			}
+			rec.Candidate = &cand
+			rec.CandidateAS = dr.CandidateAS
+			rec.EgressEchoTTL = dr.EgressEchoTTL
+		}
+		if dr.Revelation != nil {
+			if rec.Revelation, err = dr.Revelation.ToRevelation(); err != nil {
+				return nil, err
+			}
+		}
+		res.records = append(res.records, rec)
+	}
+	for _, f := range d.Fps {
+		r, err := f.ToResult()
+		if err != nil {
+			return nil, err
+		}
+		res.fps[r.Addr] = r
+	}
+	return res, nil
+}
+
+// ServeWorker runs the worker half of the protocol on conn: receive the
+// world, probe the bootstrap partition and assigned shards on the private
+// fabric, stream results back. It returns when the session completes or
+// the connection breaks; the process exit code is the caller's concern.
+func ServeWorker(conn net.Conn) error {
+	defer conn.Close()
+	var hello distHello
+	if err := readJSON(conn, msgHello, 0, &hello); err != nil {
+		return fmt.Errorf("worker: hello: %w", err)
+	}
+	typ, payload, err := readFrame(conn, 0)
+	if err != nil {
+		return fmt.Errorf("worker: world: %w", err)
+	}
+	if typ != msgWorld {
+		return fmt.Errorf("worker: unexpected frame type %d (want world)", typ)
+	}
+	var win *gen.Internet
+	if hello.Replica == ReplicaRebuild {
+		var p gen.Params
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("worker: params: %w", err)
+		}
+		if win, err = gen.Build(p); err != nil {
+			return fmt.Errorf("worker: rebuild: %w", err)
+		}
+	} else if win, err = gen.DecodeWire(payload); err != nil {
+		return fmt.Errorf("worker: decode: %w", err)
+	}
+	cfg := hello.Cfg
+	win.Net.SetFlowCacheEnabled(!cfg.DisableFlowCache)
+	win.Net.SetSweepEnabled(!cfg.DisableSweep)
+	for i, vp := range win.VPs {
+		vp.Prober.FirstTTL = 1
+		vp.Prober.Method = cfg.Method
+		if i < len(hello.Probers) {
+			p := hello.Probers[i]
+			vp.Prober.MaxTTL = p.MaxTTL
+			vp.Prober.GapLimit = p.GapLimit
+			vp.Prober.Attempts = p.Attempts
+			vp.Prober.FlowID = p.FlowID
+		}
+	}
+	lzw0 := win.LazyStats()
+
+	// Bootstrap partition: trace in order, stream back in chunks.
+	var jobs []distJob
+	if err := readJSON(conn, msgBootstrap, 0, &jobs); err != nil {
+		return fmt.Errorf("worker: bootstrap jobs: %w", err)
+	}
+	sent0 := sentByVPs(win.VPs)
+	fab0 := win.Net.FabricStats()
+	flow0 := win.Net.FlowCacheStats()
+	sweep0 := win.Net.SweepStats()
+	chunk := make([]tracefile.Trace, 0, distTraceChunk)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		err := writeJSON(conn, msgTraces, chunk)
+		chunk = chunk[:0]
+		return err
+	}
+	for _, j := range jobs {
+		tr := win.VPs[j.VP].Prober.Traceroute(netaddr.Addr(j.Dst))
+		chunk = append(chunk, tracefile.FromTrace(tr))
+		if len(chunk) == distTraceChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fab1 := win.Net.FabricStats()
+	boot := distPhaseStats{
+		Probes:     sentByVPs(win.VPs) - sent0,
+		BudgetHits: fab1.BudgetExhausted - fab0.BudgetExhausted,
+		LoopDrops:  fab1.DroppedEvents - fab0.DroppedEvents,
+		Flow:       flowDelta(win.Net.FlowCacheStats(), flow0),
+		Sweep:      sweepDelta(win.Net.SweepStats(), sweep0),
+	}
+	if err := writeJSON(conn, msgBootDone, boot); err != nil {
+		return err
+	}
+
+	// Probing phase.
+	for _, vp := range win.VPs {
+		vp.Prober.FirstTTL = cfg.FirstTTL
+	}
+	var sm distShardMsg
+	if err := readJSON(conn, msgShards, 0, &sm); err != nil {
+		return fmt.Errorf("worker: shards: %w", err)
+	}
+	hdnAddr := make(map[netaddr.Addr]*topo.Node)
+	for _, dn := range sm.Nodes {
+		node := &topo.Node{ID: topo.NodeID(dn.ID), ASN: dn.ASN}
+		for _, a := range dn.Addrs {
+			addr := netaddr.Addr(a)
+			node.Addrs = append(node.Addrs, addr)
+			hdnAddr[addr] = node
+		}
+	}
+	// The symbolic churn plan compiles identically on a structural
+	// replica: candidates are (AS index, core position) pairs and the
+	// schedule is a pure function of (seed, shard index).
+	plan := gen.BuildChurnPlan(win, cfg.ChurnRate, cfg.ChurnSeed)
+	var wc Campaign // runShard uses no campaign state
+	for _, ds := range sm.Shards {
+		sh := shard{idx: ds.Idx, team: ds.Team, targets: make([]netaddr.Addr, len(ds.Targets))}
+		for i, a := range ds.Targets {
+			sh.targets[i] = netaddr.Addr(a)
+		}
+		events := plan.EventsFor(win, sh.idx, len(sh.targets))
+		vp := win.VPs[sh.team%len(win.VPs)]
+		res := wc.runShard(sh, vp, vp, hdnAddr, events, cfg.ChurnFlushWorld)
+		res.stats.Worker = hello.Index
+		out := distShardResult{Idx: sh.idx, Stats: res.stats, Fps: tracefile.FromFingerprints(res.fps)}
+		for _, rec := range res.records {
+			dr := distRecord{Record: tracefile.Record{
+				Trace:         tracefile.FromTrace(rec.Trace),
+				CandidateAS:   rec.CandidateAS,
+				EgressEchoTTL: rec.EgressEchoTTL,
+			}}
+			if rec.Candidate != nil {
+				dr.HasCandidate = true
+			}
+			if rec.Revelation != nil {
+				rv := tracefile.FromRevelation(rec.Revelation)
+				dr.Revelation = &rv
+			}
+			out.Records = append(out.Records, dr)
+		}
+		if err := writeJSON(conn, msgShardResult, out); err != nil {
+			return err
+		}
+	}
+	lzw1 := win.LazyStats()
+	return writeJSON(conn, msgWorkerDone, distWorkerDone{
+		FaultIns:  lzw1.FaultIns - lzw0.FaultIns,
+		FaultInNS: lzw1.FaultInNS - lzw0.FaultInNS,
+		Resident:  lzw1.Resident,
+	})
+}

@@ -6,7 +6,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/exec"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -53,6 +55,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = cmdGraph(args[1:])
 	case "bench":
 		err = cmdBench(args[1:])
+	case "worker":
+		err = cmdWorker(args[1:])
 	case "-h", "--help", "help":
 		usage(stdout)
 	default:
@@ -87,6 +91,7 @@ commands:
   tnt          trigger-driven traceroute with inline tunnel revelation
   graph        export campaign graphs (before/after revelation) as DOT
   bench        measure replica construction and campaign throughput (JSON report)
+  worker       join a distributed campaign as a worker process (spawned by -dist)
 `)
 }
 
@@ -191,6 +196,8 @@ func cmdCampaign(args []string) error {
 	out := fs.String("out", "", "save the campaign dataset to this JSONL file")
 	seeds := fs.Int("seeds", 1, "run this many consecutive seeds in parallel and pool the statistics")
 	workers := fs.Int("workers", 0, "probing worker-pool size (0 = GOMAXPROCS); results are identical at every size")
+	dist := fs.Int("dist", 0, "run the campaign across this many worker processes instead of in-process goroutines (results are identical)")
+	distReplica := fs.String("dist-replica", "snapshot", "how workers obtain the fabric: snapshot (wire-codec blob) or rebuild (regenerate from Params)")
 	method := fs.String("method", "icmp", "traceroute probe method: icmp (Paris echo) or udp (classic port-cycling)")
 	noFlowCache := fs.Bool("no-flow-cache", false, "disable the flow-trajectory probe cache (results are identical either way)")
 	noSweep := fs.Bool("no-sweep", false, "disable the single-injection TTL sweep (results are identical either way)")
@@ -241,11 +248,32 @@ func cmdCampaign(args []string) error {
 		ccfg.ChurnSeed = *seed
 	}
 	ccfg.ChurnFlushWorld = *churnFlush
-	c, err := campaign.RunParallel(in, ccfg, campaign.ParallelConfig{Workers: *workers})
+	var c *campaign.Campaign
+	if *dist > 0 {
+		var mode campaign.ReplicaMode
+		switch *distReplica {
+		case "snapshot":
+			mode = campaign.ReplicaSnapshot
+		case "rebuild":
+			mode = campaign.ReplicaRebuild
+		default:
+			return fmt.Errorf("unknown dist replica mode %q (want snapshot or rebuild)", *distReplica)
+		}
+		c, err = campaign.RunDistributed(in, ccfg, campaign.DistConfig{
+			Workers: *dist,
+			Replica: mode,
+			Spawn:   spawnWorkerProcess,
+		})
+	} else {
+		c, err = campaign.RunParallel(in, ccfg, campaign.ParallelConfig{Workers: *workers})
+	}
 	if err != nil {
 		return err
 	}
 	printf("internet: %d ASes, %d VPs\n", len(in.ASes), len(in.VPs))
+	if *dist > 0 {
+		printf("distributed: %d worker processes, %s replicas\n", c.Workers, *distReplica)
+	}
 	if st := c.Lazy; st.Resident != st.Total || st.FaultIns > 0 {
 		printf("lazy fabric: resident %d of %d routers (%d of %d stubs), %d fault-ins",
 			st.Resident, st.Total, st.ResidentStubs, st.TotalStubs, st.FaultIns)
@@ -297,7 +325,7 @@ func cmdCampaign(args []string) error {
 		byTech[reveal.TechHybrid], byTech[reveal.TechNone], hidden)
 	printShardStats(c)
 	if *out != "" {
-		ds := tracefile.FromCampaign(c, fmt.Sprintf("seed=%d scale=%s", *seed, *scaleName))
+		ds := c.Dataset(fmt.Sprintf("seed=%d scale=%s", *seed, *scaleName))
 		if err := tracefile.Save(*out, ds); err != nil {
 			return err
 		}
@@ -362,6 +390,42 @@ func startProfiles(prefix string) (stop func(), err error) {
 }
 
 // cmdBench runs the benchrun suite and writes the JSON report.
+// spawnWorkerProcess launches one distributed-campaign worker by
+// re-execing this binary's worker subcommand against the coordinator's
+// socket.
+func spawnWorkerProcess(i int, network, addr string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe, "worker", "-network", network, "-connect", addr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	go cmd.Wait() // reap; the protocol surfaces worker failures as errors
+	return nil
+}
+
+// cmdWorker is the worker half of a distributed campaign: dial the
+// coordinator and serve the shard protocol until the session completes.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	network := fs.String("network", "unix", "coordinator socket network (unix or tcp)")
+	connect := fs.String("connect", "", "coordinator socket address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("worker: -connect is required")
+	}
+	conn, err := net.Dial(*network, *connect)
+	if err != nil {
+		return err
+	}
+	return campaign.ServeWorker(conn)
+}
+
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	seed := fs.Int64("seed", 2024, "generator seed")
@@ -370,6 +434,7 @@ func cmdBench(args []string) error {
 	workersCSV := fs.String("workers", "", "comma-separated worker counts (default 1,4,NumCPU)")
 	scalesCSV := fs.String("scales", "", "comma-separated scale-ladder rungs to measure build/snapshot/memory for (e.g. small,medium,large)")
 	scalesOnly := fs.Bool("scales-only", false, "measure only the scale ladder (skip clone and campaign matrices)")
+	distCSV := fs.String("dist", "2,4", "comma-separated worker counts for the distributed-engine rows (real worker processes; empty = skip)")
 	outPath := fs.String("out", "BENCH_campaign.json", "output JSON path")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -431,6 +496,16 @@ func cmdBench(args []string) error {
 			cfg.Workers = append(cfg.Workers, w)
 		}
 	}
+	if *distCSV != "" && !*scalesOnly {
+		for _, part := range strings.Split(*distCSV, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bench: bad dist worker count %q", part)
+			}
+			cfg.Dist = append(cfg.Dist, w)
+		}
+		cfg.DistSpawn = spawnWorkerProcess
+	}
 	rep, err := benchrun.Run(cfg)
 	if err != nil {
 		return err
@@ -483,6 +558,11 @@ func cmdBench(args []string) error {
 				cr.SweepBypassesPerRun, cr.SweepAliasesPerRun)
 		}
 		printf("\n")
+	}
+	for _, dr := range rep.Dist {
+		printf("dist workers=%d procs=%d: encode %.2fms, decode %.2fms, stream %.2f MB, %.0f probes/s, %.2fms/run (%d resident routers/worker)\n",
+			dr.Workers, dr.Processes, dr.EncodeMS, dr.DecodeMS, dr.StreamMB,
+			dr.ProbesPerSec, dr.WallMSPerRun, dr.ResidentRoutersPerWorker)
 	}
 	if err := benchrun.WriteJSON(*outPath, rep); err != nil {
 		return err

@@ -1,0 +1,76 @@
+package gen
+
+// The snapshot structural-equality oracle, shared by the scale goldens,
+// the wire-codec round-trip tests, and the distributed-engine smoke: two
+// fabrics are equivalent when they expose the same address universe, the
+// same AS metadata, and the same sampled traceroute behaviour from every
+// vantage point. It lives in the package (not a _test file) so the root
+// scale tests, the gen wire tests, and external tooling all compare
+// replicas with one definition of "same world".
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SampleTraces renders a deterministic sample of traceroutes — every
+// stride-th registered address from every VP — as a comparable string.
+// It probes the fabric (prober counters and the virtual clock advance),
+// but trace *content* is probing-order-invariant, so sampling one fabric
+// never changes what a sample of another returns.
+func SampleTraces(in *Internet, stride int) string {
+	var sb strings.Builder
+	addrs := in.RouterAddrs()
+	for vi, vp := range in.VPs {
+		for i := 0; i < len(addrs); i += stride {
+			tr := vp.Prober.Traceroute(addrs[i])
+			fmt.Fprintf(&sb, "vp%d %s reached=%v ", vi, addrs[i], tr.Reached)
+			for _, h := range tr.Hops {
+				fmt.Fprintf(&sb, "[%d %s rttl=%d t=%d c=%d mpls=%v]",
+					h.ProbeTTL, h.Addr, h.ReplyTTL, h.ICMPType, h.ICMPCode, h.MPLS)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// EquivalenceDiff compares a replica against its source and returns a
+// description of the first divergence, or nil when the fabrics are
+// structurally and behaviourally equivalent under the stride sample.
+func EquivalenceDiff(src, rep *Internet, stride int) error {
+	aa, bb := src.RouterAddrs(), rep.RouterAddrs()
+	if len(aa) != len(bb) {
+		return fmt.Errorf("addr counts differ: %d vs %d", len(aa), len(bb))
+	}
+	for i := range aa {
+		if aa[i] != bb[i] {
+			return fmt.Errorf("addr %d differs: %s vs %s", i, aa[i], bb[i])
+		}
+	}
+	if len(src.ASes) != len(rep.ASes) {
+		return fmt.Errorf("AS counts differ: %d vs %d", len(src.ASes), len(rep.ASes))
+	}
+	for i, as := range src.ASes {
+		ns := rep.ASes[i]
+		if as.Num != ns.Num || as.Profile != ns.Profile || as.Aggregate != ns.Aggregate ||
+			len(as.Core) != len(ns.Core) || len(as.Edge) != len(ns.Edge) {
+			return fmt.Errorf("AS %d (AS%d) metadata differs", i, as.Num)
+		}
+	}
+	if len(src.VPs) != len(rep.VPs) {
+		return fmt.Errorf("VP counts differ: %d vs %d", len(src.VPs), len(rep.VPs))
+	}
+	want := SampleTraces(src, stride)
+	got := SampleTraces(rep, stride)
+	if got != want {
+		wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+		for i := 0; i < len(wl) && i < len(gl); i++ {
+			if wl[i] != gl[i] {
+				return fmt.Errorf("trace %d diverges:\n  want %s\n  got  %s", i, wl[i], gl[i])
+			}
+		}
+		return fmt.Errorf("trace counts diverge: %d vs %d lines", len(wl), len(gl))
+	}
+	return nil
+}

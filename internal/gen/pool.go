@@ -56,6 +56,15 @@ func (in *Internet) AcquireReplicas(n int, rebuild bool) ([]*Internet, error) {
 		p.rebuild = rebuild
 		p.seeded = true
 		p.epoch++
+		// Leases from earlier epochs can never re-enter the pool (the
+		// epoch check at release drops them), so purge them now instead of
+		// letting an abandoned lease pin its replica in the map forever —
+		// the leak a crashed worker used to leave behind.
+		for r, l := range p.leased {
+			if l.epoch != p.epoch {
+				delete(p.leased, r)
+			}
+		}
 	}
 	if p.leased == nil {
 		p.leased = make(map[*Internet]lease)
@@ -141,4 +150,27 @@ func (in *Internet) ReleaseReplicas(rs []*Internet) {
 		}
 		p.entries = append(p.entries, r)
 	}
+}
+
+// InvalidateReplicas discards leased replicas without returning them to
+// the pool: the error path for a worker that died or left its replica in
+// an unknown state. Unlike ReleaseReplicas it never re-pools — the lease
+// is simply forgotten, so the pool slot is reclaimed instead of stranded.
+func (in *Internet) InvalidateReplicas(rs []*Internet) {
+	p := &in.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range rs {
+		delete(p.leased, r)
+	}
+}
+
+// LeasedReplicas reports how many replicas are currently out on lease —
+// the observable the leak regression pins: after every campaign (error
+// paths included) it must return to zero.
+func (in *Internet) LeasedReplicas() int {
+	p := &in.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.leased)
 }

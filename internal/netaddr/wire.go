@@ -1,0 +1,110 @@
+package netaddr
+
+// Wire codec hooks for the address types. Addr and the trie's node layout
+// have unexported fields by design (the trie references nodes by slice
+// index, Prefix stores its address pre-masked); this file gives the
+// snapshot codec explicit, allocation-conscious encode/decode entry
+// points without opening those invariants up package-wide.
+
+import (
+	"errors"
+
+	"wormhole/internal/wirefmt"
+)
+
+// AppendAddr writes a as 4 bytes.
+func AppendAddr(w *wirefmt.Writer, a Addr) { w.U32(uint32(a)) }
+
+// DecodeAddr reverses AppendAddr.
+func DecodeAddr(r *wirefmt.Reader) Addr { return Addr(r.U32()) }
+
+// AppendPrefix writes p as 5 bytes (address + length).
+func AppendPrefix(w *wirefmt.Writer, p Prefix) {
+	w.U32(uint32(p.addr))
+	w.U8(p.bits)
+}
+
+// DecodePrefix reverses AppendPrefix, rejecting out-of-range lengths and
+// re-masking the address so a corrupt blob cannot smuggle in a
+// non-canonical prefix.
+func DecodePrefix(r *wirefmt.Reader) Prefix {
+	a := Addr(r.U32())
+	bits := r.U8()
+	if bits > 32 {
+		r.Fail(ErrBadPrefix)
+		return Prefix{}
+	}
+	return Prefix{addr: a & maskOf(int(bits)), bits: bits}
+}
+
+var errBadTrie = errors.New("netaddr: corrupt trie encoding")
+
+// AppendTrie writes t's node slab verbatim: node count, stored-value
+// count, then per node both child indices, a set flag, and (when set) the
+// value via putV. Because nodes reference each other by index the slab
+// round-trips without any traversal.
+func AppendTrie[V any](w *wirefmt.Writer, t *Trie[V], putV func(*wirefmt.Writer, V)) {
+	w.U32(uint32(len(t.nodes)))
+	w.U32(uint32(t.size))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		w.I32(n.child[0])
+		w.I32(n.child[1])
+		if n.set {
+			w.U8(1)
+			putV(w, n.val)
+		} else {
+			w.U8(0)
+		}
+	}
+}
+
+// DecodeTrieInto reverses AppendTrie, carving the node slab from arena
+// when non-nil (the codec sizes one TrieArena for a whole fabric, exactly
+// like CloneArena does for snapshots). Child indices are validated
+// against the node count so a corrupt blob yields an error, not an
+// out-of-bounds walk later.
+func DecodeTrieInto[V any](r *wirefmt.Reader, arena *TrieArena[V], getV func(*wirefmt.Reader) V) Trie[V] {
+	nn := int(r.U32())
+	t := Trie[V]{size: int(r.U32())}
+	if r.Err() != nil || nn == 0 {
+		return t
+	}
+	// Each node costs at least 9 bytes on the wire; a count that cannot
+	// fit in the remaining payload is corruption, caught before the
+	// allocation below can balloon.
+	if nn < 0 || nn > r.Len()/9 {
+		r.Fail(errBadTrie)
+		return t
+	}
+	var nodes []trieNode[V]
+	if arena != nil {
+		start := len(arena.slab)
+		need := start + nn
+		if cap(arena.slab) >= need {
+			arena.slab = arena.slab[:need]
+		} else {
+			arena.slab = append(arena.slab, make([]trieNode[V], nn)...)
+		}
+		nodes = arena.slab[start:need:need]
+	} else {
+		nodes = make([]trieNode[V], nn)
+	}
+	for i := range nodes {
+		c0, c1 := r.I32(), r.I32()
+		if c0 < 0 || int(c0) >= nn || c1 < 0 || int(c1) >= nn {
+			r.Fail(errBadTrie)
+			return t
+		}
+		nodes[i].child = [2]int32{c0, c1}
+		if r.U8() == 1 {
+			nodes[i].val = getV(r)
+			nodes[i].set = true
+		}
+	}
+	if r.Err() != nil {
+		return Trie[V]{size: t.size}
+	}
+	t.nodes = nodes
+	return t
+}

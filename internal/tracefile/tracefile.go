@@ -12,7 +12,6 @@ import (
 	"os"
 	"time"
 
-	"wormhole/internal/campaign"
 	"wormhole/internal/fingerprint"
 	"wormhole/internal/netaddr"
 	"wormhole/internal/packet"
@@ -72,6 +71,10 @@ type Revelation struct {
 	Hops      []string `json:"hops,omitempty"`
 	Technique string   `json:"technique"`
 	Probes    int      `json:"probes"`
+	// Steps records the per-iteration probe counts of the recursive
+	// revelation (its depth is len(Steps)). Older files omit it; the
+	// format version is unchanged because absent means empty.
+	Steps []int `json:"steps,omitempty"`
 }
 
 // Record pairs a trace with its candidate/revelation context.
@@ -89,32 +92,61 @@ type Dataset struct {
 	Fingerprints []Fingerprint `json:"fingerprints"`
 }
 
-// FromCampaign converts a completed campaign into a serializable dataset.
-func FromCampaign(c *campaign.Campaign, comment string) *Dataset {
-	ds := &Dataset{Header: Header{Format: formatVersion, Tool: "wormhole", Comment: comment}}
-	for _, rec := range c.Records {
-		r := Record{
-			Trace:         fromTrace(rec.Trace),
-			CandidateAS:   rec.CandidateAS,
-			EgressEchoTTL: rec.EgressEchoTTL,
-		}
-		if rec.Revelation != nil {
-			rv := fromRevelation(rec.Revelation)
-			r.Revelation = &rv
-		}
-		ds.Records = append(ds.Records, r)
+// NewDataset starts an empty dataset with a well-formed header.
+func NewDataset(comment string) *Dataset {
+	return &Dataset{Header: Header{Format: formatVersion, Tool: "wormhole", Comment: comment}}
+}
+
+// FromFingerprints serializes a fingerprint index in address order.
+func FromFingerprints(m map[netaddr.Addr]fingerprint.Result) []Fingerprint {
+	var out []Fingerprint
+	for _, fp := range sortedFingerprints(m) {
+		out = append(out, FromResult(fp))
 	}
-	for _, fp := range sortedFingerprints(c.Fingerprints) {
-		ds.Fingerprints = append(ds.Fingerprints, Fingerprint{
-			Addr:         fp.Addr.String(),
-			TimeExceeded: fp.Signature.TimeExceeded,
-			EchoReply:    fp.Signature.EchoReply,
-			TEReplyTTL:   fp.TEReplyTTL,
-			EchoReplyTTL: fp.EchoReplyTTL,
-			Class:        fp.Class.String(),
-		})
+	return out
+}
+
+// FromResult serializes one fingerprint.
+func FromResult(fp fingerprint.Result) Fingerprint {
+	return Fingerprint{
+		Addr:         fp.Addr.String(),
+		TimeExceeded: fp.Signature.TimeExceeded,
+		EchoReply:    fp.Signature.EchoReply,
+		TEReplyTTL:   fp.TEReplyTTL,
+		EchoReplyTTL: fp.EchoReplyTTL,
+		Class:        fp.Class.String(),
 	}
-	return ds
+}
+
+// ToResult reverses FromResult.
+func (f Fingerprint) ToResult() (fingerprint.Result, error) {
+	addr, err := netaddr.ParseAddr(f.Addr)
+	if err != nil {
+		return fingerprint.Result{}, fmt.Errorf("tracefile: bad fingerprint addr: %w", err)
+	}
+	class, err := parseClass(f.Class)
+	if err != nil {
+		return fingerprint.Result{}, err
+	}
+	return fingerprint.Result{
+		Addr:         addr,
+		Signature:    fingerprint.Signature{TimeExceeded: f.TimeExceeded, EchoReply: f.EchoReply},
+		Class:        class,
+		TEReplyTTL:   f.TEReplyTTL,
+		EchoReplyTTL: f.EchoReplyTTL,
+	}, nil
+}
+
+func parseClass(s string) (fingerprint.Class, error) {
+	for _, c := range []fingerprint.Class{
+		fingerprint.CiscoLike, fingerprint.JuniperLike, fingerprint.JunosELike,
+		fingerprint.LegacyLike, fingerprint.Unknown,
+	} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return fingerprint.Unknown, fmt.Errorf("tracefile: unknown fingerprint class %q", s)
 }
 
 func sortedFingerprints(m map[netaddr.Addr]fingerprint.Result) []fingerprint.Result {
@@ -134,7 +166,8 @@ func sortedFingerprints(m map[netaddr.Addr]fingerprint.Result) []fingerprint.Res
 	return out
 }
 
-func fromTrace(tr *probe.Trace) Trace {
+// FromTrace serializes a traceroute.
+func FromTrace(tr *probe.Trace) Trace {
 	out := Trace{Src: tr.Src.String(), Dst: tr.Dst.String(), Reached: tr.Reached}
 	for _, h := range tr.Hops {
 		sh := Hop{
@@ -155,17 +188,61 @@ func fromTrace(tr *probe.Trace) Trace {
 	return out
 }
 
-func fromRevelation(r *reveal.Revelation) Revelation {
+// FromRevelation serializes a tunnel revelation.
+func FromRevelation(r *reveal.Revelation) Revelation {
 	out := Revelation{
 		Ingress:   r.Ingress.String(),
 		Egress:    r.Egress.String(),
 		Technique: r.Technique.String(),
 		Probes:    r.Probes,
+		Steps:     r.Steps,
 	}
 	for _, h := range r.Hops {
 		out.Hops = append(out.Hops, h.String())
 	}
 	return out
+}
+
+// ToRevelation reverses FromRevelation.
+func (r Revelation) ToRevelation() (*reveal.Revelation, error) {
+	ing, err := netaddr.ParseAddr(r.Ingress)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: bad revelation ingress: %w", err)
+	}
+	eg, err := netaddr.ParseAddr(r.Egress)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: bad revelation egress: %w", err)
+	}
+	tech, err := parseTechnique(r.Technique)
+	if err != nil {
+		return nil, err
+	}
+	out := &reveal.Revelation{
+		Ingress:   ing,
+		Egress:    eg,
+		Technique: tech,
+		Probes:    r.Probes,
+		Steps:     r.Steps,
+	}
+	for _, h := range r.Hops {
+		a, err := netaddr.ParseAddr(h)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: bad revelation hop: %w", err)
+		}
+		out.Hops = append(out.Hops, a)
+	}
+	return out, nil
+}
+
+func parseTechnique(s string) (reveal.Technique, error) {
+	for _, t := range []reveal.Technique{
+		reveal.TechNone, reveal.TechDPR, reveal.TechBRPR, reveal.TechEither, reveal.TechHybrid,
+	} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return reveal.TechNone, fmt.Errorf("tracefile: unknown revelation technique %q", s)
 }
 
 // ToTrace reverses fromTrace.

@@ -1,4 +1,4 @@
-package tracefile
+package tracefile_test
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 	"wormhole/internal/campaign"
 	"wormhole/internal/gen"
 	"wormhole/internal/reveal"
+	"wormhole/internal/tracefile"
 )
 
 func smallCampaign(t *testing.T) *campaign.Campaign {
@@ -25,16 +26,16 @@ func smallCampaign(t *testing.T) *campaign.Campaign {
 
 func TestRoundTrip(t *testing.T) {
 	c := smallCampaign(t)
-	ds := FromCampaign(c, "unit test")
+	ds := c.Dataset("unit test")
 	if len(ds.Records) == 0 || len(ds.Fingerprints) == 0 {
 		t.Fatalf("empty dataset: %d records %d fingerprints", len(ds.Records), len(ds.Fingerprints))
 	}
 
 	var buf bytes.Buffer
-	if err := Write(&buf, ds); err != nil {
+	if err := tracefile.Write(&buf, ds); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(&buf)
+	back, err := tracefile.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRoundTrip(t *testing.T) {
 func TestTraceConversionRoundTrip(t *testing.T) {
 	c := smallCampaign(t)
 	for _, rec := range c.Records[:10] {
-		st := fromTrace(rec.Trace)
+		st := tracefile.FromTrace(rec.Trace)
 		back, err := st.ToTrace()
 		if err != nil {
 			t.Fatal(err)
@@ -82,14 +83,31 @@ func TestTraceConversionRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFingerprintConversionRoundTrip(t *testing.T) {
+	c := smallCampaign(t)
+	for _, sf := range tracefile.FromFingerprints(c.Fingerprints) {
+		back, err := sf.ToResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Addr.String() != sf.Addr || back.Class.String() != sf.Class ||
+			back.Signature.TimeExceeded != sf.TimeExceeded || back.EchoReplyTTL != sf.EchoReplyTTL {
+			t.Fatalf("fingerprint mangled: %+v vs %+v", back, sf)
+		}
+	}
+	if _, err := (tracefile.Fingerprint{Addr: "10.0.0.1", Class: "ios"}).ToResult(); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
 func TestSaveLoadFile(t *testing.T) {
 	c := smallCampaign(t)
-	ds := FromCampaign(c, "file test")
+	ds := c.Dataset("file test")
 	path := filepath.Join(t.TempDir(), "campaign.jsonl")
-	if err := Save(path, ds); err != nil {
+	if err := tracefile.Save(path, ds); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Load(path)
+	back, err := tracefile.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,23 +117,23 @@ func TestSaveLoadFile(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	if _, err := Read(strings.NewReader("not json")); err == nil {
+	if _, err := tracefile.Read(strings.NewReader("not json")); err == nil {
 		t.Error("garbage accepted")
 	}
-	if _, err := Read(strings.NewReader(`{"record":{}}`)); err == nil {
+	if _, err := tracefile.Read(strings.NewReader(`{"record":{}}`)); err == nil {
 		t.Error("headerless stream accepted")
 	}
-	if _, err := Read(strings.NewReader(`{"header":{"format":99}}`)); err == nil {
+	if _, err := tracefile.Read(strings.NewReader(`{"header":{"format":99}}`)); err == nil {
 		t.Error("future format accepted")
 	}
 }
 
 func TestToTraceRejectsBadAddrs(t *testing.T) {
-	bad := Trace{Src: "x", Dst: "10.0.0.1"}
+	bad := tracefile.Trace{Src: "x", Dst: "10.0.0.1"}
 	if _, err := bad.ToTrace(); err == nil {
 		t.Error("bad src accepted")
 	}
-	bad = Trace{Src: "10.0.0.1", Dst: "10.0.0.2", Hops: []Hop{{Addr: "nope"}}}
+	bad = tracefile.Trace{Src: "10.0.0.1", Dst: "10.0.0.2", Hops: []tracefile.Hop{{Addr: "nope"}}}
 	if _, err := bad.ToTrace(); err == nil {
 		t.Error("bad hop accepted")
 	}
@@ -128,9 +146,21 @@ func TestRevelationSerialization(t *testing.T) {
 		if rev.Technique == reveal.TechNone || len(rev.Hops) == 0 {
 			continue
 		}
-		sr := fromRevelation(rev)
+		sr := tracefile.FromRevelation(rev)
 		if sr.Ingress != rev.Ingress.String() || len(sr.Hops) != len(rev.Hops) {
 			t.Fatalf("revelation mangled: %+v", sr)
+		}
+		if len(sr.Steps) != len(rev.Steps) {
+			t.Fatalf("steps dropped: %v vs %v", sr.Steps, rev.Steps)
+		}
+		back, err := sr.ToRevelation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Ingress != rev.Ingress || back.Egress != rev.Egress ||
+			back.Technique != rev.Technique || back.Probes != rev.Probes ||
+			len(back.Hops) != len(rev.Hops) || len(back.Steps) != len(rev.Steps) {
+			t.Fatalf("revelation round-trip changed: %+v vs %+v", back, rev)
 		}
 		found = true
 		break

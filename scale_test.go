@@ -6,9 +6,7 @@
 package wormhole
 
 import (
-	"fmt"
 	"os"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -37,23 +35,10 @@ func largeWorld(t *testing.T) *gen.Internet {
 	return largeIn
 }
 
-// sampleTraces renders a deterministic sample of traceroutes — every
-// stride-th registered address from every VP — as a comparable string.
+// sampleTraces is the promoted structural-equality oracle; the gen wire
+// tests and the distributed smoke share the same definition.
 func sampleTraces(in *gen.Internet, stride int) string {
-	var sb strings.Builder
-	addrs := in.RouterAddrs()
-	for vi, vp := range in.VPs {
-		for i := 0; i < len(addrs); i += stride {
-			tr := vp.Prober.Traceroute(addrs[i])
-			fmt.Fprintf(&sb, "vp%d %s reached=%v ", vi, addrs[i], tr.Reached)
-			for _, h := range tr.Hops {
-				fmt.Fprintf(&sb, "[%d %s rttl=%d t=%d c=%d mpls=%v]",
-					h.ProbeTTL, h.Addr, h.ReplyTTL, h.ICMPType, h.ICMPCode, h.MPLS)
-			}
-			sb.WriteByte('\n')
-		}
-	}
-	return sb.String()
+	return gen.SampleTraces(in, stride)
 }
 
 func routerCount(in *gen.Internet) int {
@@ -79,34 +64,8 @@ func TestLargeSnapshotEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aa, bb := in.RouterAddrs(), snap.RouterAddrs()
-	if len(aa) != len(bb) {
-		t.Fatalf("addr counts differ: %d vs %d", len(aa), len(bb))
-	}
-	for i := range aa {
-		if aa[i] != bb[i] {
-			t.Fatalf("addr %d differs: %s vs %s", i, aa[i], bb[i])
-		}
-	}
-	if len(snap.ASes) != len(in.ASes) {
-		t.Fatalf("AS counts differ: %d vs %d", len(snap.ASes), len(in.ASes))
-	}
-	for i, as := range in.ASes {
-		ns := snap.ASes[i]
-		if as.Num != ns.Num || as.Profile != ns.Profile || as.Aggregate != ns.Aggregate ||
-			len(as.Core) != len(ns.Core) || len(as.Edge) != len(ns.Edge) {
-			t.Fatalf("AS %d metadata differs", i)
-		}
-	}
-	want := sampleTraces(in, 199)
-	if got := sampleTraces(snap, 199); got != want {
-		wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
-		for i := 0; i < len(wl) && i < len(gl); i++ {
-			if wl[i] != gl[i] {
-				t.Fatalf("trace %d diverges:\n  want %s\n  got  %s", i, wl[i], gl[i])
-			}
-		}
-		t.Fatalf("trace counts diverge: %d vs %d lines", len(wl), len(gl))
+	if err := gen.EquivalenceDiff(in, snap, 199); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -187,6 +146,61 @@ func TestReplicaPoolTopoGenReuse(t *testing.T) {
 		}
 	}
 	in.ReleaseReplicas(fourth)
+}
+
+// TestReplicaPoolLeakReclaim pins the leak fix on the pool's error
+// paths: a failed worker invalidates its lease instead of stranding the
+// slot, and an abandoned lease is purged when the pool reseeds rather
+// than pinning its replica in the lease map forever.
+func TestReplicaPoolLeakReclaim(t *testing.T) {
+	in, err := gen.Build(experiments.Small.Params(311))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := in.AcquireReplicas(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := in.LeasedReplicas(); n != 3 {
+		t.Fatalf("leased %d after acquire, want 3", n)
+	}
+	// Worker 0 died: its replica is invalidated, the others released.
+	in.InvalidateReplicas(rs[:1])
+	in.ReleaseReplicas(rs[1:])
+	if n := in.LeasedReplicas(); n != 0 {
+		t.Fatalf("leased %d after invalidate+release, want 0", n)
+	}
+	again, err := in.AcquireReplicas(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range again {
+		if r == rs[0] {
+			t.Fatal("invalidated replica re-entered the pool")
+		}
+	}
+	in.ReleaseReplicas(again)
+
+	// An abandoned lease (never released at all) must not survive a pool
+	// reseed: the source mutation invalidates it, and the reseed purges it.
+	if _, err := in.AcquireReplicas(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if n := in.LeasedReplicas(); n != 1 {
+		t.Fatalf("leased %d with abandoned lease, want 1", n)
+	}
+	in.Net.InvalidateFlowCache() // TopoGen bump: next acquire reseeds
+	fresh, err := in.AcquireReplicas(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := in.LeasedReplicas(); n != 1 {
+		t.Fatalf("leased %d after reseed, want 1 (stale lease stranded)", n)
+	}
+	in.ReleaseReplicas(fresh)
+	if n := in.LeasedReplicas(); n != 0 {
+		t.Fatalf("leased %d at end, want 0", n)
+	}
 }
 
 // TestLargeChurnSmoke resolves a churn plan against the Large rung and a

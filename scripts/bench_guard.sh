@@ -40,7 +40,15 @@
 #     campaigns have silently regressed to per-probe simulation while
 #     the ICMP gates stay green.
 #
-#  6. Giga (PR 9, opt-in via WORMHOLE_GIGA=1): the ~10⁶-router lazy
+#  6. Wire codec (PR 10): encoding the Large fabric to the versioned
+#     snapshot wire blob must stay within ENCODE_FACTOR× of the
+#     in-process structural snapshot. The codec is the distributed
+#     engine's world transfer; it exists to be memcpy-grade (length-
+#     prefixed sections carved from the same arenas Snapshot copies),
+#     and reflection or per-object serialization creeping in would
+#     show up here long before campaigns visibly drag.
+#
+#  7. Giga (PR 9, opt-in via WORMHOLE_GIGA=1): the ~10⁶-router lazy
 #     rung must build inside its wall-clock budget with only a sliver
 #     of the stub universe resident, and the retained replica must stay
 #     under its own bytes/RESIDENT-router ceiling. The ceiling is far
@@ -75,6 +83,11 @@ UDP_FLOOR=150
 # leaves headroom for real feature growth while catching any return of
 # per-router heap objects.
 MEM_CEILING=7000
+# Wire-codec budget: Large encode_ms + decode_ms must stay within this
+# factor of snapshot_ms (measured ~1.5×: encode well under 1× — the blob
+# writer linearizes the same arenas Snapshot copies — and decode about
+# 1×, a snapshot-shaped arena carve from the blob).
+ENCODE_FACTOR=2
 # Wall-clock budget for the Giga lazy build (ms).
 GIGA_BUILD_MS=60000
 # Heap bytes per RESIDENT router for one retained Giga replica: the
@@ -95,7 +108,9 @@ trap 'rm -f "$OUT" "$OUT_MEM" "$OUT_GIGA"' EXIT
 # throttling that sets in mid-measurement skews the late (2-worker) rows
 # low — the caller retries once before believing a failure.
 campaign_gates() {
-    go run ./cmd/wormhole bench -scale small -runs 8 -workers 1,2 -out "$OUT"
+    # -dist "": the throughput gates key on the in-process rows only; the
+    # wire codec has its own gate against the Large scales row below.
+    go run ./cmd/wormhole bench -scale small -runs 8 -workers 1,2 -dist "" -out "$OUT"
 
     # The report's campaign rows carry "workers", "method", "flow_cache",
     # "sweep", "churn", "churn_flush_world", and "probes_per_sec" in a
@@ -190,6 +205,26 @@ awk -v ceiling="$MEM_CEILING" '
         printf "bench_guard: large replica %.0f bytes/router (ceiling %d)\n", bpr, ceiling
         if (bpr > ceiling) {
             print "bench_guard: FAIL — replica bytes/router exceeded the committed ceiling"
+            exit 1
+        }
+    }
+' "$OUT_MEM"
+
+# Wire-codec gate: same Large scales row — encode plus decode must stay
+# within ENCODE_FACTOR× of the structural snapshot.
+awk -v factor="$ENCODE_FACTOR" '
+    /"snapshot_ms":/ { v = $0; gsub(/[^0-9.]/, "", v); snap = v + 0 }
+    /"encode_ms":/   { v = $0; gsub(/[^0-9.]/, "", v); enc = v + 0; found = 1 }
+    /"decode_ms":/   { v = $0; gsub(/[^0-9.]/, "", v); dec = v + 0 }
+    END {
+        if (!found || snap <= 0) {
+            print "bench_guard: missing encode_ms/snapshot_ms in the scales row"
+            exit 1
+        }
+        printf "bench_guard: large wire codec encode %.1fms + decode %.1fms vs snapshot %.1fms (budget %dx)\n", \
+            enc, dec, snap, factor
+        if (enc + dec > factor * snap) {
+            print "bench_guard: FAIL — wire encode+decode exceeded its snapshot-relative budget"
             exit 1
         }
     }

@@ -14,7 +14,8 @@
 # derivation model and the UDP port-cycle branch-class algebra, and the
 # race tier (TestRaceTier shells out to
 # `go test -race` over the concurrency-heavy packages and is skipped
-# automatically under -short).
+# automatically under -short). Last, the distributed smoke: a real
+# 2-process campaign over a Unix socket byte-compared to serial.
 #
 # Usage: ./scripts/check.sh
 set -eux
@@ -56,6 +57,19 @@ go test ./internal/netsim/ -run='^$' -fuzz=FuzzLineageBackwardScan -fuzztime=10s
 go test ./internal/netsim/ -run='^$' -fuzz=FuzzUDPSlotClasses -fuzztime=10s
 
 go test -race -run TestRaceTier .
+
+# Distributed smoke: a 2-worker multi-process campaign over a Unix
+# socket must byte-match the serial engine's dataset at the Large rung.
+# This is the one gate that exercises real OS worker processes (the
+# wormhole binary re-execing itself) — the unit tier drives the same
+# protocol with goroutine workers.
+DISTDIR=$(mktemp -d)
+trap 'rm -f "$COVOUT"; rm -rf "$DISTDIR"' EXIT
+go build -o "$DISTDIR/wormhole" ./cmd/wormhole
+"$DISTDIR/wormhole" campaign -scale large -dist 2 -out "$DISTDIR/dist.jsonl" >/dev/null
+"$DISTDIR/wormhole" campaign -scale large -workers 1 -out "$DISTDIR/serial.jsonl" >/dev/null
+cmp "$DISTDIR/dist.jsonl" "$DISTDIR/serial.jsonl"
+echo "check: distributed campaign byte-identical to serial at large"
 
 # Opt-in Giga acceptance: WORMHOLE_GIGA=1 ./scripts/check.sh also runs
 # the ~10⁶-router end-to-end test (the bench guard above already ran its
